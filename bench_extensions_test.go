@@ -1,0 +1,91 @@
+package stef
+
+// Benchmarks for the subsystems beyond the paper's evaluation: reordering,
+// the dimension-tree and HiCOO engines, CSF serialisation and Algorithm 9.
+
+import (
+	"bytes"
+	"testing"
+
+	"stef/internal/baselines"
+	"stef/internal/csf"
+	"stef/internal/dtree"
+	"stef/internal/reorder"
+	"stef/internal/tensor"
+)
+
+func BenchmarkExtensions(b *testing.B) {
+	tt := benchTensor(b, "nell-2")
+	const rank = 16
+
+	b.Run("reorder/lexi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reorder.LexiOrder(tt, 1)
+		}
+	})
+	b.Run("reorder/bfsmcs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reorder.BFSMCS(tt)
+		}
+	})
+
+	factors := tensor.RandomFactors(tt.Dims, rank, 1)
+	d := tt.Order()
+
+	b.Run("engine/dtree-iteration", func(b *testing.B) {
+		eng, err := dtree.NewEngine(tt, dtree.Options{Rank: rank, Threads: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		outs := make([]*tensor.Matrix, d)
+		for pos := 0; pos < d; pos++ {
+			outs[pos] = tensor.NewMatrix(tt.Dims[eng.UpdateOrder[pos]], rank)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for pos := 0; pos < d; pos++ {
+				eng.Compute(pos, factors, outs[pos])
+			}
+		}
+	})
+	b.Run("engine/hicoo-iteration", func(b *testing.B) {
+		eng, err := baselines.NewHiCOO(tt, baselines.HiCOOOptions{Rank: rank, Threads: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		outs := make([]*tensor.Matrix, d)
+		for pos := 0; pos < d; pos++ {
+			outs[pos] = tensor.NewMatrix(tt.Dims[eng.UpdateOrder[pos]], rank)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for pos := 0; pos < d; pos++ {
+				eng.Compute(pos, factors, outs[pos])
+			}
+		}
+	})
+
+	tree := csf.Build(tt, nil)
+	b.Run("csf/serialize", func(b *testing.B) {
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if _, err := tree.WriteTo(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("csf/deserialize", func(b *testing.B) {
+		var buf bytes.Buffer
+		if _, err := tree.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		raw := buf.Bytes()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := csf.ReadFrom(bytes.NewReader(raw)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

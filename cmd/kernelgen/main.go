@@ -1,0 +1,25 @@
+// Command kernelgen emits the unrolled non-root MTTKRP kernels for a given
+// tensor order. The order-5 kernels in internal/kernels/modes5_gen.go are
+// produced by:
+//
+//	go run ./cmd/kernelgen -d 5 > internal/kernels/modes5_gen.go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stef/internal/kernelgen"
+)
+
+func main() {
+	d := flag.Int("d", 5, "tensor order to generate kernels for")
+	flag.Parse()
+	src, err := kernelgen.Generate(*d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kernelgen:", err)
+		os.Exit(2)
+	}
+	os.Stdout.Write(src)
+}

@@ -1,0 +1,22 @@
+// Command stef-bench regenerates the paper's evaluation tables and figures
+// on the synthetic benchmark suite.
+//
+//	stef-bench -all                  # everything (Table I/II, Fig 3-6)
+//	stef-bench -fig3 -ranks 32       # measured+modeled speedups, R=32
+//	stef-bench -fig6 -tensors uber,nell-2
+//
+// Figures 3 and 4 are produced twice: wall-clock on this host (whose core
+// count limits what load balancing can show) and a modeled-makespan variant
+// at the paper's 18- and 64-thread machine sizes, which is exact and
+// machine-independent.
+package main
+
+import (
+	"os"
+
+	"stef/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunBench(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,17 @@
+// Command stef-cpd runs CPD-ALS on a sparse tensor — from a FROSTT .tns
+// file or a named synthetic benchmark — with any of the implemented MTTKRP
+// engines, and reports per-iteration fit and timing.
+//
+//	stef-cpd -tensor uber -rank 32 -iters 10 -engine stef2 -threads 4
+//	stef-cpd -file data.tns -rank 16 -engine splatt-all -export factors.txt
+package main
+
+import (
+	"os"
+
+	"stef/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunStefCPD(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,17 @@
+// Command stef-sweep sweeps one parameter — rank, threads, or the
+// data-movement model's cache size — over a tensor for a set of engines
+// and emits per-iteration MTTKRP times as CSV, ready for plotting.
+//
+//	stef-sweep -tensor nell-2 -param rank -values 8,16,32,64
+//	stef-sweep -tensor uber -param cache -engines stef
+package main
+
+import (
+	"os"
+
+	"stef/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunSweep(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,18 @@
+// Command stef-verify cross-checks every MTTKRP engine against the naive
+// COO reference on a given tensor: each engine computes all d MTTKRPs on
+// identical factor matrices and the maximum relative deviation is reported.
+// Use it to validate the build on new data before trusting benchmark runs.
+//
+//	stef-verify -tensor nips -threads 8 -rank 16
+//	stef-verify -file data.tns
+package main
+
+import (
+	"os"
+
+	"stef/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunVerify(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,17 @@
+// Command tensorgen materialises synthetic benchmark tensors (or custom
+// random tensors) as FROSTT .tns files (gzip-compressed when the output
+// path ends in .gz).
+//
+//	tensorgen -tensor uber -o uber.tns
+//	tensorgen -dims 100x200x300 -nnz 50000 -skew 1.5,0,0 -o custom.tns.gz
+package main
+
+import (
+	"os"
+
+	"stef/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunTensorGen(os.Args[1:], os.Stdout, os.Stderr))
+}

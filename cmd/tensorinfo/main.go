@@ -1,0 +1,19 @@
+// Command tensorinfo prints the structural statistics of a sparse tensor
+// that drive STeF's decisions: per-level fiber counts under the
+// length-sorted CSF order, average fiber lengths, the Algorithm 9 swapped
+// fiber count, root-slice imbalance, the chosen plan and the per-mode
+// data-movement breakdown.
+//
+//	tensorinfo -tensor vast-2015-mc1-3d -rank 32 -threads 8
+//	tensorinfo -file data.tns
+package main
+
+import (
+	"os"
+
+	"stef/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunTensorInfo(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,49 @@
+package stef_test
+
+import (
+	"fmt"
+
+	"stef"
+	"stef/internal/tensor"
+)
+
+// ExampleDecompose shows the one-call API on a small synthetic tensor.
+func ExampleDecompose() {
+	t := tensor.Random([]int{30, 40, 50}, 2000, nil, 1)
+	res, err := stef.Decompose(t, stef.Options{Rank: 4, MaxIters: 5, Tol: -1, Threads: 2, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("iterations:", res.Iters)
+	fmt.Println("factor shapes:", res.Factors[0].Rows, res.Factors[1].Rows, res.Factors[2].Rows)
+	// Output:
+	// iterations: 5
+	// factor shapes: 30 40 50
+}
+
+// ExamplePlan shows how to inspect STeF's configuration decision without
+// running a decomposition.
+func ExamplePlan() {
+	t := tensor.Random([]int{10, 200, 3000}, 5000, nil, 2)
+	plan, err := stef.Plan(t, stef.Options{Rank: 16, Threads: 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("configurations evaluated:", len(plan.AllConfigs))
+	fmt.Println("csf levels:", len(plan.Tree.Dims))
+	// Output:
+	// configurations evaluated: 4
+	// csf levels: 3
+}
+
+// ExampleNewEngine runs a single MTTKRP through a baseline engine.
+func ExampleNewEngine() {
+	t := tensor.Random([]int{5, 6, 7}, 60, nil, 3)
+	eng, err := stef.NewEngine(t, stef.Options{Rank: 4, Threads: 1, Engine: "splatt-all"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(eng.Name, eng.UpdateOrder)
+	// Output:
+	// splatt-all [0 1 2]
+}

@@ -1,0 +1,67 @@
+// Netflow: the paper's motivating pathological case for slice-based
+// parallelism. The vast-2015-mc1 tensors have a mode of length 2 that ends
+// up as the CSF root under length-sorted ordering, so any scheme that
+// assigns root slices to threads can use at most 2 threads — and the two
+// slices are heavily skewed on top of that (the paper reports a 1674% load
+// imbalance). This example builds the 5-way variant, prints both partition
+// schemes' per-thread loads, and times one CPD iteration with slice-based
+// versus non-zero-balanced scheduling.
+//
+//	go run ./examples/netflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stef"
+	"stef/internal/core"
+	"stef/internal/csf"
+	"stef/internal/experiments"
+	"stef/internal/sched"
+)
+
+func main() {
+	t, err := stef.Benchmark("vast-2015-mc1-5d")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network-log tensor: %v\n", t)
+
+	const threads = 8
+	tree := csf.Build(t, nil)
+	fmt.Printf("CSF root mode has %d slices for %d threads\n", tree.NumFibers(0), threads)
+
+	sp := sched.NewSlicePartitionNNZ(tree, threads)
+	fmt.Printf("slice-partition thread loads:    %v  (imbalance %.0f%%)\n",
+		sp.SliceLoads(tree), sched.ImbalancePct(sp.SliceLoads(tree)))
+	bp := sched.NewPartition(tree, threads)
+	fmt.Printf("balanced-partition thread loads: %v  (imbalance %.0f%%)\n",
+		bp.Loads(), sched.ImbalancePct(bp.Loads()))
+
+	// Time one MTTKRP iteration under both schedulers.
+	for _, cfg := range []struct {
+		label string
+		slice bool
+	}{
+		{"slice-based (prior work)", true},
+		{"nnz-balanced (STeF)", false},
+	} {
+		eng, _, err := core.NewEngineFor(t, core.Options{Rank: 32, Threads: threads, SliceSched: cfg.slice})
+		if err != nil {
+			log.Fatal(err)
+		}
+		el := experiments.TimeIteration(eng, t.Dims, 32, 3)
+		fmt.Printf("%-26s one MTTKRP iteration: %v\n", cfg.label, el)
+	}
+
+	// Makespan model at the paper's machine scale, where the effect is
+	// dramatic regardless of this host's core count.
+	for _, engine := range []string{"splatt-all", "stef"} {
+		ms, err := experiments.ModeledMakespan(engine, t, 18, 32, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("modeled makespan at T=18, %-11s %d work units\n", engine+":", ms)
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: decompose a small synthetic 3-way tensor with STeF and print
+// the fit per iteration, then inspect the plan STeF chose for it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"stef"
+	"stef/internal/tensor"
+)
+
+func main() {
+	// A 200x300x400 tensor with 50k non-zeros, mildly skewed on mode 0.
+	t := tensor.Random([]int{200, 300, 400}, 50_000, []float64{1.3, 0, 0}, 1)
+	fmt.Printf("input: %v\n", t)
+
+	res, err := stef.Decompose(t, stef.Options{
+		Rank:     16,
+		MaxIters: 15,
+		Threads:  4,
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, fit := range res.Fits {
+		fmt.Printf("iter %2d  fit %.5f\n", i+1, fit)
+	}
+	fmt.Printf("converged=%v after %d iterations; MTTKRP time %v\n",
+		res.Converged, res.Iters, res.MTTKRPTime.Round(1000))
+
+	// What did the planner decide?
+	plan, err := stef.Plan(t, stef.Options{Rank: 16, Threads: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan.Describe(os.Stdout)
+}

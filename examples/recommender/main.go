@@ -1,0 +1,135 @@
+// Recommender: factorise a user × item × time-of-week rating tensor (the
+// workload class that motivates CPD in the paper's introduction) and use
+// the factors to produce top-k item recommendations for a user.
+//
+// The tensor is synthetic but structured: a hidden rank-5 model with user
+// communities, item genres and weekly rhythm generates observed entries, so
+// the decomposition has real structure to recover — the final fit shows how
+// much of it CPD found.
+//
+//	go run ./examples/recommender
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"stef"
+	"stef/internal/tensor"
+)
+
+const (
+	users  = 400
+	items  = 300
+	slots  = 24 // hour-of-day
+	rank   = 8
+	hidden = 5
+	nnz    = 120_000 // ~4% density: enough signal for CPD to recover
+)
+
+func main() {
+	t, userOf, itemOf, slotOf := synthesizeRatings()
+	fmt.Printf("ratings tensor: %v\n", t)
+
+	res, err := stef.Decompose(t, stef.Options{
+		Rank:     rank,
+		MaxIters: 25,
+		Threads:  4,
+		Engine:   "stef2",
+		Seed:     3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fit %.4f after %d iterations (engine stef2)\n", res.FinalFit(), res.Iters)
+
+	// Score items for one user at one time slot from the factors:
+	// score(u, i, s) = Σ_r λ_r · U[u,r] · I[i,r] · S[s,r].
+	// Pick a user and an hour from hidden component 0, so we know the
+	// ground truth: the top items should come from genre 0.
+	u, slot := int(userOf[0][0]), int(slotOf[0][0])
+	type scored struct {
+		item  int
+		score float64
+	}
+	var ranked []scored
+	for i := 0; i < items; i++ {
+		s := 0.0
+		for r := 0; r < rank; r++ {
+			s += res.Lambda[r] * res.Factors[0].At(u, r) * res.Factors[1].At(i, r) * res.Factors[2].At(slot, r)
+		}
+		ranked = append(ranked, scored{i, s})
+	}
+	sort.Slice(ranked, func(a, b int) bool { return ranked[a].score > ranked[b].score })
+	inGenre0 := map[int]bool{}
+	for _, i := range itemOf[0] {
+		inGenre0[int(i)] = true
+	}
+	fmt.Printf("top recommendations for user %d (community 0) at hour %d:\n", u, slot)
+	hits := 0
+	for k := 0; k < 10; k++ {
+		mark := " "
+		if inGenre0[ranked[k].item] {
+			mark = "*"
+			hits++
+		}
+		fmt.Printf("  item %4d  score %.4f %s\n", ranked[k].item, ranked[k].score, mark)
+	}
+	fmt.Printf("%d/10 top items are from the user's true genre (* = ground-truth match)\n", hits)
+}
+
+// synthesizeRatings builds an implicit-feedback log with genuine low-rank
+// structure: each hidden component is a (user community × item genre ×
+// active hours) block, and observed entries are drawn from those blocks
+// with rating noise, plus a sliver of background noise. The union of such
+// blocks is well approximated by a rank-`hidden` CP model, so the
+// decomposition has real structure to recover.
+func synthesizeRatings() (*tensor.Tensor, [][]int32, [][]int32, [][]int32) {
+	rng := rand.New(rand.NewSource(99))
+	userOf := membership(rng, users)
+	itemOf := membership(rng, items)
+	slotOf := membership(rng, slots)
+
+	t := tensor.New([]int{users, items, slots}, nnz)
+	seen := map[[3]int32]bool{}
+	for len(t.Vals) < nnz {
+		var c [3]int32
+		var v float64
+		if rng.Float64() < 0.05 {
+			// Background noise: uniform random interaction.
+			c = [3]int32{int32(rng.Intn(users)), int32(rng.Intn(items)), int32(rng.Intn(slots))}
+			v = 0.2 * rng.Float64()
+		} else {
+			h := rng.Intn(hidden)
+			c = [3]int32{pick(rng, userOf[h]), pick(rng, itemOf[h]), pick(rng, slotOf[h])}
+			v = 1 + 0.1*rng.NormFloat64()
+		}
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		t.Append(c[:], v)
+	}
+	t.SortLex()
+	return t, userOf, itemOf, slotOf
+}
+
+// membership assigns each of n entities to one of the hidden components
+// and returns the member list per component.
+func membership(rng *rand.Rand, n int) [][]int32 {
+	lists := make([][]int32, hidden)
+	for i := 0; i < n; i++ {
+		h := rng.Intn(hidden)
+		lists[h] = append(lists[h], int32(i))
+	}
+	for h := range lists {
+		if len(lists[h]) == 0 { // guard tiny modes
+			lists[h] = append(lists[h], int32(rng.Intn(n)))
+		}
+	}
+	return lists
+}
+
+func pick(rng *rand.Rand, xs []int32) int32 { return xs[rng.Intn(len(xs))] }

@@ -1,0 +1,3 @@
+module stef
+
+go 1.22

@@ -1,0 +1,58 @@
+package baselines
+
+import (
+	"stef/internal/cpd"
+	"stef/internal/csf"
+	"stef/internal/kernels"
+	"stef/internal/model"
+	"stef/internal/sched"
+	"stef/internal/tensor"
+)
+
+// AdaTMOptions configures the AdaTM-style engine.
+type AdaTMOptions struct {
+	Threads      int
+	Rank         int
+	MaxPrivElems int64
+}
+
+// NewAdaTM builds an engine that, like Li et al.'s AdaTM, memoizes partial
+// MTTKRP results chosen by an operation-count model: memoization is applied
+// whenever it removes recomputation FLOPs, regardless of the extra data
+// movement it induces. Work is distributed at slice granularity, and the
+// last-two-mode layout is never reconsidered. Those three deltas — the
+// decision objective, the work distribution and the layout switch — are
+// exactly what the paper credits for STeF's advantage over AdaTM.
+func NewAdaTM(t *tensor.Tensor, opts AdaTMOptions) *cpd.Engine {
+	d := t.Order()
+	if opts.Threads < 1 {
+		opts.Threads = 1
+	}
+	perm := tensor.LengthSortedPerm(t.Dims)
+	tree := csf.Build(t, perm)
+	part := sched.NewSlicePartitionNNZ(tree, opts.Threads).ToPartition(tree)
+
+	params := model.ParamsForCache(tree.Dims, tree.FiberCounts(), opts.Rank, 0)
+	cfg := model.SearchOpCount(params)
+	partials := kernels.NewPartials(tree, opts.Rank, cfg.Save)
+
+	bufs := make([]*kernels.OutBuf, d)
+	for u := 1; u < d; u++ {
+		bufs[u] = kernels.NewOutBuf(tree.Dims[u], opts.Rank, opts.Threads, opts.MaxPrivElems)
+	}
+	return &cpd.Engine{
+		Name:        "adatm",
+		UpdateOrder: append([]int(nil), perm...),
+		Compute: func(pos int, factors []*tensor.Matrix, out *tensor.Matrix) {
+			lf := kernels.LevelFactors(factors, tree.Perm)
+			if pos == 0 {
+				kernels.RootMTTKRP(tree, lf, out, partials, part)
+				return
+			}
+			buf := bufs[pos]
+			buf.Reset()
+			kernels.ModeMTTKRP(tree, lf, pos, partials, buf, part)
+			buf.Reduce(out)
+		},
+	}
+}

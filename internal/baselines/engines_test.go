@@ -1,0 +1,180 @@
+package baselines_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"stef/internal/baselines"
+	"stef/internal/core"
+	"stef/internal/cpd"
+	"stef/internal/kernels"
+	"stef/internal/tensor"
+)
+
+// allEngines builds every engine for the given tensor and thread count.
+func allEngines(t *testing.T, tt *tensor.Tensor, threads, rank int) []*cpd.Engine {
+	t.Helper()
+	var engines []*cpd.Engine
+	for _, copies := range []int{1, 2, -1} {
+		engines = append(engines, baselines.NewSplatt(tt, baselines.SplattOptions{Copies: copies, Threads: threads, Rank: rank}))
+	}
+	engines = append(engines, baselines.NewAdaTM(tt, baselines.AdaTMOptions{Threads: threads, Rank: rank}))
+	alto, err := baselines.NewALTO(tt, baselines.ALTOOptions{Threads: threads, Rank: rank})
+	if err != nil {
+		t.Fatalf("alto: %v", err)
+	}
+	engines = append(engines, alto)
+	engines = append(engines, baselines.NewTACO(tt, baselines.TACOOptions{Threads: threads, Rank: rank, ChunkSizes: []int{2}}))
+
+	stef, _, err := core.NewEngineFor(tt, core.Options{Rank: rank, Threads: threads})
+	if err != nil {
+		t.Fatalf("stef: %v", err)
+	}
+	engines = append(engines, stef)
+	stef2, _, err := core.NewEngineFor(tt, core.Options{Rank: rank, Threads: threads, SecondCSF: true})
+	if err != nil {
+		t.Fatalf("stef2: %v", err)
+	}
+	engines = append(engines, stef2)
+	// Ablation variants must be correct too.
+	for _, o := range []core.Options{
+		{Rank: rank, Threads: threads, SaveRule: core.SaveAll},
+		{Rank: rank, Threads: threads, SaveRule: core.SaveNone},
+		{Rank: rank, Threads: threads, SwapRule: core.SwapAlways},
+		{Rank: rank, Threads: threads, SwapRule: core.SwapOpposite},
+		{Rank: rank, Threads: threads, SliceSched: true},
+	} {
+		e, _, err := core.NewEngineFor(tt, o)
+		if err != nil {
+			t.Fatalf("stef variant: %v", err)
+		}
+		engines = append(engines, e)
+	}
+	return engines
+}
+
+// TestEnginesMatchReference checks every engine's per-mode MTTKRP against
+// the COO reference on fixed factors.
+func TestEnginesMatchReference(t *testing.T) {
+	shapes := []struct {
+		dims []int
+		skew []float64
+	}{
+		{[]int{9, 14, 20}, nil},
+		{[]int{6, 8, 10, 7}, nil},
+		{[]int{2, 60, 40}, []float64{3, 0, 0}},
+		{[]int{5, 6, 7, 4, 3}, nil},
+	}
+	const rank = 4
+	for _, sh := range shapes {
+		tt := tensor.Random(sh.dims, 350, sh.skew, 77)
+		d := tt.Order()
+		factors := tensor.RandomFactors(tt.Dims, rank, 5)
+		want := make([]*tensor.Matrix, d)
+		for m := 0; m < d; m++ {
+			want[m] = kernels.Reference(tt, factors, m)
+		}
+		for _, threads := range []int{1, 3} {
+			for _, eng := range allEngines(t, tt, threads, rank) {
+				for pos := 0; pos < d; pos++ {
+					m := eng.UpdateOrder[pos]
+					got := tensor.NewMatrix(tt.Dims[m], rank)
+					eng.Compute(pos, factors, got)
+					scale := want[m].NormFrobenius()
+					if scale == 0 {
+						scale = 1
+					}
+					if diff := got.MaxAbsDiff(want[m]); diff > 1e-9*scale {
+						t.Errorf("dims=%v T=%d engine=%s mode=%d: max diff %g", sh.dims, threads, eng.Name, m, diff)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEnginesSequenceWithUpdates simulates the in-iteration factor updates:
+// after each mode's MTTKRP the corresponding factor changes, which is when
+// stale memoized partials would show up.
+func TestEnginesSequenceWithUpdates(t *testing.T) {
+	tt := tensor.Random([]int{8, 10, 12, 6}, 400, nil, 13)
+	d := tt.Order()
+	const rank = 3
+	for _, threads := range []int{1, 4} {
+		for _, eng := range allEngines(t, tt, threads, rank) {
+			factors := tensor.RandomFactors(tt.Dims, rank, 99)
+			shadow := make([]*tensor.Matrix, d)
+			for m := range shadow {
+				shadow[m] = factors[m].Clone()
+			}
+			for pos := 0; pos < d; pos++ {
+				m := eng.UpdateOrder[pos]
+				got := tensor.NewMatrix(tt.Dims[m], rank)
+				eng.Compute(pos, factors, got)
+				want := kernels.Reference(tt, shadow, m)
+				scale := want.NormFrobenius()
+				if diff := got.MaxAbsDiff(want); diff > 1e-9*(1+scale) {
+					t.Fatalf("T=%d engine=%s pos=%d mode=%d: max diff %g", threads, eng.Name, pos, m, diff)
+				}
+				// "Update" the factor like ALS would: perturb it
+				// deterministically.
+				for i := range factors[m].Data {
+					factors[m].Data[i] = math.Mod(factors[m].Data[i]*1.7+0.3, 1.0)
+				}
+				shadow[m].CopyFrom(factors[m])
+			}
+		}
+	}
+}
+
+// TestFullCPDAllEngines runs complete CPD-ALS with every engine on the same
+// tensor and demands comparable final fits (identical update orders give
+// identical trajectories; different orders still converge to similar fit).
+func TestFullCPDAllEngines(t *testing.T) {
+	tt := tensor.Random([]int{10, 15, 20}, 500, nil, 3)
+	normX := tt.NormFrobenius()
+	opts := cpd.Options{Rank: 4, MaxIters: 8, Tol: -1, Seed: 42}
+	naive, err := cpd.Run(tt.Dims, normX, cpd.NaiveEngine(tt), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range allEngines(t, tt, 2, 4) {
+		res, err := cpd.Run(tt.Dims, normX, eng, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name, err)
+		}
+		if math.Abs(res.FinalFit()-naive.FinalFit()) > 0.05 {
+			t.Errorf("%s: final fit %.4f vs naive %.4f", eng.Name, res.FinalFit(), naive.FinalFit())
+		}
+		for i := 1; i < len(res.Fits); i++ {
+			if res.Fits[i] < res.Fits[i-1]-1e-6 {
+				t.Errorf("%s: fit decreased at iter %d: %v", eng.Name, i, res.Fits)
+				break
+			}
+		}
+	}
+}
+
+func TestEngineNamesDistinct(t *testing.T) {
+	tt := tensor.Random([]int{5, 6, 7}, 100, nil, 1)
+	names := map[string]bool{}
+	for _, eng := range allEngines(t, tt, 1, 2)[:7] {
+		if names[eng.Name] {
+			t.Errorf("duplicate engine name %q", eng.Name)
+		}
+		names[eng.Name] = true
+	}
+	for _, want := range []string{"splatt-1", "splatt-2", "splatt-all", "adatm", "alto", "taco", "stef"} {
+		if !names[want] {
+			t.Errorf("missing engine %q (have %v)", want, names)
+		}
+	}
+}
+
+func ExampleNewSplatt() {
+	tt := tensor.Random([]int{4, 5, 6}, 30, nil, 2)
+	eng := baselines.NewSplatt(tt, baselines.SplattOptions{Copies: -1, Threads: 2, Rank: 3})
+	fmt.Println(eng.Name)
+	// Output: splatt-all
+}

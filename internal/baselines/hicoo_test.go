@@ -1,0 +1,95 @@
+package baselines
+
+import (
+	"testing"
+
+	"stef/internal/kernels"
+	"stef/internal/tensor"
+)
+
+func TestHiCOOFormatInvariants(t *testing.T) {
+	tt := tensor.Random([]int{300, 400, 500}, 2000, []float64{1.5, 0, 0}, 11)
+	h, err := newHiCOO(tt, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tt.Order()
+	if h.blockPtr[len(h.blockPtr)-1] != int64(tt.NNZ()) {
+		t.Fatalf("block pointers do not cover nnz")
+	}
+	if h.numBlocks() == 0 || h.numBlocks() > tt.NNZ() {
+		t.Fatalf("implausible block count %d", h.numBlocks())
+	}
+	// Every reconstructed coordinate is in range and block-aligned.
+	for b := 0; b < h.numBlocks(); b++ {
+		base := h.blockBase[b]
+		for m := 0; m < d; m++ {
+			if base[m]&(1<<7-1) != 0 {
+				t.Fatalf("block %d base %v not aligned", b, base)
+			}
+		}
+		for k := h.blockPtr[b]; k < h.blockPtr[b+1]; k++ {
+			for m := 0; m < d; m++ {
+				c := base[m] + int32(h.offsets[k*int64(d)+int64(m)])
+				if c < 0 || int(c) >= tt.Dims[m] {
+					t.Fatalf("block %d nnz %d mode %d coordinate %d out of range", b, k, m, c)
+				}
+			}
+		}
+	}
+	// Compression: HiCOO index storage must not exceed plain COO's.
+	cooBytes := int64(tt.NNZ()) * int64(d) * 4
+	hicooIdxBytes := h.bytes() - int64(tt.NNZ())*8
+	if hicooIdxBytes > cooBytes {
+		t.Errorf("hicoo index bytes %d exceed COO %d", hicooIdxBytes, cooBytes)
+	}
+}
+
+func TestHiCOOValueConservation(t *testing.T) {
+	tt := tensor.Random([]int{50, 60, 70, 20}, 1500, nil, 4)
+	h, err := newHiCOO(tt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumIn, sumOut float64
+	for _, v := range tt.Vals {
+		sumIn += v
+	}
+	for _, v := range h.vals {
+		sumOut += v
+	}
+	if diff := sumIn - sumOut; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("value sum changed: %g vs %g", sumIn, sumOut)
+	}
+}
+
+func TestHiCOOBadBits(t *testing.T) {
+	tt := tensor.Random([]int{4, 4, 4}, 10, nil, 1)
+	if _, err := newHiCOO(tt, 0); err == nil {
+		t.Fatal("bits=0 accepted")
+	}
+	if _, err := newHiCOO(tt, 9); err == nil {
+		t.Fatal("bits=9 accepted")
+	}
+}
+
+func TestHiCOOEngineMatchesReference(t *testing.T) {
+	tt := tensor.Random([]int{40, 300, 25, 8}, 1200, []float64{1.4, 0, 0, 0}, 6)
+	const rank = 4
+	factors := tensor.RandomFactors(tt.Dims, rank, 2)
+	for _, threads := range []int{1, 4} {
+		eng, err := NewHiCOO(tt, HiCOOOptions{Threads: threads, Rank: rank, BlockBits: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pos := 0; pos < tt.Order(); pos++ {
+			m := eng.UpdateOrder[pos]
+			got := tensor.NewMatrix(tt.Dims[m], rank)
+			eng.Compute(pos, factors, got)
+			want := kernels.Reference(tt, factors, m)
+			if diff := got.MaxAbsDiff(want); diff > 1e-9*(1+want.NormFrobenius()) {
+				t.Errorf("T=%d mode %d: max diff %g", threads, m, diff)
+			}
+		}
+	}
+}

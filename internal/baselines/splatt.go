@@ -1,0 +1,109 @@
+// Package baselines re-implements the algorithmic cores of the systems the
+// paper compares against — SPLATT (one, two, or d CSF copies), AdaTM
+// (op-count-driven memoization), ALTO (linearized storage, full recompute)
+// and TACO (chunk-autotuned CSF) — behind the same cpd.Engine interface as
+// STeF, so every engine runs the identical CPD-ALS driver and the
+// comparison isolates the MTTKRP strategy.
+package baselines
+
+import (
+	"stef/internal/cpd"
+	"stef/internal/csf"
+	"stef/internal/kernels"
+	"stef/internal/sched"
+	"stef/internal/tensor"
+)
+
+// SplattOptions configures the SPLATT-style engines.
+type SplattOptions struct {
+	// Copies is the number of CSF representations: 1, 2 or -1 for
+	// "all" (one per mode).
+	Copies int
+	// Threads is the worker count.
+	Threads int
+	// Rank is the decomposition rank.
+	Rank int
+	// MaxPrivElems bounds output privatization.
+	MaxPrivElems int64
+}
+
+// permRootedAt returns a mode permutation with root mode m first and the
+// remaining modes in increasing length order — SPLATT's tiling heuristic.
+func permRootedAt(dims []int, m int) []int {
+	sorted := tensor.LengthSortedPerm(dims)
+	perm := []int{m}
+	for _, mm := range sorted {
+		if mm != m {
+			perm = append(perm, mm)
+		}
+	}
+	return perm
+}
+
+// NewSplatt builds a SPLATT-style engine: slice-granular parallelism over
+// the root mode, no memoization. With one copy, non-root modes run the
+// generic CSF kernel; with d copies ("splatt-all"), every mode is the root
+// of its own CSF; with two copies, the second CSF is rooted at the base
+// CSF's leaf mode.
+func NewSplatt(t *tensor.Tensor, opts SplattOptions) *cpd.Engine {
+	d := t.Order()
+	if opts.Threads < 1 {
+		opts.Threads = 1
+	}
+	basePerm := tensor.LengthSortedPerm(t.Dims)
+	base := csf.Build(t, basePerm)
+	basePart := sched.NewSlicePartitionNNZ(base, opts.Threads).ToPartition(base)
+	noMemo := kernels.NoPartials(d)
+
+	name := "splatt-1"
+	var tree2 *csf.Tree
+	var part2 *sched.Partition
+	trees := map[int]*csf.Tree{} // mode -> tree rooted at mode (splatt-all)
+	parts := map[int]*sched.Partition{}
+	switch {
+	case opts.Copies < 0 || opts.Copies >= d:
+		name = "splatt-all"
+		for m := 0; m < d; m++ {
+			tr := csf.Build(t, permRootedAt(t.Dims, m))
+			trees[m] = tr
+			parts[m] = sched.NewSlicePartitionNNZ(tr, opts.Threads).ToPartition(tr)
+		}
+	case opts.Copies == 2:
+		name = "splatt-2"
+		perm2 := append([]int{basePerm[d-1]}, basePerm[:d-1]...)
+		tree2 = csf.Build(t, perm2)
+		part2 = sched.NewSlicePartitionNNZ(tree2, opts.Threads).ToPartition(tree2)
+	}
+
+	bufs := make([]*kernels.OutBuf, d)
+	for u := 1; u < d; u++ {
+		bufs[u] = kernels.NewOutBuf(base.Dims[u], opts.Rank, opts.Threads, opts.MaxPrivElems)
+	}
+
+	return &cpd.Engine{
+		Name:        name,
+		UpdateOrder: append([]int(nil), basePerm...),
+		Compute: func(pos int, factors []*tensor.Matrix, out *tensor.Matrix) {
+			mode := basePerm[pos]
+			if tr, ok := trees[mode]; ok {
+				lf := kernels.LevelFactors(factors, tr.Perm)
+				kernels.RootMTTKRP(tr, lf, out, kernels.NoPartials(d), parts[mode])
+				return
+			}
+			if pos == d-1 && tree2 != nil {
+				lf := kernels.LevelFactors(factors, tree2.Perm)
+				kernels.RootMTTKRP(tree2, lf, out, kernels.NoPartials(d), part2)
+				return
+			}
+			lf := kernels.LevelFactors(factors, base.Perm)
+			if pos == 0 {
+				kernels.RootMTTKRP(base, lf, out, noMemo, basePart)
+				return
+			}
+			buf := bufs[pos]
+			buf.Reset()
+			kernels.ModeMTTKRP(base, lf, pos, noMemo, buf, basePart)
+			buf.Reduce(out)
+		},
+	}
+}

@@ -1,0 +1,125 @@
+package baselines
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stef/internal/cpd"
+	"stef/internal/csf"
+	"stef/internal/kernels"
+	"stef/internal/tensor"
+)
+
+// TACOOptions configures the TACO-style engine.
+type TACOOptions struct {
+	Threads int
+	Rank    int
+	// ChunkSizes lists the candidate chunk sizes auto-tuned over at
+	// engine construction; nil selects {1, 4, 16, 64}.
+	ChunkSizes []int
+}
+
+// NewTACO builds a TACO-style engine: a single CSF, no memoization, and
+// dynamic chunk-of-slices scheduling whose chunk size is auto-tuned when
+// the engine is built — mirroring the paper's description of the scheduling
+// TACO baseline ("auto-tuning across various chunk sizes and selecting the
+// best, paying a small preprocessing overhead for faster run time").
+// Dynamic chunking load-balances better than static slice blocks but still
+// degrades when very few root slices carry most non-zeros.
+func NewTACO(t *tensor.Tensor, opts TACOOptions) *cpd.Engine {
+	if opts.Threads < 1 {
+		opts.Threads = 1
+	}
+	if len(opts.ChunkSizes) == 0 {
+		opts.ChunkSizes = []int{1, 4, 16, 64}
+	}
+	d := t.Order()
+	perm := tensor.LengthSortedPerm(t.Dims)
+	tree := csf.Build(t, perm)
+	noMemo := kernels.NoPartials(d)
+	rank := opts.Rank
+
+	// priv[w] is worker w's private output scratch, grown lazily to the
+	// largest non-root mode actually computed.
+	priv := make([][]float64, opts.Threads)
+
+	// runMode executes one MTTKRP with dynamic chunk scheduling.
+	runMode := func(pos int, factors []*tensor.Matrix, out *tensor.Matrix, chunk int) {
+		lf := kernels.LevelFactors(factors, tree.Perm)
+		slices := int64(tree.NumFibers(0))
+		var next int64
+		out.Zero()
+		var wg sync.WaitGroup
+		wg.Add(opts.Threads)
+		for w := 0; w < opts.Threads; w++ {
+			go func(w int) {
+				defer wg.Done()
+				var mine *tensor.Matrix
+				if pos != 0 {
+					need := out.Rows * rank
+					if cap(priv[w]) < need {
+						priv[w] = make([]float64, need)
+					}
+					mine = &tensor.Matrix{Rows: out.Rows, Cols: rank, Data: priv[w][:need]}
+					mine.Zero()
+				}
+				for {
+					lo := atomic.AddInt64(&next, int64(chunk)) - int64(chunk)
+					if lo >= slices {
+						return
+					}
+					hi := lo + int64(chunk)
+					if hi > slices {
+						hi = slices
+					}
+					if pos == 0 {
+						// Root rows are disjoint across
+						// slices, so workers write out
+						// directly.
+						kernels.RootMTTKRPSubtrees(tree, lf, out, noMemo, lo, hi)
+					} else {
+						kernels.ModeMTTKRPSubtrees(tree, lf, pos, noMemo, mine, lo, hi)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if pos != 0 {
+			for w := 0; w < opts.Threads; w++ {
+				if cap(priv[w]) < out.Rows*rank {
+					continue // worker never ran this mode
+				}
+				src := priv[w][:out.Rows*rank]
+				for i, v := range src {
+					if v != 0 {
+						out.Data[i] += v
+					}
+				}
+			}
+		}
+	}
+
+	// Auto-tune the chunk size on a throwaway mode-0 run.
+	chunk := opts.ChunkSizes[0]
+	if len(opts.ChunkSizes) > 1 {
+		factors := tensor.RandomFactors(t.Dims, rank, 1)
+		scratch := tensor.NewMatrix(tree.Dims[0], rank)
+		bestT := time.Duration(1<<62 - 1)
+		for _, c := range opts.ChunkSizes {
+			start := time.Now()
+			runMode(0, factors, scratch, c)
+			if el := time.Since(start); el < bestT {
+				bestT, chunk = el, c
+			}
+		}
+	}
+
+	return &cpd.Engine{
+		Name:        "taco",
+		UpdateOrder: append([]int(nil), perm...),
+		Compute: func(pos int, factors []*tensor.Matrix, out *tensor.Matrix) {
+			runMode(pos, factors, out, chunk)
+		},
+	}
+}

@@ -1,0 +1,128 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"stef/internal/experiments"
+)
+
+// RunBench implements cmd/stef-bench: regenerate the paper's evaluation
+// tables and figures.
+func RunBench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("stef-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		all     = fs.Bool("all", false, "run every experiment")
+		table1  = fs.Bool("table1", false, "Table I: benchmark tensor inventory")
+		table2  = fs.Bool("table2", false, "Table II: memoization storage")
+		fig3    = fs.Bool("fig3", false, "Fig 3: speedups (measured on host + modeled at T=18)")
+		fig4    = fs.Bool("fig4", false, "Fig 4: speedups (modeled at T=64)")
+		fig5    = fs.Bool("fig5", false, "Fig 5: preprocessing overhead")
+		fig6    = fs.Bool("fig6", false, "Fig 6: ablation study")
+		wd      = fs.Bool("workdist", false, "work-distribution imbalance report")
+		mcheck  = fs.Bool("modelcheck", false, "model validation: predicted vs measured over all configurations")
+		ccheck  = fs.Bool("cpdcheck", false, "end-to-end CPD fit parity across engines")
+		scaling = fs.Bool("scaling", false, "modeled strong-scaling study (extension)")
+		ranks   = fs.String("ranks", "32,64", "comma-separated ranks")
+		tensors = fs.String("tensors", "", "comma-separated tensor names (default: all)")
+		engines = fs.String("engines", "", "comma-separated engine names (default: all)")
+		threads = fs.Int("threads", runtime.GOMAXPROCS(0), "host worker threads for measured runs")
+		reps    = fs.Int("reps", 2, "timing repetitions (min taken)")
+		scale   = fs.Float64("scale", 1.0, "non-zero count scale factor")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if !(*all || *table1 || *table2 || *fig3 || *fig4 || *fig5 || *fig6 || *wd || *mcheck || *ccheck || *scaling) {
+		fs.Usage()
+		return 2
+	}
+
+	rankList, err := parseIntList(*ranks)
+	if err != nil {
+		return fail(stderr, "stef-bench", err)
+	}
+	opts := experiments.Options{
+		Ranks:   rankList,
+		Threads: *threads,
+		Reps:    *reps,
+		Scale:   *scale,
+		Out:     stdout,
+	}
+	if *tensors != "" {
+		opts.Tensors = strings.Split(*tensors, ",")
+	}
+	if *engines != "" {
+		opts.Engines = strings.Split(*engines, ",")
+	}
+	s := experiments.NewSuite(opts)
+
+	type step struct {
+		enabled bool
+		name    string
+		run     func() error
+	}
+	steps := []step{
+		{*all || *table1, "table1", s.Table1},
+		{*all || *wd, "workdist", s.WorkDistReport},
+		{*all || *fig3, "fig3-measured", func() error { _, err := s.Fig34("fig3 measured on host"); return err }},
+		{*all || *fig3, "fig3-modeled", func() error { _, err := s.Fig34Modeled("fig3 Intel-18", 18); return err }},
+		{*all || *fig4, "fig4-modeled", func() error { _, err := s.Fig34Modeled("fig4 AMD-64", 64); return err }},
+		{*all || *fig5, "fig5", func() error { _, err := s.Fig5(); return err }},
+		{*all || *table2, "table2", func() error { _, err := s.Table2(); return err }},
+	}
+	if *all || *fig6 {
+		for _, r := range rankList {
+			r := r
+			steps = append(steps, step{true, "fig6", func() error { _, err := s.Fig6(r); return err }})
+		}
+	}
+	if *all || *mcheck {
+		steps = append(steps, step{true, "modelcheck", func() error { _, err := s.ModelAccuracy(rankList[0]); return err }})
+	}
+	if *ccheck {
+		steps = append(steps, step{true, "cpdcheck", func() error { _, err := s.CPDCheck(rankList[0], 5); return err }})
+	}
+	if *scaling {
+		steps = append(steps, step{true, "scaling", func() error {
+			var engs []string
+			if *engines != "" {
+				engs = strings.Split(*engines, ",")
+			}
+			return s.ThreadScaling(engs, nil, rankList[0])
+		}})
+	}
+	for _, st := range steps {
+		if !st.enabled {
+			continue
+		}
+		if err := st.run(); err != nil {
+			return fail(stderr, "stef-bench("+st.name+")", err)
+		}
+	}
+	return 0
+}
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty integer list")
+	}
+	return out, nil
+}

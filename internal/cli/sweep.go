@@ -1,0 +1,134 @@
+package cli
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"stef/internal/core"
+	"stef/internal/experiments"
+)
+
+// RunSweep implements cmd/stef-sweep: sweep one parameter (rank, threads or
+// the model's cache size) over a tensor for a set of engines and emit a CSV
+// of per-iteration MTTKRP times — the raw material for scaling plots.
+func RunSweep(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("stef-sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		file    = fs.String("file", "", "path to a FROSTT .tns tensor file")
+		name    = fs.String("tensor", "uber", "named benchmark profile")
+		param   = fs.String("param", "rank", "swept parameter: rank, threads or cache")
+		values  = fs.String("values", "", "comma-separated parameter values (defaults per parameter)")
+		engines = fs.String("engines", "splatt-all,stef,stef2", "comma-separated engine names")
+		rank    = fs.Int("rank", 32, "fixed rank when sweeping another parameter")
+		threads = fs.Int("threads", runtime.GOMAXPROCS(0), "fixed threads when sweeping another parameter")
+		reps    = fs.Int("reps", 2, "timing repetitions (min taken)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *file == "" && *name == "" {
+		return fail(stderr, "stef-sweep", fmt.Errorf("specify -file or -tensor"))
+	}
+	tt, err := loadTensor(*file, *name)
+	if err != nil {
+		return fail(stderr, "stef-sweep", err)
+	}
+
+	vals, err := sweepValues(*param, *values)
+	if err != nil {
+		return fail(stderr, "stef-sweep", err)
+	}
+	engList := strings.Split(*engines, ",")
+	specs := map[string]experiments.EngineSpec{}
+	for _, s := range append(experiments.AllEngines(), experiments.ExtraEngines()...) {
+		specs[s.Name] = s
+	}
+
+	cw := csv.NewWriter(stdout)
+	defer cw.Flush()
+	if err := cw.Write([]string{"tensor", "engine", "param", "value", "rank", "threads", "iter_seconds"}); err != nil {
+		return fail(stderr, "stef-sweep", err)
+	}
+	for _, v := range vals {
+		r, t, cache := *rank, *threads, int64(0)
+		switch *param {
+		case "rank":
+			r = int(v)
+		case "threads":
+			t = int(v)
+		case "cache":
+			cache = v
+		}
+		for _, en := range engList {
+			spec, ok := specs[en]
+			if !ok {
+				return fail(stderr, "stef-sweep", fmt.Errorf("unknown engine %q", en))
+			}
+			eng, err := spec.Build(tt, t, r, cache)
+			if err != nil {
+				return fail(stderr, "stef-sweep", err)
+			}
+			el := experiments.TimeIteration(eng, tt.Dims, r, *reps)
+			rec := []string{
+				tensorLabel(*file, *name),
+				en,
+				*param,
+				strconv.FormatInt(v, 10),
+				strconv.Itoa(r),
+				strconv.Itoa(t),
+				strconv.FormatFloat(el.Seconds(), 'g', 8, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fail(stderr, "stef-sweep", err)
+			}
+		}
+	}
+	// Cache sweeps also change the planner's decision; surface it.
+	if *param == "cache" {
+		fmt.Fprintln(stderr, "cache sweep plan decisions:")
+		for _, v := range vals {
+			plan, err := core.NewPlan(tt, core.Options{Rank: *rank, Threads: *threads, CacheBytes: v})
+			if err != nil {
+				return fail(stderr, "stef-sweep", err)
+			}
+			fmt.Fprintf(stderr, "  cache=%-12d swap=%-5v save=%v\n", v, plan.Config.Swap, plan.Config.Save)
+		}
+	}
+	return 0
+}
+
+func sweepValues(param, values string) ([]int64, error) {
+	if values != "" {
+		var out []int64
+		for _, p := range strings.Split(values, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("bad value %q", p)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	switch param {
+	case "rank":
+		return []int64{8, 16, 32, 64}, nil
+	case "threads":
+		return []int64{1, 2, 4, 8}, nil
+	case "cache":
+		return []int64{1 << 16, 1 << 19, 1 << 22, 1 << 25}, nil
+	}
+	return nil, fmt.Errorf("unknown parameter %q (want rank, threads or cache)", param)
+}
+
+func tensorLabel(file, name string) string {
+	if file != "" {
+		return file
+	}
+	return name
+}

@@ -1,0 +1,75 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+
+	"stef/internal/experiments"
+	"stef/internal/kernels"
+	"stef/internal/tensor"
+)
+
+// RunVerify implements cmd/stef-verify: cross-check every engine against
+// the naive COO reference on one tensor.
+func RunVerify(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("stef-verify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		file    = fs.String("file", "", "path to a FROSTT .tns tensor file")
+		name    = fs.String("tensor", "", "named benchmark profile (default nips)")
+		rank    = fs.Int("rank", 16, "decomposition rank")
+		threads = fs.Int("threads", runtime.GOMAXPROCS(0), "worker threads")
+		tol     = fs.Float64("tol", 1e-9, "relative tolerance")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *file == "" && *name == "" {
+		*name = "nips"
+	}
+	tt, err := loadTensor(*file, *name)
+	if err != nil {
+		return fail(stderr, "stef-verify", err)
+	}
+	fmt.Fprintf(stdout, "verifying engines on %v with T=%d R=%d\n", tt, *threads, *rank)
+
+	d := tt.Order()
+	factors := tensor.RandomFactors(tt.Dims, *rank, 424242)
+	want := make([]*tensor.Matrix, d)
+	scale := make([]float64, d)
+	for m := 0; m < d; m++ {
+		want[m] = kernels.Reference(tt, factors, m)
+		scale[m] = 1 + want[m].NormFrobenius()
+	}
+
+	specs := append(experiments.AllEngines(), experiments.ExtraEngines()...)
+	failed := false
+	for _, spec := range specs {
+		eng, err := spec.Build(tt, *threads, *rank, 0)
+		if err != nil {
+			fmt.Fprintf(stdout, "  %-11s SKIP (%v)\n", spec.Name, err)
+			continue
+		}
+		worst := 0.0
+		for pos := 0; pos < d; pos++ {
+			m := eng.UpdateOrder[pos]
+			got := tensor.NewMatrix(tt.Dims[m], *rank)
+			eng.Compute(pos, factors, got)
+			if dev := got.MaxAbsDiff(want[m]) / scale[m]; dev > worst {
+				worst = dev
+			}
+		}
+		status := "PASS"
+		if worst > *tol {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(stdout, "  %-11s %s  max relative deviation %.2e\n", spec.Name, status, worst)
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"stef/internal/cpd"
+	"stef/internal/kernels"
+	"stef/internal/tensor"
+)
+
+// NewEngine builds a CPD engine executing the plan. The engine's update
+// order is the CSF level order, which keeps memoized partial results valid
+// across the iteration (P^(l) depends only on deeper levels' factors).
+func NewEngine(plan *Plan) *cpd.Engine {
+	tree := plan.Tree
+	d := tree.Order()
+	r := plan.Opts.Rank
+	t := plan.Part.T
+
+	partials := kernels.NewPartials(tree, r, plan.Config.Save)
+	bufs := make([]*kernels.OutBuf, d)
+	for u := 1; u < d; u++ {
+		bufs[u] = kernels.NewOutBuf(tree.Dims[u], r, t, plan.Opts.MaxPrivElems)
+	}
+	var partials2 *kernels.Partials
+	if plan.Tree2 != nil {
+		partials2 = kernels.NoPartials(d)
+	}
+
+	name := "stef"
+	if plan.Tree2 != nil {
+		name = "stef2"
+	}
+	if plan.Opts.SliceSched {
+		name += "-slicesched"
+	}
+
+	return &cpd.Engine{
+		Name:        name,
+		UpdateOrder: append([]int(nil), tree.Perm...),
+		Compute: func(pos int, factors []*tensor.Matrix, out *tensor.Matrix) {
+			lf := kernels.LevelFactors(factors, tree.Perm)
+			switch {
+			case pos == 0:
+				kernels.RootMTTKRP(tree, lf, out, partials, plan.Part)
+			case pos == d-1 && plan.Tree2 != nil:
+				// STeF2: the base leaf mode runs as the root of
+				// the auxiliary CSF, avoiding the scatter-heavy
+				// leaf-mode MTTV kernel.
+				lf2 := kernels.LevelFactors(factors, plan.Tree2.Perm)
+				kernels.RootMTTKRP(plan.Tree2, lf2, out, partials2, plan.Part2)
+			default:
+				buf := bufs[pos]
+				buf.Reset()
+				kernels.ModeMTTKRP(tree, lf, pos, partials, buf, plan.Part)
+				buf.Reduce(out)
+			}
+		},
+	}
+}
+
+// NewEngineFor is a convenience wrapper: plan and build in one call.
+func NewEngineFor(t *tensor.Tensor, opts Options) (*cpd.Engine, *Plan, error) {
+	plan, err := NewPlan(t, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewEngine(plan), plan, nil
+}

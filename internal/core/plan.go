@@ -1,0 +1,246 @@
+// Package core assembles the paper's contribution: STeF, the sparsity-aware
+// memoized MTTKRP engine. The Planner builds the CSF, runs Algorithm 9 to
+// obtain the swapped-layout fiber count, searches the configuration space
+// with the data-movement model (Section IV), and selects memoization and
+// layout; the Engine executes one CPD iteration's MTTKRP sequence with the
+// load-balanced work distribution of Section III-A.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"stef/internal/csf"
+	"stef/internal/model"
+	"stef/internal/sched"
+	"stef/internal/tensor"
+)
+
+// SaveRule selects how the memoization vector is chosen; Fig. 6's ablation
+// compares the model choice against the two extremes.
+type SaveRule int
+
+const (
+	// SaveModel uses the data-movement model's choice (STeF default).
+	SaveModel SaveRule = iota
+	// SaveAll memoizes every level 1..d-2.
+	SaveAll
+	// SaveNone memoizes nothing.
+	SaveNone
+)
+
+// SwapRule selects how the last-two-mode layout is chosen.
+type SwapRule int
+
+const (
+	// SwapModel uses the data-movement model's choice (STeF default).
+	SwapModel SwapRule = iota
+	// SwapNever keeps the length-sorted order.
+	SwapNever
+	// SwapAlways always swaps the last two modes.
+	SwapAlways
+	// SwapOpposite takes the opposite of the model's choice (the
+	// Fig. 6 "switching mode order" ablation).
+	SwapOpposite
+)
+
+// Options configures the planner and engine.
+type Options struct {
+	// Rank is the decomposition rank R.
+	Rank int
+	// Threads is the worker count (default 1).
+	Threads int
+	// CacheBytes parameterises the data-movement model (default
+	// model.DefaultCacheBytes).
+	CacheBytes int64
+	// SaveRule and SwapRule override the model's decisions for
+	// ablations.
+	SaveRule SaveRule
+	SwapRule SwapRule
+	// SliceSched replaces the non-zero-balanced work distribution with
+	// slice-granular partitioning (the Fig. 6 work-distribution
+	// ablation).
+	SliceSched bool
+	// SecondCSF enables the STeF2 variant: a second CSF rooted at the
+	// base CSF's leaf mode handles that mode's MTTKRP.
+	SecondCSF bool
+	// MaxPrivElems bounds output privatization (see kernels.OutBuf).
+	MaxPrivElems int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads < 1 {
+		o.Threads = 1
+	}
+	if o.Rank <= 0 {
+		o.Rank = 16
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = model.DefaultCacheBytes
+	}
+	return o
+}
+
+// Plan records every decision the planner made for a tensor, plus the
+// byte-level accounting behind Table II.
+type Plan struct {
+	// Opts echoes the options the plan was built with (post-defaults).
+	Opts Options
+	// Tree is the CSF in the chosen layout.
+	Tree *csf.Tree
+	// Tree2 is the STeF2 auxiliary CSF (nil unless Opts.SecondCSF).
+	Tree2 *csf.Tree
+	// Part is the chosen work distribution over Tree.
+	Part *sched.Partition
+	// Part2 partitions Tree2 when present.
+	Part2 *sched.Partition
+	// Config is the chosen memoization/layout configuration with its
+	// modeled cost.
+	Config model.Config
+	// AllConfigs lists every evaluated configuration (diagnostics).
+	AllConfigs []model.Config
+	// PreprocessTime is the time spent in the Algorithm 9 counting pass
+	// plus the model search — the quantity of Figure 5.
+	PreprocessTime time.Duration
+	// BuildTime is the CSF construction time (not part of Fig. 5, which
+	// every engine pays).
+	BuildTime time.Duration
+	// MemoBytes, CSFBytes and FactorBytes give Table II's accounting.
+	MemoBytes, CSFBytes, FactorBytes int64
+}
+
+// Ratio returns Table II's ratio: memoized partial-result storage relative
+// to the CSF structure plus factor matrices.
+func (p *Plan) Ratio() float64 {
+	den := p.CSFBytes + p.FactorBytes
+	if den == 0 {
+		return 0
+	}
+	return float64(p.MemoBytes) / float64(den)
+}
+
+// NewPlan builds the CSF for t, runs the model search and fixes every
+// execution decision.
+func NewPlan(t *tensor.Tensor, opts Options) (*Plan, error) {
+	opts = opts.withDefaults()
+	d := t.Order()
+	if d < 3 {
+		return nil, fmt.Errorf("core: order-%d tensor; STeF needs at least 3 modes", d)
+	}
+	p := &Plan{Opts: opts}
+
+	buildStart := time.Now()
+	basePerm := tensor.LengthSortedPerm(t.Dims)
+	baseTree := csf.Build(t, basePerm)
+	p.BuildTime = time.Since(buildStart)
+
+	// Preprocessing (Fig. 5): Algorithm 9 + exhaustive model search.
+	preStart := time.Now()
+	baseParams := model.ParamsForCache(baseTree.Dims, baseTree.FiberCounts(), opts.Rank, opts.CacheBytes)
+	var swappedParams model.Params
+	if opts.SwapRule != SwapNever {
+		swappedFibers := baseTree.CountSwappedFibers(opts.Threads)
+		swappedParams = model.SwappedParams(baseParams, swappedFibers)
+	}
+	best, all := model.Search(baseParams, swappedParams)
+	p.AllConfigs = all
+	p.Config = best
+	p.PreprocessTime = time.Since(preStart)
+
+	// Apply the swap rule.
+	swap := best.Swap
+	switch opts.SwapRule {
+	case SwapNever:
+		swap = false
+	case SwapAlways:
+		swap = true
+	case SwapOpposite:
+		swap = !best.Swap
+	}
+	chosenParams := baseParams
+	if swap != best.Swap || opts.SaveRule != SaveModel {
+		// Re-derive the save vector for the layout actually used.
+		if swap {
+			chosenParams = swappedParams
+		}
+		bestForLayout := bestSaveFor(chosenParams)
+		p.Config = model.Config{Swap: swap, Save: bestForLayout, Cost: chosenParams.IterationCost(bestForLayout)}
+	} else if swap {
+		chosenParams = swappedParams
+	}
+
+	// Apply the save rule.
+	switch opts.SaveRule {
+	case SaveAll:
+		save := make([]bool, d)
+		for l := 1; l <= d-2; l++ {
+			save[l] = true
+		}
+		p.Config.Save = save
+		p.Config.Cost = chosenParams.IterationCost(save)
+	case SaveNone:
+		p.Config.Save = make([]bool, d)
+		p.Config.Cost = chosenParams.IterationCost(p.Config.Save)
+	}
+
+	// Materialise the chosen layout.
+	if swap {
+		start := time.Now()
+		baseTree = csf.Build(t, baseTree.SwappedPerm())
+		p.BuildTime += time.Since(start)
+	}
+	p.Tree = baseTree
+	if opts.SliceSched {
+		p.Part = sched.NewSlicePartitionNNZ(p.Tree, opts.Threads).ToPartition(p.Tree)
+	} else {
+		p.Part = sched.NewPartition(p.Tree, opts.Threads)
+	}
+
+	if opts.SecondCSF {
+		start := time.Now()
+		perm2 := leafRootedPerm(p.Tree.Perm)
+		p.Tree2 = csf.Build(t, perm2)
+		if opts.SliceSched {
+			p.Part2 = sched.NewSlicePartitionNNZ(p.Tree2, opts.Threads).ToPartition(p.Tree2)
+		} else {
+			p.Part2 = sched.NewPartition(p.Tree2, opts.Threads)
+		}
+		p.BuildTime += time.Since(start)
+	}
+
+	// Table II accounting.
+	fibers := p.Tree.FiberCounts()
+	params := model.ParamsForCache(p.Tree.Dims, fibers, opts.Rank, opts.CacheBytes)
+	p.MemoBytes = params.MemoBytes(p.Config.Save)
+	p.CSFBytes = p.Tree.Bytes()
+	if p.Tree2 != nil {
+		p.CSFBytes += p.Tree2.Bytes()
+	}
+	for _, n := range t.Dims {
+		p.FactorBytes += int64(n) * int64(opts.Rank) * 8
+	}
+	return p, nil
+}
+
+// bestSaveFor returns the cheapest memoization vector for a fixed layout.
+func bestSaveFor(params model.Params) []bool {
+	var best []bool
+	var bestCost int64
+	for i, save := range model.EnumerateSaves(len(params.Dims)) {
+		c := params.IterationCost(save).Total()
+		if i == 0 || c < bestCost {
+			best, bestCost = save, c
+		}
+	}
+	return best
+}
+
+// leafRootedPerm builds STeF2's second layout: the base leaf mode becomes
+// the root; the remaining modes keep their base relative order.
+func leafRootedPerm(basePerm []int) []int {
+	d := len(basePerm)
+	perm := make([]int, 0, d)
+	perm = append(perm, basePerm[d-1])
+	perm = append(perm, basePerm[:d-1]...)
+	return perm
+}

@@ -1,0 +1,264 @@
+// Package cpd implements the CPD-ALS algorithm (Algorithm 2 of the paper)
+// on top of a pluggable MTTKRP engine. STeF, STeF2 and every baseline
+// implement the Engine interface; the driver supplies the dense parts of
+// the iteration: V via Hadamard products of Gram matrices, the SPD solve,
+// column normalisation, and fit-based convergence.
+package cpd
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"stef/internal/dense"
+	"stef/internal/kernels"
+	"stef/internal/tensor"
+)
+
+// Engine produces the sequence of MTTKRP results for one CPD iteration.
+//
+// UpdateOrder fixes the sequence in which the driver updates the factor
+// matrices; engines that memoize partial results need the update order to
+// match their CSF level order so saved partials remain valid (a P^(l) only
+// involves factors of deeper levels, which have not yet been updated when
+// level l is processed).
+type Engine struct {
+	// Name identifies the engine in benchmark output.
+	Name string
+	// UpdateOrder lists original mode indices in update order.
+	UpdateOrder []int
+	// Compute fills out with the MTTKRP for UpdateOrder[pos], given the
+	// current factor matrices (indexed by original mode). out has shape
+	// Dims[UpdateOrder[pos]] × R and may contain stale data on entry.
+	Compute func(pos int, factors []*tensor.Matrix, out *tensor.Matrix)
+}
+
+// Options configures a CPD run.
+type Options struct {
+	// Rank is the number of decomposition components R.
+	Rank int
+	// MaxIters bounds the number of ALS iterations (default 50).
+	MaxIters int
+	// Tol stops the iteration when the fit improves by less than Tol
+	// (default 1e-5). Set negative to always run MaxIters.
+	Tol float64
+	// Seed seeds the random initial factors.
+	Seed int64
+	// NonNegative projects every factor update onto the non-negative
+	// orthant (projected ALS), the simple multiplicative-free variant of
+	// non-negative CPD. Useful for count data where negative loadings
+	// are uninterpretable.
+	NonNegative bool
+	// Regularization adds λ_reg·I to every normal-equation matrix V
+	// (ridge/Tikhonov), stabilising ill-conditioned updates at the cost
+	// of slightly biased factors.
+	Regularization float64
+	// TimeBudget stops the iteration after the first iteration that
+	// finishes past this wall-clock budget (0 = unlimited).
+	TimeBudget time.Duration
+	// InitialFactors warm-starts the iteration from the given factor
+	// matrices (cloned, indexed by mode) instead of random ones —
+	// e.g. to resume a checkpointed decomposition (see LoadKruskal).
+	InitialFactors []*tensor.Matrix
+}
+
+func (o *Options) fill() {
+	if o.MaxIters == 0 {
+		o.MaxIters = 50
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-5
+	}
+	if o.Rank <= 0 {
+		o.Rank = 16
+	}
+}
+
+// Result holds a completed decomposition.
+type Result struct {
+	// Factors are the final factor matrices with unit-normalised
+	// columns, indexed by original mode.
+	Factors []*tensor.Matrix
+	// Lambda holds the component weights absorbed during normalisation.
+	Lambda []float64
+	// Fits records the model fit (1 - relative residual) after each
+	// iteration.
+	Fits []float64
+	// Iters is the number of completed iterations.
+	Iters int
+	// Converged reports whether the fit tolerance was met before
+	// MaxIters.
+	Converged bool
+	// MTTKRPTime accumulates wall time spent inside Engine.Compute.
+	MTTKRPTime time.Duration
+	// ModeTime accumulates Engine.Compute wall time per original mode,
+	// across all iterations — the per-mode breakdown that exposes which
+	// MTTKRP dominates (e.g. the leaf-mode MTTV that motivates STeF2).
+	ModeTime []time.Duration
+}
+
+// FinalFit returns the fit after the last iteration (NaN if none ran).
+func (r *Result) FinalFit() float64 {
+	if len(r.Fits) == 0 {
+		return math.NaN()
+	}
+	return r.Fits[len(r.Fits)-1]
+}
+
+// Run executes CPD-ALS with the given engine. dims are the tensor's mode
+// lengths and normX its Frobenius norm (used for the fit).
+func Run(dims []int, normX float64, eng *Engine, opts Options) (*Result, error) {
+	opts.fill()
+	d := len(dims)
+	if err := tensor.CheckPerm(eng.UpdateOrder, d); err != nil {
+		return nil, fmt.Errorf("cpd: engine %q: %w", eng.Name, err)
+	}
+	r := opts.Rank
+	var factors []*tensor.Matrix
+	if opts.InitialFactors != nil {
+		if len(opts.InitialFactors) != d {
+			return nil, fmt.Errorf("cpd: %d initial factors for order-%d tensor", len(opts.InitialFactors), d)
+		}
+		factors = make([]*tensor.Matrix, d)
+		for m, f := range opts.InitialFactors {
+			if f.Rows != dims[m] || f.Cols != r {
+				return nil, fmt.Errorf("cpd: initial factor %d has shape %dx%d, want %dx%d", m, f.Rows, f.Cols, dims[m], r)
+			}
+			factors[m] = f.Clone()
+		}
+	} else {
+		factors = tensor.RandomFactors(dims, r, opts.Seed)
+	}
+	grams := make([]*tensor.Matrix, d)
+	for m := 0; m < d; m++ {
+		grams[m] = dense.Gram(factors[m], nil)
+	}
+	mttkrp := make([]*tensor.Matrix, d)
+	for m := 0; m < d; m++ {
+		mttkrp[m] = tensor.NewMatrix(dims[m], r)
+	}
+	lambda := make([]float64, r)
+	res := &Result{Factors: factors, Lambda: lambda, ModeTime: make([]time.Duration, d)}
+	lastMode := eng.UpdateOrder[d-1]
+	prevFit := math.Inf(-1)
+	deadline := time.Time{}
+	if opts.TimeBudget > 0 {
+		deadline = time.Now().Add(opts.TimeBudget)
+	}
+
+	for it := 0; it < opts.MaxIters; it++ {
+		for pos := 0; pos < d; pos++ {
+			m := eng.UpdateOrder[pos]
+			start := time.Now()
+			eng.Compute(pos, factors, mttkrp[m])
+			el := time.Since(start)
+			res.MTTKRPTime += el
+			res.ModeTime[m] += el
+
+			// V = Hadamard product of the other modes' Grams.
+			v := dense.Ones(r)
+			for mm := 0; mm < d; mm++ {
+				if mm != m {
+					dense.HadamardInto(v, grams[mm])
+				}
+			}
+			if opts.Regularization > 0 {
+				for p := 0; p < r; p++ {
+					v.Set(p, p, v.At(p, p)+opts.Regularization)
+				}
+			}
+			chol, err := dense.NewCholesky(v)
+			if err != nil {
+				return nil, fmt.Errorf("cpd: engine %q iteration %d mode %d: %w", eng.Name, it, m, err)
+			}
+			factors[m].CopyFrom(mttkrp[m])
+			chol.SolveRowsInPlace(factors[m])
+			if opts.NonNegative {
+				for i, v := range factors[m].Data {
+					if v < 0 {
+						factors[m].Data[i] = 0
+					}
+				}
+			}
+
+			var norms []float64
+			if it == 0 {
+				norms = dense.NormalizeColumns(factors[m])
+			} else {
+				norms = dense.NormalizeColumnsMax(factors[m])
+			}
+			copy(lambda, norms)
+			dense.Gram(factors[m], grams[m])
+		}
+
+		fit := computeFit(normX, factors, grams, lambda, mttkrp[lastMode], lastMode)
+		res.Fits = append(res.Fits, fit)
+		res.Iters = it + 1
+		if math.Abs(fit-prevFit) < opts.Tol {
+			res.Converged = true
+			break
+		}
+		prevFit = fit
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+	}
+	return res, nil
+}
+
+// computeFit evaluates 1 - ||X - model||_F / ||X||_F using the standard
+// identity: ||X - M||² = ||X||² + ||M||² - 2<X, M>, where <X, M> is
+// recovered from the last MTTKRP result (already available) and ||M||² from
+// the Gram matrices and lambda.
+func computeFit(normX float64, factors []*tensor.Matrix, grams []*tensor.Matrix, lambda []float64, lastMTTKRP *tensor.Matrix, lastMode int) float64 {
+	r := len(lambda)
+	// ||M||² = λᵀ (G_0 ⊙ G_1 ⊙ ... ⊙ G_{d-1}) λ
+	g := dense.Ones(r)
+	for _, gm := range grams {
+		dense.HadamardInto(g, gm)
+	}
+	normM2 := 0.0
+	for p := 0; p < r; p++ {
+		row := g.Row(p)
+		for q := 0; q < r; q++ {
+			normM2 += lambda[p] * lambda[q] * row[q]
+		}
+	}
+	// <X, M> = Σ_{i,p} MTTKRP_last[i,p] · A_last[i,p] · λ[p]
+	inner := 0.0
+	a := factors[lastMode]
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		mr := lastMTTKRP.Row(i)
+		for p := 0; p < r; p++ {
+			inner += mr[p] * ar[p] * lambda[p]
+		}
+	}
+	resid2 := normX*normX + normM2 - 2*inner
+	if resid2 < 0 {
+		resid2 = 0
+	}
+	if normX == 0 {
+		return 1
+	}
+	return 1 - math.Sqrt(resid2)/normX
+}
+
+// NaiveEngine returns a correctness-first engine that computes every MTTKRP
+// straight from the COO tensor (no CSF, no memoization, no parallelism).
+// It is the ground truth for engine equivalence tests.
+func NaiveEngine(t *tensor.Tensor) *Engine {
+	d := t.Order()
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	return &Engine{
+		Name:        "naive",
+		UpdateOrder: order,
+		Compute: func(pos int, factors []*tensor.Matrix, out *tensor.Matrix) {
+			ref := kernels.Reference(t, factors, pos)
+			out.CopyFrom(ref)
+		},
+	}
+}

@@ -1,0 +1,190 @@
+package cpd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"stef/internal/tensor"
+)
+
+// Predict evaluates the Kruskal model at one coordinate:
+// Σ_r λ_r · Π_m A^(m)[coord[m], r].
+func (r *Result) Predict(coord []int32) float64 {
+	if len(coord) != len(r.Factors) {
+		panic(fmt.Sprintf("cpd: coordinate arity %d, want %d", len(coord), len(r.Factors)))
+	}
+	rank := len(r.Lambda)
+	v := 0.0
+	for p := 0; p < rank; p++ {
+		term := r.Lambda[p]
+		for m, f := range r.Factors {
+			term *= f.At(int(coord[m]), p)
+		}
+		v += term
+	}
+	return v
+}
+
+// RMSE returns the root-mean-square prediction error of the model over the
+// tensor's stored non-zeros. Note that for sparse CPD the zeros are part of
+// the objective too; RMSE over non-zeros is the conventional held-in
+// recommendation-quality metric, not the ALS loss.
+func (r *Result) RMSE(t *tensor.Tensor) float64 {
+	nnz := t.NNZ()
+	if nnz == 0 {
+		return 0
+	}
+	sum := 0.0
+	for k := 0; k < nnz; k++ {
+		diff := r.Predict(t.Coord(k)) - t.Vals[k]
+		sum += diff * diff
+	}
+	return sqrtf(sum / float64(nnz))
+}
+
+func sqrtf(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// WriteKruskal serialises the decomposition in a simple text format:
+//
+//	ktensor <d> <R>
+//	lambda: R values
+//	mode <m> <rows> followed by rows lines of R values each
+//
+// It round-trips with ReadKruskal.
+func WriteKruskal(w io.Writer, r *Result) error {
+	bw := bufio.NewWriter(w)
+	d := len(r.Factors)
+	rank := len(r.Lambda)
+	fmt.Fprintf(bw, "ktensor %d %d\n", d, rank)
+	for p, l := range r.Lambda {
+		if p > 0 {
+			fmt.Fprint(bw, " ")
+		}
+		fmt.Fprintf(bw, "%.17g", l)
+	}
+	fmt.Fprintln(bw)
+	for m, f := range r.Factors {
+		fmt.Fprintf(bw, "mode %d %d\n", m, f.Rows)
+		for i := 0; i < f.Rows; i++ {
+			row := f.Row(i)
+			for j, v := range row {
+				if j > 0 {
+					fmt.Fprint(bw, " ")
+				}
+				fmt.Fprintf(bw, "%.17g", v)
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadKruskal parses the format written by WriteKruskal.
+func ReadKruskal(r io.Reader) (*Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	readLine := func() (string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line != "" {
+				return line, nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	header, err := readLine()
+	if err != nil {
+		return nil, fmt.Errorf("cpd: read header: %w", err)
+	}
+	var d, rank int
+	if _, err := fmt.Sscanf(header, "ktensor %d %d", &d, &rank); err != nil {
+		return nil, fmt.Errorf("cpd: bad header %q", header)
+	}
+	if d < 1 || rank < 1 {
+		return nil, fmt.Errorf("cpd: invalid shape %dx%d", d, rank)
+	}
+	parseRow := func(line string, want int) ([]float64, error) {
+		fields := strings.Fields(line)
+		if len(fields) != want {
+			return nil, fmt.Errorf("cpd: row has %d values, want %d", len(fields), want)
+		}
+		out := make([]float64, want)
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cpd: bad value %q", f)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	lline, err := readLine()
+	if err != nil {
+		return nil, fmt.Errorf("cpd: read lambda: %w", err)
+	}
+	lambda, err := parseRow(lline, rank)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Lambda: lambda, Factors: make([]*tensor.Matrix, d)}
+	for m := 0; m < d; m++ {
+		mh, err := readLine()
+		if err != nil {
+			return nil, fmt.Errorf("cpd: read mode %d header: %w", m, err)
+		}
+		var gotM, rows int
+		if _, err := fmt.Sscanf(mh, "mode %d %d", &gotM, &rows); err != nil || gotM != m {
+			return nil, fmt.Errorf("cpd: bad mode header %q", mh)
+		}
+		f := tensor.NewMatrix(rows, rank)
+		for i := 0; i < rows; i++ {
+			line, err := readLine()
+			if err != nil {
+				return nil, fmt.Errorf("cpd: read mode %d row %d: %w", m, i, err)
+			}
+			row, err := parseRow(line, rank)
+			if err != nil {
+				return nil, err
+			}
+			copy(f.Row(i), row)
+		}
+		res.Factors[m] = f
+	}
+	return res, nil
+}
+
+// SaveKruskal writes the decomposition to a file.
+func SaveKruskal(path string, r *Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteKruskal(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadKruskal reads a decomposition from a file.
+func LoadKruskal(path string) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadKruskal(bufio.NewReader(f))
+}

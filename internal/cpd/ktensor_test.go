@@ -1,0 +1,146 @@
+package cpd
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stef/internal/tensor"
+)
+
+func sampleResult() *Result {
+	factors := tensor.RandomFactors([]int{4, 5, 3}, 2, 7)
+	return &Result{Factors: factors, Lambda: []float64{2.5, 0.5}}
+}
+
+func TestPredictMatchesExplicitSum(t *testing.T) {
+	r := sampleResult()
+	coord := []int32{3, 1, 2}
+	want := 0.0
+	for p := 0; p < 2; p++ {
+		want += r.Lambda[p] * r.Factors[0].At(3, p) * r.Factors[1].At(1, p) * r.Factors[2].At(2, p)
+	}
+	if got := r.Predict(coord); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Predict = %g, want %g", got, want)
+	}
+}
+
+func TestPredictArityPanics(t *testing.T) {
+	r := sampleResult()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Predict([]int32{0, 0})
+}
+
+func TestKruskalRoundTrip(t *testing.T) {
+	r := sampleResult()
+	var buf bytes.Buffer
+	if err := WriteKruskal(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadKruskal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Lambda) != 2 || back.Lambda[0] != 2.5 {
+		t.Fatalf("lambda %v", back.Lambda)
+	}
+	for m := range r.Factors {
+		if d := back.Factors[m].MaxAbsDiff(r.Factors[m]); d != 0 {
+			t.Fatalf("mode %d differs by %g", m, d)
+		}
+	}
+}
+
+func TestKruskalFileRoundTrip(t *testing.T) {
+	r := sampleResult()
+	path := filepath.Join(t.TempDir(), "k.txt")
+	if err := SaveKruskal(path, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadKruskal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Predict([]int32{0, 0, 0}) != r.Predict([]int32{0, 0, 0}) {
+		t.Fatal("prediction changed after round trip")
+	}
+}
+
+func TestReadKruskalErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "nonsense 3 2\n",
+		"short lambda": "ktensor 2 3\n1 2\n",
+		"bad mode":     "ktensor 1 1\n1\nmode 9 2\n1\n1\n",
+		"missing rows": "ktensor 1 2\n1 1\nmode 0 3\n1 2\n",
+		"bad value":    "ktensor 1 1\nx\nmode 0 1\n1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadKruskal(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	r := sampleResult()
+	tt := tensor.New([]int{4, 5, 3}, 2)
+	tt.Append([]int32{0, 0, 0}, r.Predict([]int32{0, 0, 0}))
+	tt.Append([]int32{1, 2, 1}, r.Predict([]int32{1, 2, 1})+3)
+	// One exact entry, one off by 3: RMSE = 3/sqrt(2).
+	if got, want := r.RMSE(tt), 3/math.Sqrt2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMSE = %g, want %g", got, want)
+	}
+	empty := tensor.New([]int{4, 5, 3}, 0)
+	if r.RMSE(empty) != 0 {
+		t.Fatal("empty-tensor RMSE not 0")
+	}
+}
+
+func TestNonNegativeCPD(t *testing.T) {
+	tt := rankKTensor([]int{6, 5, 4}, 2, 31) // built from positive factors
+	res, err := Run(tt.Dims, tt.NormFrobenius(), NaiveEngine(tt),
+		Options{Rank: 3, MaxIters: 40, Tol: 1e-8, Seed: 3, NonNegative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m, f := range res.Factors {
+		for _, v := range f.Data {
+			if v < 0 {
+				t.Fatalf("mode %d has negative loading %g", m, v)
+			}
+		}
+	}
+	if res.FinalFit() < 0.95 {
+		t.Fatalf("non-negative fit %.4f too low on a non-negative rank-2 tensor", res.FinalFit())
+	}
+}
+
+// TestPredictAfterDecompose: decomposing an exactly low-rank tensor must
+// predict held-in entries accurately.
+func TestPredictAfterDecompose(t *testing.T) {
+	tt := rankKTensor([]int{6, 5, 4}, 2, 21)
+	res, err := Run(tt.Dims, tt.NormFrobenius(), NaiveEngine(tt), Options{Rank: 2, MaxIters: 80, Tol: 1e-11, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalFit() < 0.999 {
+		t.Skipf("ALS landed in a poor local optimum (fit %.4f); prediction check not meaningful", res.FinalFit())
+	}
+	worst := 0.0
+	for k := 0; k < tt.NNZ(); k++ {
+		got := res.Predict(tt.Coord(k))
+		if diff := math.Abs(got - tt.Vals[k]); diff > worst {
+			worst = diff
+		}
+	}
+	if worst > 1e-2*tt.NormFrobenius() {
+		t.Fatalf("worst prediction error %g too large", worst)
+	}
+}

@@ -1,0 +1,39 @@
+package csf_test
+
+import (
+	"fmt"
+
+	"stef/internal/csf"
+	"stef/internal/tensor"
+)
+
+// ExampleBuild constructs a CSF tree for a tiny tensor and prints its
+// per-level fiber counts.
+func ExampleBuild() {
+	t := tensor.New([]int{2, 3, 4}, 4)
+	t.Append([]int32{0, 0, 0}, 1)
+	t.Append([]int32{0, 0, 3}, 2)
+	t.Append([]int32{0, 2, 1}, 3)
+	t.Append([]int32{1, 1, 1}, 4)
+	tree := csf.Build(t, []int{0, 1, 2})
+	fmt.Println("fibers per level:", tree.FiberCounts())
+	fmt.Println("nnz:", tree.NNZ())
+	// Output:
+	// fibers per level: [2 3 4]
+	// nnz: 4
+}
+
+// ExampleTree_CountSwappedFibers shows Algorithm 9: counting the fibers the
+// swapped layout would have, without building it.
+func ExampleTree_CountSwappedFibers() {
+	t := tensor.New([]int{2, 2, 3}, 4)
+	t.Append([]int32{0, 0, 0}, 1)
+	t.Append([]int32{0, 0, 1}, 1)
+	t.Append([]int32{0, 1, 0}, 1)
+	t.Append([]int32{1, 1, 2}, 1)
+	tree := csf.Build(t, []int{0, 1, 2})
+	// Original level-1 fibers: (0,0), (0,1), (1,1) → 3.
+	// Swapped (i, k) pairs: (0,0), (0,1), (1,2) → 3.
+	fmt.Println(tree.NumFibers(1), tree.CountSwappedFibers(2))
+	// Output: 3 3
+}

@@ -1,0 +1,173 @@
+package csf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary serialisation of CSF trees. Building a CSF costs a full sort of
+// the non-zeros; production runs over large tensors cache the built tree on
+// disk and reload it per experiment. The format is little-endian:
+//
+//	magic "CSF1" | uint32 d | d×int64 dims | d×int64 perm
+//	per level l: int64 count, count×int32 fids,
+//	             (l < d-1) (count+1)×int64 ptr
+//	int64 nnz, nnz×float64 vals
+const magic = "CSF1"
+
+// WriteTo serialises the tree. It returns the number of bytes written.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var n int64
+	write := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(magic); err != nil {
+		return n, err
+	}
+	n += int64(len(magic))
+	d := t.Order()
+	if err := write(uint32(d)); err != nil {
+		return n, err
+	}
+	for _, x := range t.Dims {
+		if err := write(int64(x)); err != nil {
+			return n, err
+		}
+	}
+	for _, x := range t.Perm {
+		if err := write(int64(x)); err != nil {
+			return n, err
+		}
+	}
+	for l := 0; l < d; l++ {
+		if err := write(int64(len(t.Fids[l]))); err != nil {
+			return n, err
+		}
+		if err := write(t.Fids[l]); err != nil {
+			return n, err
+		}
+		if l < d-1 {
+			if err := write(t.Ptr[l]); err != nil {
+				return n, err
+			}
+		}
+	}
+	if err := write(int64(len(t.Vals))); err != nil {
+		return n, err
+	}
+	if err := write(t.Vals); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserialises a tree written by WriteTo and validates it.
+func ReadFrom(r io.Reader) (*Tree, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("csf: read magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("csf: bad magic %q", head)
+	}
+	read := func(v interface{}) error { return binary.Read(br, binary.LittleEndian, v) }
+	var d32 uint32
+	if err := read(&d32); err != nil {
+		return nil, fmt.Errorf("csf: read order: %w", err)
+	}
+	d := int(d32)
+	if d < 2 || d > 64 {
+		return nil, fmt.Errorf("csf: implausible order %d", d)
+	}
+	t := &Tree{
+		Dims: make([]int, d),
+		Perm: make([]int, d),
+		Fids: make([][]int32, d),
+		Ptr:  make([][]int64, d),
+	}
+	readInt := func(dst *int) error {
+		var x int64
+		if err := read(&x); err != nil {
+			return err
+		}
+		*dst = int(x)
+		return nil
+	}
+	for l := 0; l < d; l++ {
+		if err := readInt(&t.Dims[l]); err != nil {
+			return nil, fmt.Errorf("csf: read dims: %w", err)
+		}
+	}
+	for l := 0; l < d; l++ {
+		if err := readInt(&t.Perm[l]); err != nil {
+			return nil, fmt.Errorf("csf: read perm: %w", err)
+		}
+	}
+	const maxCount = 1 << 40 // sanity bound against corrupt headers
+	for l := 0; l < d; l++ {
+		var count int64
+		if err := read(&count); err != nil {
+			return nil, fmt.Errorf("csf: read level %d count: %w", l, err)
+		}
+		if count < 0 || count > maxCount {
+			return nil, fmt.Errorf("csf: implausible level %d count %d", l, count)
+		}
+		t.Fids[l] = make([]int32, count)
+		if err := read(t.Fids[l]); err != nil {
+			return nil, fmt.Errorf("csf: read level %d fids: %w", l, err)
+		}
+		if l < d-1 {
+			t.Ptr[l] = make([]int64, count+1)
+			if err := read(t.Ptr[l]); err != nil {
+				return nil, fmt.Errorf("csf: read level %d ptr: %w", l, err)
+			}
+		}
+	}
+	var nnz int64
+	if err := read(&nnz); err != nil {
+		return nil, fmt.Errorf("csf: read nnz: %w", err)
+	}
+	if nnz < 0 || nnz > maxCount {
+		return nil, fmt.Errorf("csf: implausible nnz %d", nnz)
+	}
+	t.Vals = make([]float64, nnz)
+	if err := read(t.Vals); err != nil {
+		return nil, fmt.Errorf("csf: read vals: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("csf: deserialised tree invalid: %w", err)
+	}
+	return t, nil
+}
+
+// SaveFile writes the tree to a file.
+func (t *Tree) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a tree from a file.
+func LoadFile(path string) (*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}

@@ -1,0 +1,51 @@
+package csf
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// LevelStats summarises one CSF level for diagnostics and tooling.
+type LevelStats struct {
+	// Level is the depth (0 = root).
+	Level int
+	// Mode is the original tensor mode stored at this level.
+	Mode int
+	// Dim is the mode length.
+	Dim int
+	// Fibers is the node count m_l.
+	Fibers int
+	// AvgFiberLen is Fibers(level+1)/Fibers(level); 0 at the leaf.
+	AvgFiberLen float64
+	// MaxFiberLen is the largest child count of any node (0 at the leaf).
+	MaxFiberLen int64
+}
+
+// Stats returns per-level statistics, root to leaf.
+func (t *Tree) Stats() []LevelStats {
+	d := t.Order()
+	out := make([]LevelStats, d)
+	for l := 0; l < d; l++ {
+		s := LevelStats{Level: l, Mode: t.Perm[l], Dim: t.Dims[l], Fibers: t.NumFibers(l)}
+		if l < d-1 {
+			s.AvgFiberLen = t.AvgFiberLen(l)
+			for n := 0; n < t.NumFibers(l); n++ {
+				if c := t.Ptr[l][n+1] - t.Ptr[l][n]; c > s.MaxFiberLen {
+					s.MaxFiberLen = c
+				}
+			}
+		}
+		out[l] = s
+	}
+	return out
+}
+
+// WriteStats renders the per-level statistics as a small table.
+func (t *Tree) WriteStats(w io.Writer) {
+	fmt.Fprintf(w, "%-6s %-5s %-10s %-10s %-10s %-10s\n", "level", "mode", "dim", "fibers", "avglen", "maxlen")
+	fmt.Fprintln(w, strings.Repeat("-", 56))
+	for _, s := range t.Stats() {
+		fmt.Fprintf(w, "%-6d %-5d %-10d %-10d %-10.2f %-10d\n", s.Level, s.Mode, s.Dim, s.Fibers, s.AvgFiberLen, s.MaxFiberLen)
+	}
+}

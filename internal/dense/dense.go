@@ -1,0 +1,247 @@
+// Package dense provides the small dense linear-algebra kernels CPD-ALS
+// needs around the sparse MTTKRP: Gram matrices, Hadamard products,
+// symmetric positive-definite solves and column normalisation. All matrices
+// are tensor.Matrix values (row-major).
+package dense
+
+import (
+	"fmt"
+	"math"
+
+	"stef/internal/tensor"
+)
+
+// Gram computes A'A into out (R×R where R = A.Cols). If out is nil a new
+// matrix is allocated. It returns out.
+func Gram(a *tensor.Matrix, out *tensor.Matrix) *tensor.Matrix {
+	r := a.Cols
+	if out == nil {
+		out = tensor.NewMatrix(r, r)
+	}
+	if out.Rows != r || out.Cols != r {
+		panic(fmt.Sprintf("dense: Gram output shape %dx%d, want %dx%d", out.Rows, out.Cols, r, r))
+	}
+	out.Zero()
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for p := 0; p < r; p++ {
+			vp := row[p]
+			if vp == 0 {
+				continue
+			}
+			orow := out.Row(p)
+			for q := p; q < r; q++ {
+				orow[q] += vp * row[q]
+			}
+		}
+	}
+	// Mirror the upper triangle.
+	for p := 0; p < r; p++ {
+		for q := p + 1; q < r; q++ {
+			out.Set(q, p, out.At(p, q))
+		}
+	}
+	return out
+}
+
+// HadamardInto multiplies dst elementwise by src. Shapes must match.
+func HadamardInto(dst, src *tensor.Matrix) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("dense: Hadamard shape mismatch %dx%d vs %dx%d", dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	for i := range dst.Data {
+		dst.Data[i] *= src.Data[i]
+	}
+}
+
+// Ones returns an n×n matrix of ones, the identity element of the Hadamard
+// product used when accumulating Gram matrices across modes.
+func Ones(n int) *tensor.Matrix {
+	m := tensor.NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = 1
+	}
+	return m
+}
+
+// MatMul computes C = A·B with fresh allocation; used by tests and by the
+// CPD fit computation. Shapes: (m×k)·(k×n) → m×n.
+func MatMul(a, b *tensor.Matrix) *tensor.Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("dense: MatMul inner dims %d vs %d", a.Cols, b.Rows))
+	}
+	c := tensor.NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			v := arow[k]
+			if v == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range crow {
+				crow[j] += v * brow[j]
+			}
+		}
+	}
+	return c
+}
+
+// Cholesky holds the lower-triangular factor of a symmetric
+// positive-definite matrix, for repeated right-hand-side solves.
+type Cholesky struct {
+	n int
+	l []float64 // row-major lower triangle (full storage)
+}
+
+// NewCholesky factors the symmetric matrix v, adding an escalating diagonal
+// jitter if v is only positive semi-definite (which happens in CPD when
+// factor columns become linearly dependent). It fails only if v contains
+// non-finite entries or jitter escalation exhausts its budget.
+func NewCholesky(v *tensor.Matrix) (*Cholesky, error) {
+	if v.Rows != v.Cols {
+		return nil, fmt.Errorf("dense: Cholesky of non-square %dx%d", v.Rows, v.Cols)
+	}
+	n := v.Rows
+	maxDiag := 0.0
+	for i := 0; i < n; i++ {
+		d := math.Abs(v.At(i, i))
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return nil, fmt.Errorf("dense: Cholesky input has non-finite diagonal")
+		}
+		if d > maxDiag {
+			maxDiag = d
+		}
+	}
+	if maxDiag == 0 {
+		maxDiag = 1
+	}
+	jitter := 0.0
+	for attempt := 0; attempt < 40; attempt++ {
+		l := make([]float64, n*n)
+		ok := true
+	factor:
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				sum := v.At(i, j)
+				if i == j {
+					sum += jitter
+				}
+				for k := 0; k < j; k++ {
+					sum -= l[i*n+k] * l[j*n+k]
+				}
+				if i == j {
+					if sum <= 0 || math.IsNaN(sum) {
+						ok = false
+						break factor
+					}
+					l[i*n+i] = math.Sqrt(sum)
+				} else {
+					l[i*n+j] = sum / l[j*n+j]
+				}
+			}
+		}
+		if ok {
+			return &Cholesky{n: n, l: l}, nil
+		}
+		if jitter == 0 {
+			jitter = 1e-12 * maxDiag
+		} else {
+			jitter *= 10
+		}
+	}
+	return nil, fmt.Errorf("dense: Cholesky failed even with jitter")
+}
+
+// SolveVec solves V·x = b in place (b becomes x). len(b) must equal the
+// factored dimension.
+func (c *Cholesky) SolveVec(b []float64) {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("dense: SolveVec length %d, want %d", len(b), c.n))
+	}
+	n, l := c.n, c.l
+	// Forward substitution L·y = b.
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i*n+k] * b[k]
+		}
+		b[i] = sum / l[i*n+i]
+	}
+	// Back substitution Lᵀ·x = y.
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k*n+i] * b[k]
+		}
+		b[i] = sum / l[i*n+i]
+	}
+}
+
+// SolveRowsInPlace overwrites each row b of m with the solution x of
+// V·x = b, i.e. computes M·V⁻¹ for symmetric V. This is the factor-matrix
+// update step of CPD-ALS (Algorithm 2, lines 3/6/9/12).
+func (c *Cholesky) SolveRowsInPlace(m *tensor.Matrix) {
+	if m.Cols != c.n {
+		panic(fmt.Sprintf("dense: SolveRowsInPlace cols %d, want %d", m.Cols, c.n))
+	}
+	for i := 0; i < m.Rows; i++ {
+		c.SolveVec(m.Row(i))
+	}
+}
+
+// NormalizeColumns scales each column of a to unit 2-norm and returns the
+// norms. Zero columns get norm 1 and are left untouched, which keeps the
+// ALS iteration well-defined when a factor column dies.
+func NormalizeColumns(a *tensor.Matrix) []float64 {
+	r := a.Cols
+	norms := make([]float64, r)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			norms[j] += v * v
+		}
+	}
+	for j := range norms {
+		norms[j] = math.Sqrt(norms[j])
+		if norms[j] == 0 {
+			norms[j] = 1
+		}
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j := range row {
+			row[j] /= norms[j]
+		}
+	}
+	return norms
+}
+
+// NormalizeColumnsMax scales each column by its max absolute value when that
+// value exceeds 1 (the SPLATT convention for iterations after the first,
+// which avoids shrinking factors toward zero). Returns the scaling factors.
+func NormalizeColumnsMax(a *tensor.Matrix) []float64 {
+	r := a.Cols
+	norms := make([]float64, r)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			if av := math.Abs(v); av > norms[j] {
+				norms[j] = av
+			}
+		}
+	}
+	for j := range norms {
+		if norms[j] < 1 {
+			norms[j] = 1
+		}
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j := range row {
+			row[j] /= norms[j]
+		}
+	}
+	return norms
+}

@@ -1,0 +1,141 @@
+package dtree
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"stef/internal/cpd"
+	"stef/internal/kernels"
+	"stef/internal/tensor"
+)
+
+func TestDTreeMatchesReferenceStatic(t *testing.T) {
+	for _, dims := range [][]int{{7, 9, 11}, {6, 5, 9, 8}, {3, 4, 5, 6, 4}, {4, 6}} {
+		nnz := 300
+		if space := product(dims); nnz > space {
+			nnz = space / 2
+		}
+		tt := tensor.Random(dims, nnz, nil, 5)
+		const rank = 4
+		factors := tensor.RandomFactors(tt.Dims, rank, 2)
+		for _, threads := range []int{1, 3} {
+			eng, err := NewEngine(tt, Options{Rank: rank, Threads: threads})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pos := 0; pos < tt.Order(); pos++ {
+				m := eng.UpdateOrder[pos]
+				got := tensor.NewMatrix(tt.Dims[m], rank)
+				eng.Compute(pos, factors, got)
+				want := kernels.Reference(tt, factors, m)
+				if diff := got.MaxAbsDiff(want); diff > 1e-9*(1+want.NormFrobenius()) {
+					t.Errorf("dims=%v T=%d mode %d: diff %g", dims, threads, m, diff)
+				}
+			}
+		}
+	}
+}
+
+// TestDTreeWithFactorUpdates is the critical cache-invalidation test: the
+// engine must track which factors each cached partial used, across two full
+// ALS-style iterations with updates after every mode.
+func TestDTreeWithFactorUpdates(t *testing.T) {
+	tt := tensor.Random([]int{8, 10, 12, 6}, 400, nil, 13)
+	const rank = 3
+	d := tt.Order()
+	eng, err := NewEngine(tt, Options{Rank: rank, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factors := tensor.RandomFactors(tt.Dims, rank, 99)
+	for iter := 0; iter < 2; iter++ {
+		for pos := 0; pos < d; pos++ {
+			m := eng.UpdateOrder[pos]
+			got := tensor.NewMatrix(tt.Dims[m], rank)
+			eng.Compute(pos, factors, got)
+			want := kernels.Reference(tt, factors, m)
+			if diff := got.MaxAbsDiff(want); diff > 1e-9*(1+want.NormFrobenius()) {
+				t.Fatalf("iter %d mode %d: diff %g (stale cached partial?)", iter, m, diff)
+			}
+			for i := range factors[m].Data {
+				factors[m].Data[i] = math.Mod(factors[m].Data[i]*1.7+0.3, 1.0)
+			}
+		}
+	}
+}
+
+func TestDTreeFullCPD(t *testing.T) {
+	tt := tensor.Random([]int{10, 15, 20}, 500, nil, 3)
+	normX := tt.NormFrobenius()
+	opts := cpd.Options{Rank: 4, MaxIters: 8, Tol: -1, Seed: 42}
+	naive, err := cpd.Run(tt.Dims, normX, cpd.NaiveEngine(tt), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(tt, Options{Rank: 4, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cpd.Run(tt.Dims, normX, eng, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical update order and seed: trajectories must match closely.
+	if math.Abs(res.FinalFit()-naive.FinalFit()) > 1e-9 {
+		t.Fatalf("dtree fit %.8f vs naive %.8f", res.FinalFit(), naive.FinalFit())
+	}
+}
+
+// TestDTreeReuseCount checks the engine actually reuses cached partials:
+// a second iteration must not recompute everything from the raw tensor.
+func TestDTreeReuseCount(t *testing.T) {
+	tt := tensor.Random([]int{6, 7, 8, 9}, 300, nil, 4)
+	eng, err := NewEngine(tt, Options{Rank: 3, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factors := tensor.RandomFactors(tt.Dims, 3, 1)
+	outs := make([]*tensor.Matrix, 4)
+	for m := range outs {
+		outs[m] = tensor.NewMatrix(tt.Dims[m], 3)
+	}
+	// First sweep without factor updates...
+	for pos := 0; pos < 4; pos++ {
+		eng.Compute(pos, factors, outs[pos])
+	}
+	first := make([]*tensor.Matrix, 4)
+	for m := range first {
+		first[m] = outs[m].Clone()
+	}
+	// ...and a second sweep, still without updates: identical results.
+	for pos := 0; pos < 4; pos++ {
+		eng.Compute(pos, factors, outs[pos])
+		if diff := outs[pos].MaxAbsDiff(first[pos]); diff != 0 {
+			t.Fatalf("pos %d changed across idempotent sweeps by %g", pos, diff)
+		}
+	}
+}
+
+func product(xs []int) int {
+	p := 1
+	for _, x := range xs {
+		p *= x
+	}
+	return p
+}
+
+func TestDTreeRejectsOrder1(t *testing.T) {
+	tt := tensor.New([]int{5}, 1)
+	tt.Append([]int32{2}, 1)
+	if _, err := NewEngine(tt, Options{Rank: 2}); err == nil {
+		t.Fatal("order-1 tensor accepted")
+	}
+}
+
+func ExampleNewEngine() {
+	tt := tensor.Random([]int{5, 6, 7}, 50, nil, 1)
+	eng, _ := NewEngine(tt, Options{Rank: 3, Threads: 1})
+	fmt.Println(eng.Name, eng.UpdateOrder)
+	// Output: dtree [0 1 2]
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestModeledFiguresDeterministic: the modeled makespans are exact counts,
+// so repeated runs must produce byte-identical tables — the property that
+// lets EXPERIMENTS.md quote them as reproducible on any host.
+func TestModeledFiguresDeterministic(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		s := tinySuite(&buf, "uber", "vast-2015-mc1-3d")
+		if _, err := s.Fig34Modeled("det", 18); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("modeled figure not deterministic:\n%s\n---\n%s", a, b)
+	}
+}

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stef/internal/tensor"
+)
+
+// tinySuite runs the harness on heavily scaled-down tensors so the full
+// pipeline is exercised in unit-test time.
+func tinySuite(out *bytes.Buffer, tensors ...string) *Suite {
+	return NewSuite(Options{
+		Ranks:   []int{8},
+		Threads: 2,
+		Reps:    1,
+		Scale:   0.02, // ~2k-6k nnz per tensor
+		Tensors: tensors,
+		Out:     out,
+	})
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySuite(&buf, "uber", "vast-2015-mc1-3d")
+	if err := s.Table1(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"uber", "vast-2015-mc1-3d", "rootslices"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig34MeasuredAndModeled(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySuite(&buf, "uber", "nips")
+	rows, err := s.Fig34("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, row := range rows {
+		if sp := row.Speedups["splatt-all"]; sp != 1.0 {
+			t.Errorf("%s: splatt-all speedup vs itself = %g", row.Tensor, sp)
+		}
+		for name, sp := range row.Speedups {
+			if sp <= 0 {
+				t.Errorf("%s/%s: non-positive speedup %g", row.Tensor, name, sp)
+			}
+		}
+	}
+	mrows, err := s.Fig34Modeled("test-modeled", 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range mrows {
+		if sp := row.Speedups["splatt-all"]; sp != 1.0 {
+			t.Errorf("modeled %s: splatt-all speedup vs itself = %g", row.Tensor, sp)
+		}
+	}
+	if !strings.Contains(buf.String(), "geomean") {
+		t.Error("output missing geomean row")
+	}
+}
+
+func TestFig5(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySuite(&buf, "uber")
+	rows, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Preprocess <= 0 || rows[0].Iteration <= 0 {
+		t.Errorf("non-positive timings: %+v", rows[0])
+	}
+}
+
+func TestTable2(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySuite(&buf, "uber", "nell-2")
+	rows, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2 (2 tensors × 1 rank)", len(rows))
+	}
+	for _, r := range rows {
+		if r.CSFPlusFactorsBytes <= 0 {
+			t.Errorf("%s: no base bytes", r.Tensor)
+		}
+		if r.MemoBytes < 0 || r.Ratio < 0 {
+			t.Errorf("%s: negative accounting", r.Tensor)
+		}
+	}
+}
+
+func TestFig6(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySuite(&buf, "vast-2015-mc1-3d")
+	rows, err := s.Fig6(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 4 variants × 1 tensor
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Pct <= 0 {
+			t.Errorf("variant %s: non-positive pct %g", r.Variant, r.Pct)
+		}
+	}
+}
+
+func TestWorkDistReport(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySuite(&buf, "vast-2015-mc1-3d")
+	if err := s.WorkDistReport(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "balanced-imb%") {
+		t.Error("work distribution report incomplete")
+	}
+}
+
+func TestModeledMakespanAllEngines(t *testing.T) {
+	tt := tensor.Random([]int{5, 40, 60, 8}, 2000, []float64{1.5, 0, 0, 0}, 3)
+	for _, name := range []string{"splatt-1", "splatt-2", "splatt-all", "adatm", "alto", "taco", "stef", "stef2"} {
+		ms, err := ModeledMakespan(name, tt, 16, 16, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ms <= 0 {
+			t.Errorf("%s: non-positive makespan %d", name, ms)
+		}
+	}
+	if _, err := ModeledMakespan("bogus", tt, 4, 8, 0); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+// TestModeledMakespanBalancedBeatsSliceOnVast asserts the load-balancing
+// claim itself: on a 2-root-slice tensor, STeF's modeled makespan must be
+// far below splatt-all's at high thread counts.
+func TestModeledMakespanBalancedBeatsSliceOnVast(t *testing.T) {
+	p, err := tensor.ProfileByName("vast-2015-mc1-3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.NNZ = 20000
+	tt := p.Generate()
+	splatt, err := ModeledMakespan("splatt-all", tt, 18, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stef, err := ModeledMakespan("stef", tt, 18, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(stef) > 0.5*float64(splatt) {
+		t.Errorf("stef makespan %d not well below splatt-all %d on the 2-slice tensor", stef, splatt)
+	}
+}
+
+func TestThreadScaling(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySuite(&buf, "vast-2015-mc1-3d")
+	if err := s.ThreadScaling(nil, []int{1, 4, 16}, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "strong scaling") || !strings.Contains(out, "stef") {
+		t.Fatalf("scaling output incomplete:\n%s", out)
+	}
+	// The 2-root-slice tensor must show slice-based saturation well below
+	// balanced scaling at T=16.
+	if err := s.ThreadScaling([]string{"bogus"}, []int{1}, 8); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestCPDCheck(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySuite(&buf, "uber")
+	rows, err := s.CPDCheck(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 8 engines × 1 tensor
+		t.Fatalf("%d rows", len(rows))
+	}
+	base := rows[0].Fit
+	for _, r := range rows {
+		if r.Fit <= 0 {
+			t.Errorf("%s: non-positive fit %g", r.Engine, r.Fit)
+		}
+		if r.Fit < base-0.05 || r.Fit > base+0.05 {
+			t.Errorf("%s: fit %g far from %s's %g", r.Engine, r.Fit, rows[0].Engine, base)
+		}
+	}
+}
+
+func TestModelAccuracy(t *testing.T) {
+	var buf bytes.Buffer
+	s := tinySuite(&buf, "uber")
+	rows, err := s.ModelAccuracy(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	r := rows[0]
+	if r.Configs != 8 { // 4D: 4 save subsets × 2 layouts
+		t.Errorf("configs %d, want 8", r.Configs)
+	}
+	if r.Tau < -1 || r.Tau > 1 {
+		t.Errorf("tau %g out of range", r.Tau)
+	}
+	if r.RegretPct < 0 {
+		t.Errorf("negative regret %g", r.RegretPct)
+	}
+	if !strings.Contains(buf.String(), "kendall-tau") {
+		t.Error("missing output table")
+	}
+}
+
+func TestTimeIterationPositive(t *testing.T) {
+	tt := tensor.Random([]int{10, 12, 14}, 600, nil, 5)
+	specs := AllEngines()
+	eng, err := specs[len(specs)-2].Build(tt, 2, 8, 0) // stef
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := TimeIteration(eng, tt.Dims, 8, 2); el <= 0 {
+		t.Errorf("non-positive iteration time %v", el)
+	}
+}
+
+func TestSuiteTensorCaching(t *testing.T) {
+	s := tinySuite(&bytes.Buffer{}, "uber")
+	a, err := s.Tensor("uber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Tensor("uber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("tensor not cached")
+	}
+	if _, err := s.Tensor("bogus"); err == nil {
+		t.Error("unknown tensor accepted")
+	}
+}
+
+func TestEngineFilter(t *testing.T) {
+	s := NewSuite(Options{Engines: []string{"stef", "alto"}})
+	got := engineNames(s.engines())
+	if len(got) != 2 || got[0] != "alto" || got[1] != "stef" {
+		t.Errorf("filtered engines %v", got)
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stef/internal/stats"
+)
+
+// ThreadScaling prints a modeled strong-scaling study (an extension beyond
+// the paper's fixed 18/64-thread figures): for each tensor and engine, the
+// speedup of the modeled makespan at T threads over the same engine at
+// T=1. Perfect scaling doubles per row; slice-granular engines flatten as
+// soon as heavy slices dominate, while STeF stays near-linear until the
+// per-thread work reaches single fibers.
+func (s *Suite) ThreadScaling(engines []string, threadCounts []int, rank int) error {
+	w := s.Opts.Out
+	if len(engines) == 0 {
+		engines = []string{"splatt-all", "alto", "stef"}
+	}
+	if len(threadCounts) == 0 {
+		threadCounts = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	for _, name := range s.Opts.Tensors {
+		tt, err := s.Tensor(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n== Modeled strong scaling on %s (speedup vs same engine at T=1), R=%d ==\n", name, rank)
+		header := []string{"T"}
+		header = append(header, engines...)
+		tab := stats.NewTable(header...)
+		base := map[string]int64{}
+		for _, en := range engines {
+			ms, err := ModeledMakespan(en, tt, 1, rank, s.Opts.CacheBytes)
+			if err != nil {
+				return fmt.Errorf("%s on %s: %w", en, name, err)
+			}
+			base[en] = ms
+		}
+		for _, t := range threadCounts {
+			cells := []interface{}{t}
+			for _, en := range engines {
+				ms, err := ModeledMakespan(en, tt, t, rank, s.Opts.CacheBytes)
+				if err != nil {
+					return fmt.Errorf("%s on %s: %w", en, name, err)
+				}
+				cells = append(cells, fmt.Sprintf("%.2f", float64(base[en])/float64(ms)))
+			}
+			tab.AddRow(cells...)
+		}
+		tab.Render(w)
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+// Package frostt reads and writes sparse tensors in the FROSTT .tns text
+// format: one non-zero per line, d whitespace-separated 1-based coordinates
+// followed by a value. Lines starting with '#' and blank lines are ignored.
+package frostt
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"stef/internal/tensor"
+)
+
+// Read parses a .tns stream. The tensor order is inferred from the first
+// data line; mode lengths are the maxima of the observed coordinates unless
+// dims is non-nil, in which case dims is used and validated.
+func Read(r io.Reader, dims []int) (*tensor.Tensor, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var (
+		inds  []int32
+		vals  []float64
+		order int
+		maxes []int32
+		line  int
+	)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if order == 0 {
+			order = len(fields) - 1
+			if order < 1 {
+				return nil, fmt.Errorf("frostt: line %d: need at least one coordinate and a value", line)
+			}
+			maxes = make([]int32, order)
+		}
+		if len(fields) != order+1 {
+			return nil, fmt.Errorf("frostt: line %d: got %d fields, want %d", line, len(fields), order+1)
+		}
+		for m := 0; m < order; m++ {
+			c, err := strconv.ParseInt(fields[m], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("frostt: line %d: bad coordinate %q: %v", line, fields[m], err)
+			}
+			if c < 1 {
+				return nil, fmt.Errorf("frostt: line %d: coordinate %d is not 1-based", line, c)
+			}
+			ci := int32(c - 1)
+			if ci > maxes[m] {
+				maxes[m] = ci
+			}
+			inds = append(inds, ci)
+		}
+		v, err := strconv.ParseFloat(fields[order], 64)
+		if err != nil {
+			return nil, fmt.Errorf("frostt: line %d: bad value %q: %v", line, fields[order], err)
+		}
+		vals = append(vals, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("frostt: scan: %w", err)
+	}
+	if order == 0 {
+		return nil, fmt.Errorf("frostt: empty input")
+	}
+	if dims == nil {
+		dims = make([]int, order)
+		for m := range dims {
+			dims[m] = int(maxes[m]) + 1
+		}
+	} else if len(dims) != order {
+		return nil, fmt.Errorf("frostt: provided dims order %d does not match data order %d", len(dims), order)
+	} else {
+		for m := range dims {
+			if int(maxes[m]) >= dims[m] {
+				return nil, fmt.Errorf("frostt: coordinate %d exceeds provided mode-%d length %d", maxes[m]+1, m, dims[m])
+			}
+		}
+	}
+	t := &tensor.Tensor{Dims: dims, Inds: inds, Vals: vals}
+	if err := t.Validate(false); err != nil {
+		return nil, fmt.Errorf("frostt: %w", err)
+	}
+	return t, nil
+}
+
+// ReadFile reads a .tns file from disk; files ending in ".gz" (the format
+// FROSTT distributes) are transparently decompressed. See Read.
+func ReadFile(path string, dims []int) (*tensor.Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = bufio.NewReaderSize(f, 1<<20)
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(r)
+		if err != nil {
+			return nil, fmt.Errorf("frostt: gzip: %w", err)
+		}
+		defer gz.Close()
+		r = bufio.NewReaderSize(gz, 1<<20)
+	}
+	return Read(r, dims)
+}
+
+// Write emits the tensor in .tns format with 1-based coordinates.
+func Write(w io.Writer, t *tensor.Tensor) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	d := t.Order()
+	nnz := t.NNZ()
+	for k := 0; k < nnz; k++ {
+		c := t.Coord(k)
+		for m := 0; m < d; m++ {
+			if _, err := fmt.Fprintf(bw, "%d ", c[m]+1); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "%g\n", t.Vals[k]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the tensor to path in .tns format, gzip-compressed when
+// path ends in ".gz".
+func WriteFile(path string, t *tensor.Tensor) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	if err := Write(w, t); err != nil {
+		f.Close()
+		return err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}

@@ -1,0 +1,155 @@
+package frostt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stef/internal/tensor"
+)
+
+func TestReadBasic(t *testing.T) {
+	in := `# comment line
+1 1 1 1.5
+
+2 3 4 -2.25
+`
+	tt, err := Read(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Order() != 3 || tt.NNZ() != 2 {
+		t.Fatalf("order=%d nnz=%d", tt.Order(), tt.NNZ())
+	}
+	if c := tt.Coord(0); c[0] != 0 || c[1] != 0 || c[2] != 0 {
+		t.Fatalf("coord %v (should be 0-based)", c)
+	}
+	if tt.Dims[0] != 2 || tt.Dims[1] != 3 || tt.Dims[2] != 4 {
+		t.Fatalf("inferred dims %v", tt.Dims)
+	}
+	if tt.Vals[1] != -2.25 {
+		t.Fatalf("val %g", tt.Vals[1])
+	}
+}
+
+func TestReadWithDims(t *testing.T) {
+	in := "1 1 2\n"
+	tt, err := Read(strings.NewReader(in), []int{5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Dims[0] != 5 || tt.Dims[1] != 9 {
+		t.Fatalf("dims %v", tt.Dims)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		dims []int
+	}{
+		{"empty", "", nil},
+		{"ragged", "1 1 1 1.0\n1 1 1.0\n", nil},
+		{"zero-based", "0 1 1.0\n", nil},
+		{"bad value", "1 1 x\n", nil},
+		{"bad coord", "a 1 1.0\n", nil},
+		{"dims too small", "7 1 1.0\n", []int{3, 3}},
+		{"dims wrong order", "1 1 1.0\n", []int{3, 3, 3}},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.in), c.dims); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	orig := tensor.Random([]int{6, 7, 8, 9}, 120, nil, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, orig.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != orig.NNZ() {
+		t.Fatalf("nnz %d, want %d", back.NNZ(), orig.NNZ())
+	}
+	for k := 0; k < orig.NNZ(); k++ {
+		a, b := orig.Coord(k), back.Coord(k)
+		for m := range a {
+			if a[m] != b[m] {
+				t.Fatalf("coord mismatch at %d", k)
+			}
+		}
+		if orig.Vals[k] != back.Vals[k] {
+			t.Fatalf("value mismatch at %d: %g vs %g", k, orig.Vals[k], back.Vals[k])
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.tns")
+	orig := tensor.Random([]int{4, 5, 6}, 40, nil, 8)
+	if err := WriteFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != orig.NNZ() {
+		t.Fatalf("nnz %d, want %d", back.NNZ(), orig.NNZ())
+	}
+}
+
+func TestGzipFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.tns.gz")
+	orig := tensor.Random([]int{8, 9, 10}, 70, nil, 12)
+	if err := WriteFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != orig.NNZ() {
+		t.Fatalf("nnz %d, want %d", back.NNZ(), orig.NNZ())
+	}
+	for k := 0; k < orig.NNZ(); k++ {
+		if orig.Vals[k] != back.Vals[k] {
+			t.Fatalf("value mismatch at %d", k)
+		}
+	}
+	// The .gz file must actually be compressed (magic bytes).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatal("output is not gzip-compressed")
+	}
+}
+
+func TestReadFileBadGzip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.tns.gz")
+	if err := os.WriteFile(path, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path, nil); err == nil {
+		t.Fatal("expected gzip error")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile("/nonexistent/path.tns", nil); err == nil {
+		t.Fatal("expected error")
+	}
+}

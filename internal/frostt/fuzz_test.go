@@ -1,0 +1,36 @@
+package frostt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary text to the .tns parser; it must never panic,
+// and whatever it accepts must survive a write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add("1 1 1 1.0\n")
+	f.Add("# comment\n2 3 4 -5.5\n1 1 1 0\n")
+	f.Add("")
+	f.Add("1 1\n")
+	f.Add("0 0 0 0\n")
+	f.Add("9999999999999 1 1\n")
+	f.Add("1 1 nan\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tt, err := Read(strings.NewReader(in), nil)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tt); err != nil {
+			t.Fatalf("write of accepted tensor failed: %v", err)
+		}
+		back, err := Read(&buf, tt.Dims)
+		if err != nil {
+			t.Fatalf("round trip of accepted tensor failed: %v", err)
+		}
+		if back.NNZ() != tt.NNZ() {
+			t.Fatalf("round trip changed nnz %d -> %d", tt.NNZ(), back.NNZ())
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"stef/internal/par"
+	"stef/internal/tensor"
+)
+
+// DefaultPrivatizeMaxElems bounds the total element count (rows×cols×T) up
+// to which non-root MTTKRP outputs are privatized per thread. Above the
+// bound, threads scatter with lock-free compare-and-swap adds instead —
+// the paper's "either atomic updates are needed, or each thread needs to
+// hold its own copy" (Section III-B), with the choice made by footprint.
+const DefaultPrivatizeMaxElems = 1 << 24
+
+// OutBuf accumulates a scattered MTTKRP output matrix from T threads. It
+// either holds one private copy per thread (reduced at the end) or a shared
+// atomic accumulation buffer, depending on the footprint bound.
+type OutBuf struct {
+	rows, cols int
+	t          int
+	priv       []*tensor.Matrix
+	shared     []uint64 // float64 bit patterns, used when priv == nil
+}
+
+// NewOutBuf returns an accumulation buffer for a rows×cols output shared by
+// t threads. maxPrivElems <= 0 selects DefaultPrivatizeMaxElems.
+func NewOutBuf(rows, cols, t int, maxPrivElems int64) *OutBuf {
+	if maxPrivElems <= 0 {
+		maxPrivElems = DefaultPrivatizeMaxElems
+	}
+	b := &OutBuf{rows: rows, cols: cols, t: t}
+	if t == 1 || int64(rows)*int64(cols)*int64(t) <= maxPrivElems {
+		b.priv = make([]*tensor.Matrix, t)
+		for th := range b.priv {
+			b.priv[th] = tensor.NewMatrix(rows, cols)
+		}
+	} else {
+		b.shared = make([]uint64, rows*cols)
+	}
+	return b
+}
+
+// Privatized reports whether the buffer holds per-thread copies.
+func (b *OutBuf) Privatized() bool { return b.priv != nil }
+
+// Reset zeroes the buffer for reuse.
+func (b *OutBuf) Reset() {
+	if b.priv != nil {
+		for _, m := range b.priv {
+			m.Zero()
+		}
+		return
+	}
+	for i := range b.shared {
+		b.shared[i] = 0
+	}
+}
+
+// AddHadamard accumulates a ⊙ bv into row `row` on behalf of thread th.
+func (b *OutBuf) AddHadamard(th, row int, a, bv []float64) {
+	if b.priv != nil {
+		hadamardAccum(b.priv[th].Row(row), a, bv)
+		return
+	}
+	base := row * b.cols
+	for j := range a {
+		atomicAddFloat(&b.shared[base+j], a[j]*bv[j])
+	}
+}
+
+// AddScaled accumulates s*src into row `row` on behalf of thread th.
+func (b *OutBuf) AddScaled(th, row int, s float64, src []float64) {
+	if b.priv != nil {
+		addScaled(b.priv[th].Row(row), s, src)
+		return
+	}
+	base := row * b.cols
+	for j, v := range src {
+		atomicAddFloat(&b.shared[base+j], s*v)
+	}
+}
+
+// Reduce sums the per-thread state into out, overwriting it. The reduction
+// itself runs with t goroutines over row blocks.
+func (b *OutBuf) Reduce(out *tensor.Matrix) {
+	if out.Rows != b.rows || out.Cols != b.cols {
+		panic(fmt.Sprintf("kernels: Reduce into %dx%d, want %dx%d", out.Rows, out.Cols, b.rows, b.cols))
+	}
+	if b.priv != nil {
+		par.Blocks(b.rows, b.t, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dst := out.Row(i)
+				copy(dst, b.priv[0].Row(i))
+				for th := 1; th < b.t; th++ {
+					src := b.priv[th].Row(i)
+					for j := range dst {
+						dst[j] += src[j]
+					}
+				}
+			}
+		})
+		return
+	}
+	par.Blocks(len(b.shared), b.t, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = math.Float64frombits(b.shared[i])
+		}
+	})
+}
+
+// atomicAddFloat adds v to the float64 stored as bits in *p with a CAS
+// loop. Adding zero is skipped, which matters for very sparse scatters.
+func atomicAddFloat(p *uint64, v float64) {
+	if v == 0 {
+		return
+	}
+	for {
+		old := atomic.LoadUint64(p)
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(p, old, nw) {
+			return
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package kernels
+
+import (
+	"fmt"
+
+	"stef/internal/csf"
+	"stef/internal/tensor"
+)
+
+// Partials holds the memoized partial MTTKRP results P^(l) for one CSF
+// tree: one R-vector per fiber at every saved level. Saved levels are
+// restricted to 1..d-2 — P^(0) is the mode-0 MTTKRP output itself and
+// P^(d-1) is the tensor.
+type Partials struct {
+	// Save[l] reports whether P^(l) is materialised.
+	Save []bool
+	// P[l] is a NumFibers(l)×R matrix when Save[l], nil otherwise.
+	P []*tensor.Matrix
+}
+
+// NewPartials allocates storage for the saved levels given by save (indexed
+// by CSF level; entries outside 1..d-2 must be false).
+func NewPartials(tree *csf.Tree, rank int, save []bool) *Partials {
+	d := tree.Order()
+	if len(save) != d {
+		panic(fmt.Sprintf("kernels: save length %d, want %d", len(save), d))
+	}
+	p := &Partials{Save: append([]bool(nil), save...), P: make([]*tensor.Matrix, d)}
+	for l, s := range save {
+		if !s {
+			continue
+		}
+		if l < 1 || l > d-2 {
+			panic(fmt.Sprintf("kernels: level %d cannot be memoized (order %d)", l, d))
+		}
+		p.P[l] = tensor.NewMatrix(tree.NumFibers(l), rank)
+	}
+	return p
+}
+
+// NoPartials returns a Partials that saves nothing, for engines that always
+// recompute.
+func NoPartials(order int) *Partials {
+	return &Partials{Save: make([]bool, order), P: make([]*tensor.Matrix, order)}
+}
+
+// SourceLevel returns the level the mode-u MTTKRP should read from: the
+// smallest saved level >= u, or d-1 (the tensor itself) when no saved level
+// helps. For u == d-1 only the tensor can serve as the source.
+func (p *Partials) SourceLevel(u int) int {
+	d := len(p.Save)
+	if u >= d-1 {
+		return d - 1
+	}
+	for l := u; l <= d-2; l++ {
+		if p.Save[l] {
+			return l
+		}
+	}
+	return d - 1
+}
+
+// Bytes returns the memory footprint of all saved partial results, the
+// quantity reported in Table II of the paper.
+func (p *Partials) Bytes() int64 {
+	var b int64
+	for _, m := range p.P {
+		if m != nil {
+			b += int64(len(m.Data)) * 8
+		}
+	}
+	return b
+}

@@ -1,0 +1,56 @@
+package kernels
+
+import (
+	"fmt"
+
+	"stef/internal/tensor"
+)
+
+// Reference computes the mode-m MTTKRP straight from the COO tensor, one
+// non-zero at a time, with no memoization, no CSF and no parallelism. It is
+// the ground truth every optimised kernel is tested against. m indexes the
+// tensor's original modes and factors are in original mode order.
+func Reference(t *tensor.Tensor, factors []*tensor.Matrix, m int) *tensor.Matrix {
+	d := t.Order()
+	if len(factors) != d {
+		panic(fmt.Sprintf("kernels: %d factors for order-%d tensor", len(factors), d))
+	}
+	if m < 0 || m >= d {
+		panic(fmt.Sprintf("kernels: mode %d out of range", m))
+	}
+	r := factors[0].Cols
+	out := tensor.NewMatrix(t.Dims[m], r)
+	row := make([]float64, r)
+	nnz := t.NNZ()
+	for k := 0; k < nnz; k++ {
+		c := t.Coord(k)
+		for j := range row {
+			row[j] = t.Vals[k]
+		}
+		for mm := 0; mm < d; mm++ {
+			if mm == m {
+				continue
+			}
+			f := factors[mm].Row(int(c[mm]))
+			for j := range row {
+				row[j] *= f[j]
+			}
+		}
+		dst := out.Row(int(c[m]))
+		for j := range dst {
+			dst[j] += row[j]
+		}
+	}
+	return out
+}
+
+// LevelFactors reorders mode-indexed factor matrices into CSF level order:
+// result[l] = factors[perm[l]]. The returned slice shares the underlying
+// matrices.
+func LevelFactors(factors []*tensor.Matrix, perm []int) []*tensor.Matrix {
+	out := make([]*tensor.Matrix, len(perm))
+	for l, m := range perm {
+		out[l] = factors[m]
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package kernels
+
+import (
+	"fmt"
+
+	"stef/internal/csf"
+	"stef/internal/par"
+	"stef/internal/sched"
+	"stef/internal/tensor"
+)
+
+// RootMTTKRP computes the mode-0 MTTKRP of the CSF tree (the mode stored at
+// the tree's root level) into out, memoizing P^(l) for every level with
+// partials.Save[l] set, in a single downward pass (Algorithm 4/5 with
+// u = 0). factors are indexed by CSF level, i.e. factors[l] corresponds to
+// tree level l, and out receives the result for the root level's mode.
+//
+// Parallelism follows the partition: each thread processes its leaf range;
+// fibers whose leaves span a thread boundary are accumulated into boundary
+// replica rows and merged afterwards, so no atomics and no full output
+// privatization are needed (Section III-A). Orders 3 and 4 dispatch to
+// unrolled specialisations (root3.go); other orders use the generic
+// recursive kernel, which is the semantic reference.
+func RootMTTKRP(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition) {
+	d := tree.Order()
+	if len(factors) != d {
+		panic(fmt.Sprintf("kernels: %d factors for order-%d tensor", len(factors), d))
+	}
+	r := factors[0].Cols
+	if out.Rows != tree.Dims[0] || out.Cols != r {
+		panic(fmt.Sprintf("kernels: output shape %dx%d, want %dx%d", out.Rows, out.Cols, tree.Dims[0], r))
+	}
+	t := part.T
+	out.Zero()
+
+	// Boundary replica rows: one per (thread, level). bound[l] is used
+	// both for saved partial levels and, at level 0, for the output.
+	bound := make([]*tensor.Matrix, d)
+	for l := 0; l < d-1; l++ {
+		if l == 0 || partials.Save[l] {
+			bound[l] = tensor.NewMatrix(t, r)
+		}
+	}
+
+	switch d {
+	case 3:
+		root3(tree, factors, out, partials, part, bound)
+	case 4:
+		root4(tree, factors, out, partials, part, bound)
+	case 5:
+		root5(tree, factors, out, partials, part, bound)
+	default:
+		rootGeneric(tree, factors, out, partials, part, bound)
+	}
+
+	mergeBoundaries(tree, out, partials, part, bound)
+}
+
+// rootGeneric is the order-agnostic recursive root kernel.
+func rootGeneric(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, bound []*tensor.Matrix) {
+	d := tree.Order()
+	r := factors[0].Cols
+	runThreads(part.T, func(th int) {
+		s := part.Start[th]
+		e := part.Own[th+1] // exclusive end of touched nodes per level
+		ownLo := part.Own[th]
+		if s[0] >= e[0] {
+			return // thread has no leaves
+		}
+		// One accumulator per level, reused depth-first.
+		tmp := make([][]float64, d-1)
+		for l := range tmp {
+			tmp[l] = make([]float64, r)
+		}
+		var rec func(l int, n int64)
+		rec = func(l int, n int64) {
+			tl := tmp[l]
+			zero(tl)
+			cLo := maxI64(tree.Ptr[l][n], s[l+1])
+			cHi := minI64(tree.Ptr[l][n+1], e[l+1])
+			if l+1 == d-1 {
+				for k := cLo; k < cHi; k++ {
+					addScaled(tl, tree.Vals[k], factors[d-1].Row(int(tree.Fids[d-1][k])))
+				}
+				return
+			}
+			for c := cLo; c < cHi; c++ {
+				rec(l+1, c)
+				child := tmp[l+1]
+				if partials.Save[l+1] {
+					if c >= ownLo[l+1] {
+						copy(partials.P[l+1].Row(int(c)), child)
+					} else {
+						copy(bound[l+1].Row(th), child)
+					}
+				}
+				hadamardAccum(tl, child, factors[l+1].Row(int(tree.Fids[l+1][c])))
+			}
+		}
+		for n := s[0]; n < e[0]; n++ {
+			rec(0, n)
+			if n >= ownLo[0] {
+				copy(out.Row(int(tree.Fids[0][n])), tmp[0])
+			} else {
+				copy(bound[0].Row(th), tmp[0])
+			}
+		}
+	})
+}
+
+// mergeBoundaries folds the per-thread boundary replica rows into the
+// canonical rows. Only a thread's first touched node per level can be
+// non-owned, so each (thread, level) contributes at most one row; threads
+// with no leaves never write their replica row, which stays zero, so
+// merging unconditionally is safe.
+func mergeBoundaries(tree *csf.Tree, out *tensor.Matrix, partials *Partials, part *sched.Partition, bound []*tensor.Matrix) {
+	d := tree.Order()
+	for th := 1; th < part.T; th++ {
+		for l := 0; l < d-1; l++ {
+			if bound[l] == nil || !part.SharedStart(th, l) {
+				continue
+			}
+			nd := part.Start[th][l]
+			src := bound[l].Row(th)
+			var dst []float64
+			if l == 0 {
+				dst = out.Row(int(tree.Fids[0][nd]))
+			} else {
+				dst = partials.P[l].Row(int(nd))
+			}
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		}
+	}
+}
+
+// runThreads runs fn(th) for th in [0, t) concurrently and waits.
+func runThreads(t int, fn func(th int)) { par.Do(t, fn) }

@@ -1,0 +1,120 @@
+package kernels
+
+import (
+	"stef/internal/csf"
+	"stef/internal/sched"
+	"stef/internal/tensor"
+)
+
+// This file contains hand-specialised root-mode kernels for 3- and 4-way
+// tensors — the overwhelmingly common cases in the benchmark suite. They
+// are loop-for-loop identical to the generic recursive kernel (root.go)
+// with the recursion unrolled, which removes call overhead and lets the
+// compiler keep the accumulator rows in registers across the innermost
+// rank loop. RootMTTKRP dispatches to them automatically; the generic path
+// remains the reference for all other orders and is cross-checked against
+// these in the tests.
+
+// root3 is the order-3 specialisation of the balanced root-mode MTTKRP.
+func root3(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, bound []*tensor.Matrix) {
+	r := factors[0].Cols
+	f1, f2 := factors[1], factors[2]
+	save1 := partials.Save[1]
+
+	run := func(th int) {
+		s := part.Start[th]
+		e := part.Own[th+1]
+		ownLo := part.Own[th]
+		if s[0] >= e[0] {
+			return
+		}
+		t0 := make([]float64, r)
+		t1 := make([]float64, r)
+		for n0 := s[0]; n0 < e[0]; n0++ {
+			zero(t0)
+			c1Lo := maxI64(tree.Ptr[0][n0], s[1])
+			c1Hi := minI64(tree.Ptr[0][n0+1], e[1])
+			for n1 := c1Lo; n1 < c1Hi; n1++ {
+				zero(t1)
+				c2Lo := maxI64(tree.Ptr[1][n1], s[2])
+				c2Hi := minI64(tree.Ptr[1][n1+1], e[2])
+				for k := c2Lo; k < c2Hi; k++ {
+					addScaled(t1, tree.Vals[k], f2.Row(int(tree.Fids[2][k])))
+				}
+				if save1 {
+					if n1 >= ownLo[1] {
+						copy(partials.P[1].Row(int(n1)), t1)
+					} else {
+						copy(bound[1].Row(th), t1)
+					}
+				}
+				hadamardAccum(t0, t1, f1.Row(int(tree.Fids[1][n1])))
+			}
+			if n0 >= ownLo[0] {
+				copy(out.Row(int(tree.Fids[0][n0])), t0)
+			} else {
+				copy(bound[0].Row(th), t0)
+			}
+		}
+	}
+	runThreads(part.T, run)
+}
+
+// root4 is the order-4 specialisation of the balanced root-mode MTTKRP.
+func root4(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, bound []*tensor.Matrix) {
+	r := factors[0].Cols
+	f1, f2, f3 := factors[1], factors[2], factors[3]
+	save1, save2 := partials.Save[1], partials.Save[2]
+
+	run := func(th int) {
+		s := part.Start[th]
+		e := part.Own[th+1]
+		ownLo := part.Own[th]
+		if s[0] >= e[0] {
+			return
+		}
+		t0 := make([]float64, r)
+		t1 := make([]float64, r)
+		t2 := make([]float64, r)
+		for n0 := s[0]; n0 < e[0]; n0++ {
+			zero(t0)
+			c1Lo := maxI64(tree.Ptr[0][n0], s[1])
+			c1Hi := minI64(tree.Ptr[0][n0+1], e[1])
+			for n1 := c1Lo; n1 < c1Hi; n1++ {
+				zero(t1)
+				c2Lo := maxI64(tree.Ptr[1][n1], s[2])
+				c2Hi := minI64(tree.Ptr[1][n1+1], e[2])
+				for n2 := c2Lo; n2 < c2Hi; n2++ {
+					zero(t2)
+					c3Lo := maxI64(tree.Ptr[2][n2], s[3])
+					c3Hi := minI64(tree.Ptr[2][n2+1], e[3])
+					for k := c3Lo; k < c3Hi; k++ {
+						addScaled(t2, tree.Vals[k], f3.Row(int(tree.Fids[3][k])))
+					}
+					if save2 {
+						if n2 >= ownLo[2] {
+							copy(partials.P[2].Row(int(n2)), t2)
+						} else {
+							copy(bound[2].Row(th), t2)
+						}
+					}
+					hadamardAccum(t1, t2, f2.Row(int(tree.Fids[2][n2])))
+				}
+				if save1 {
+					if n1 >= ownLo[1] {
+						copy(partials.P[1].Row(int(n1)), t1)
+					} else {
+						copy(bound[1].Row(th), t1)
+					}
+				}
+				hadamardAccum(t0, t1, f1.Row(int(tree.Fids[1][n1])))
+			}
+			if n0 >= ownLo[0] {
+				copy(out.Row(int(tree.Fids[0][n0])), t0)
+			} else {
+				copy(bound[0].Row(th), t0)
+			}
+		}
+	}
+	runThreads(part.T, run)
+}

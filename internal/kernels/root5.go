@@ -1,0 +1,78 @@
+package kernels
+
+import (
+	"stef/internal/csf"
+	"stef/internal/sched"
+	"stef/internal/tensor"
+)
+
+// root5 is the order-5 specialisation of the balanced root-mode MTTKRP
+// (see root3.go for the scheme). Three of the sixteen benchmark tensors
+// are 5-way, so the unrolled form pays for itself.
+func root5(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, bound []*tensor.Matrix) {
+	r := factors[0].Cols
+	f1, f2, f3, f4 := factors[1], factors[2], factors[3], factors[4]
+	save1, save2, save3 := partials.Save[1], partials.Save[2], partials.Save[3]
+
+	store := func(th int, level int, n int64, ownLo []int64, t []float64) {
+		if n >= ownLo[level] {
+			copy(partials.P[level].Row(int(n)), t)
+		} else {
+			copy(bound[level].Row(th), t)
+		}
+	}
+
+	run := func(th int) {
+		s := part.Start[th]
+		e := part.Own[th+1]
+		ownLo := part.Own[th]
+		if s[0] >= e[0] {
+			return
+		}
+		t0 := make([]float64, r)
+		t1 := make([]float64, r)
+		t2 := make([]float64, r)
+		t3 := make([]float64, r)
+		for n0 := s[0]; n0 < e[0]; n0++ {
+			zero(t0)
+			c1Lo := maxI64(tree.Ptr[0][n0], s[1])
+			c1Hi := minI64(tree.Ptr[0][n0+1], e[1])
+			for n1 := c1Lo; n1 < c1Hi; n1++ {
+				zero(t1)
+				c2Lo := maxI64(tree.Ptr[1][n1], s[2])
+				c2Hi := minI64(tree.Ptr[1][n1+1], e[2])
+				for n2 := c2Lo; n2 < c2Hi; n2++ {
+					zero(t2)
+					c3Lo := maxI64(tree.Ptr[2][n2], s[3])
+					c3Hi := minI64(tree.Ptr[2][n2+1], e[3])
+					for n3 := c3Lo; n3 < c3Hi; n3++ {
+						zero(t3)
+						c4Lo := maxI64(tree.Ptr[3][n3], s[4])
+						c4Hi := minI64(tree.Ptr[3][n3+1], e[4])
+						for k := c4Lo; k < c4Hi; k++ {
+							addScaled(t3, tree.Vals[k], f4.Row(int(tree.Fids[4][k])))
+						}
+						if save3 {
+							store(th, 3, n3, ownLo, t3)
+						}
+						hadamardAccum(t2, t3, f3.Row(int(tree.Fids[3][n3])))
+					}
+					if save2 {
+						store(th, 2, n2, ownLo, t2)
+					}
+					hadamardAccum(t1, t2, f2.Row(int(tree.Fids[2][n2])))
+				}
+				if save1 {
+					store(th, 1, n1, ownLo, t1)
+				}
+				hadamardAccum(t0, t1, f1.Row(int(tree.Fids[1][n1])))
+			}
+			if n0 >= ownLo[0] {
+				copy(out.Row(int(tree.Fids[0][n0])), t0)
+			} else {
+				copy(bound[0].Row(th), t0)
+			}
+		}
+	}
+	runThreads(part.T, run)
+}

@@ -1,0 +1,143 @@
+package kernels
+
+import (
+	"fmt"
+	"testing"
+
+	"stef/internal/csf"
+	"stef/internal/sched"
+	"stef/internal/tensor"
+)
+
+// TestSpecializedMatchesGeneric cross-checks the unrolled 3D/4D root
+// kernels against the generic recursive kernel bit for bit (same
+// floating-point evaluation order), across thread counts and memo subsets.
+func TestSpecializedMatchesGeneric(t *testing.T) {
+	shapes := [][]int{
+		{7, 9, 11},
+		{2, 300, 5},
+		{6, 5, 9, 8},
+		{3, 4, 200, 2},
+		{4, 5, 6, 7, 8},
+		{2, 100, 3, 4, 5},
+	}
+	for _, dims := range shapes {
+		tt := tensor.Random(dims, 500, nil, 31)
+		d := len(dims)
+		tree := csf.Build(tt, nil)
+		factors := tensor.RandomFactors(tt.Dims, 5, 3)
+		lf := LevelFactors(factors, tree.Perm)
+		for _, threads := range []int{1, 2, 5, 9} {
+			part := sched.NewPartition(tree, threads)
+			for _, save := range memoSubsets(d) {
+				ctx := fmt.Sprintf("dims=%v T=%d save=%v", dims, threads, save)
+
+				pGen := NewPartials(tree, 5, save)
+				outGen := tensor.NewMatrix(tree.Dims[0], 5)
+				boundGen := boundFor(tree, pGen, threads, 5)
+				rootGeneric(tree, lf, outGen, pGen, part, boundGen)
+				mergeBoundaries(tree, outGen, pGen, part, boundGen)
+
+				pSpec := NewPartials(tree, 5, save)
+				outSpec := tensor.NewMatrix(tree.Dims[0], 5)
+				boundSpec := boundFor(tree, pSpec, threads, 5)
+				switch d {
+				case 3:
+					root3(tree, lf, outSpec, pSpec, part, boundSpec)
+				case 4:
+					root4(tree, lf, outSpec, pSpec, part, boundSpec)
+				case 5:
+					root5(tree, lf, outSpec, pSpec, part, boundSpec)
+				}
+				mergeBoundaries(tree, outSpec, pSpec, part, boundSpec)
+
+				if diff := outSpec.MaxAbsDiff(outGen); diff != 0 {
+					t.Fatalf("%s: output differs by %g", ctx, diff)
+				}
+				for l := 1; l <= d-2; l++ {
+					if !save[l] {
+						continue
+					}
+					if diff := pSpec.P[l].MaxAbsDiff(pGen.P[l]); diff != 0 {
+						t.Fatalf("%s: memoized level %d differs by %g", ctx, l, diff)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestModeSpecializedMatchesGeneric cross-checks every specialised
+// non-root kernel against the generic recursion bit for bit.
+func TestModeSpecializedMatchesGeneric(t *testing.T) {
+	for _, dims := range [][]int{{7, 9, 11}, {2, 300, 5}, {6, 5, 9, 8}, {3, 4, 200, 2}, {4, 5, 6, 7, 8}, {2, 100, 3, 4, 5}} {
+		tt := tensor.Random(dims, 500, nil, 77)
+		d := len(dims)
+		tree := csf.Build(tt, nil)
+		factors := tensor.RandomFactors(tt.Dims, 5, 3)
+		lf := LevelFactors(factors, tree.Perm)
+		for _, threads := range []int{1, 3, 8} {
+			part := sched.NewPartition(tree, threads)
+			for _, save := range memoSubsets(d) {
+				partials := NewPartials(tree, 5, save)
+				out0 := tensor.NewMatrix(tree.Dims[0], 5)
+				RootMTTKRP(tree, lf, out0, partials, part)
+				for u := 1; u < d; u++ {
+					ctx := fmt.Sprintf("dims=%v T=%d save=%v u=%d", dims, threads, save, u)
+					src := partials.SourceLevel(u)
+
+					bufSpec := NewOutBuf(tree.Dims[u], 5, threads, 1<<40)
+					bufSpec.Reset()
+					ModeMTTKRP(tree, lf, u, partials, bufSpec, part)
+					gotSpec := tensor.NewMatrix(tree.Dims[u], 5)
+					bufSpec.Reduce(gotSpec)
+
+					bufGen := NewOutBuf(tree.Dims[u], 5, threads, 1<<40)
+					bufGen.Reset()
+					modeGeneric(tree, lf, u, src, partials, bufGen, part)
+					gotGen := tensor.NewMatrix(tree.Dims[u], 5)
+					bufGen.Reduce(gotGen)
+
+					if diff := gotSpec.MaxAbsDiff(gotGen); diff != 0 {
+						t.Fatalf("%s: specialised differs from generic by %g", ctx, diff)
+					}
+				}
+			}
+		}
+	}
+}
+
+// boundFor allocates the boundary buffers the same way RootMTTKRP does.
+func boundFor(tree *csf.Tree, p *Partials, threads, rank int) []*tensor.Matrix {
+	d := tree.Order()
+	bound := make([]*tensor.Matrix, d)
+	for l := 0; l < d-1; l++ {
+		if l == 0 || p.Save[l] {
+			bound[l] = tensor.NewMatrix(threads, rank)
+		}
+	}
+	return bound
+}
+
+// TestDispatchUsesSpecialized pins the dispatch: orders 3 and 4 must not
+// regress to the generic path (this is a behavioural check via the public
+// API — results must stay correct — plus a direct call check above; here we
+// simply exercise the public entry on both orders).
+func TestDispatchUsesSpecialized(t *testing.T) {
+	for _, dims := range [][]int{{6, 7, 8}, {4, 5, 6, 7}} {
+		tt := tensor.Random(dims, 300, nil, 9)
+		tree := csf.Build(tt, nil)
+		part := sched.NewPartition(tree, 3)
+		factors := tensor.RandomFactors(tt.Dims, 4, 1)
+		lf := LevelFactors(factors, tree.Perm)
+		save := make([]bool, len(dims))
+		save[1] = true
+		partials := NewPartials(tree, 4, save)
+		out := tensor.NewMatrix(tree.Dims[0], 4)
+		RootMTTKRP(tree, lf, out, partials, part)
+		want := Reference(tt, factors, tree.Perm[0])
+		if diff := out.MaxAbsDiff(want); diff > 1e-9*(1+want.NormFrobenius()) {
+			t.Fatalf("dims %v: dispatch result differs from reference by %g", dims, diff)
+		}
+	}
+}

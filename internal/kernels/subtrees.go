@@ -1,0 +1,120 @@
+package kernels
+
+import (
+	"stef/internal/csf"
+	"stef/internal/tensor"
+)
+
+// RootMTTKRPSubtrees sequentially accumulates the mode-0 MTTKRP
+// contributions of root slices [lo, hi) into out (which is NOT zeroed) and
+// stores memoized partials for those subtrees. It is the building block for
+// chunk-scheduled engines (e.g. the TACO-style baseline), where a dynamic
+// scheduler hands out disjoint slice ranges to workers: root rows are
+// disjoint across slices, so concurrent calls on disjoint ranges are safe.
+func RootMTTKRPSubtrees(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, lo, hi int64) {
+	d := tree.Order()
+	r := factors[0].Cols
+	tmp := make([][]float64, d-1)
+	for l := range tmp {
+		tmp[l] = make([]float64, r)
+	}
+	var rec func(l int, n int64)
+	rec = func(l int, n int64) {
+		tl := tmp[l]
+		zero(tl)
+		cLo, cHi := tree.Ptr[l][n], tree.Ptr[l][n+1]
+		if l+1 == d-1 {
+			for k := cLo; k < cHi; k++ {
+				addScaled(tl, tree.Vals[k], factors[d-1].Row(int(tree.Fids[d-1][k])))
+			}
+			return
+		}
+		for c := cLo; c < cHi; c++ {
+			rec(l+1, c)
+			child := tmp[l+1]
+			if partials.Save[l+1] {
+				copy(partials.P[l+1].Row(int(c)), child)
+			}
+			hadamardAccum(tl, child, factors[l+1].Row(int(tree.Fids[l+1][c])))
+		}
+	}
+	for n := lo; n < hi; n++ {
+		rec(0, n)
+		dst := out.Row(int(tree.Fids[0][n]))
+		for j := range dst {
+			dst[j] += tmp[0][j]
+		}
+	}
+}
+
+// ModeMTTKRPSubtrees sequentially accumulates the level-u MTTKRP
+// contributions of root slices [lo, hi) into out (NOT zeroed; the caller
+// privatizes or serialises writes). It reads partials.SourceLevel(u) like
+// ModeMTTKRP.
+func ModeMTTKRPSubtrees(tree *csf.Tree, factors []*tensor.Matrix, u int, partials *Partials, out *tensor.Matrix, lo, hi int64) {
+	d := tree.Order()
+	src := partials.SourceLevel(u)
+	r := factors[0].Cols
+	kv := make([][]float64, u)
+	for l := 1; l < u; l++ {
+		kv[l] = make([]float64, r)
+	}
+	tmp := make([][]float64, src)
+	for l := u; l < src; l++ {
+		tmp[l] = make([]float64, r)
+	}
+	var down func(l int, n int64) []float64
+	down = func(l int, n int64) []float64 {
+		tl := tmp[l]
+		zero(tl)
+		cLo, cHi := tree.Ptr[l][n], tree.Ptr[l][n+1]
+		switch {
+		case l+1 == src && src == d-1:
+			for k := cLo; k < cHi; k++ {
+				addScaled(tl, tree.Vals[k], factors[d-1].Row(int(tree.Fids[d-1][k])))
+			}
+		case l+1 == src:
+			for c := cLo; c < cHi; c++ {
+				hadamardAccum(tl, partials.P[src].Row(int(c)), factors[src].Row(int(tree.Fids[src][c])))
+			}
+		default:
+			for c := cLo; c < cHi; c++ {
+				hadamardAccum(tl, down(l+1, c), factors[l+1].Row(int(tree.Fids[l+1][c])))
+			}
+		}
+		return tl
+	}
+	var walk func(l int, n int64, kprev []float64)
+	walk = func(l int, n int64, kprev []float64) {
+		fid := int(tree.Fids[l][n])
+		var kcur []float64
+		if l == 0 {
+			kcur = factors[0].Row(fid)
+		} else {
+			kcur = kv[l]
+			hadamardInto(kcur, kprev, factors[l].Row(fid))
+		}
+		cLo, cHi := tree.Ptr[l][n], tree.Ptr[l][n+1]
+		switch {
+		case l+1 < u:
+			for c := cLo; c < cHi; c++ {
+				walk(l+1, c, kcur)
+			}
+		case u == d-1:
+			for k := cLo; k < cHi; k++ {
+				addScaled(out.Row(int(tree.Fids[d-1][k])), tree.Vals[k], kcur)
+			}
+		case u == src:
+			for c := cLo; c < cHi; c++ {
+				hadamardAccum(out.Row(int(tree.Fids[u][c])), kcur, partials.P[u].Row(int(c)))
+			}
+		default:
+			for c := cLo; c < cHi; c++ {
+				hadamardAccum(out.Row(int(tree.Fids[u][c])), kcur, down(u, c))
+			}
+		}
+	}
+	for n := lo; n < hi; n++ {
+		walk(0, n, nil)
+	}
+}

@@ -1,0 +1,94 @@
+// Package kernels implements the MTTKRP kernels at the core of STeF: the
+// root-mode downward pass with selective memoization (Algorithms 4 and 5 of
+// the paper), the memoized and recomputing kernels for non-root modes
+// (Algorithms 6–8), and a dense reference implementation used for testing.
+//
+// All kernels are parameterised by a sched.Partition, so the same code runs
+// under STeF's non-zero-balanced distribution (with boundary-replica
+// merging) and under the slice-aligned distribution used by the baselines
+// and the ablation study.
+package kernels
+
+// zero clears v.
+func zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// The rank-vector primitives below are unrolled 4-wide: R is almost always
+// a multiple of 4 (the paper evaluates 32 and 64), the independent chains
+// give the superscalar core ILP that a simple range loop lacks, and the
+// slice re-slicing hoists the bounds checks out of the loop body.
+
+// addScaled computes dst += s*src.
+func addScaled(dst []float64, s float64, src []float64) {
+	n := len(src)
+	dst = dst[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d := dst[i : i+4 : i+4]
+		v := src[i : i+4 : i+4]
+		d[0] += s * v[0]
+		d[1] += s * v[1]
+		d[2] += s * v[2]
+		d[3] += s * v[3]
+	}
+	for ; i < n; i++ {
+		dst[i] += s * src[i]
+	}
+}
+
+// hadamardAccum computes dst += a ⊙ b.
+func hadamardAccum(dst, a, b []float64) {
+	n := len(a)
+	dst = dst[:n]
+	b = b[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d := dst[i : i+4 : i+4]
+		x := a[i : i+4 : i+4]
+		y := b[i : i+4 : i+4]
+		d[0] += x[0] * y[0]
+		d[1] += x[1] * y[1]
+		d[2] += x[2] * y[2]
+		d[3] += x[3] * y[3]
+	}
+	for ; i < n; i++ {
+		dst[i] += a[i] * b[i]
+	}
+}
+
+// hadamardInto computes dst = a ⊙ b.
+func hadamardInto(dst, a, b []float64) {
+	n := len(a)
+	dst = dst[:n]
+	b = b[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d := dst[i : i+4 : i+4]
+		x := a[i : i+4 : i+4]
+		y := b[i : i+4 : i+4]
+		d[0] = x[0] * y[0]
+		d[1] = x[1] * y[1]
+		d[2] = x[2] * y[2]
+		d[3] = x[3] * y[3]
+	}
+	for ; i < n; i++ {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,112 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"stef/internal/tensor"
+)
+
+func TestVecOps(t *testing.T) {
+	dst := []float64{1, 2, 3}
+	addScaled(dst, 2, []float64{10, 20, 30})
+	for i, want := range []float64{21, 42, 63} {
+		if dst[i] != want {
+			t.Fatalf("addScaled[%d] = %g, want %g", i, dst[i], want)
+		}
+	}
+	hadamardAccum(dst, []float64{1, 1, 1}, []float64{1, 2, 3})
+	for i, want := range []float64{22, 44, 66} {
+		if dst[i] != want {
+			t.Fatalf("hadamardAccum[%d] = %g, want %g", i, dst[i], want)
+		}
+	}
+	hadamardInto(dst, []float64{2, 2, 2}, []float64{3, 4, 5})
+	for i, want := range []float64{6, 8, 10} {
+		if dst[i] != want {
+			t.Fatalf("hadamardInto[%d] = %g, want %g", i, dst[i], want)
+		}
+	}
+	zero(dst)
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("zero left dst[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestVecOpsQuick(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(n8)%32
+		a := make([]float64, n)
+		b := make([]float64, n)
+		dst := make([]float64, n)
+		want := make([]float64, n)
+		s := rng.NormFloat64()
+		for i := 0; i < n; i++ {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+			dst[i] = rng.NormFloat64()
+			want[i] = dst[i] + s*a[i] + a[i]*b[i]
+		}
+		addScaled(dst, s, a)
+		hadamardAccum(dst, a, b)
+		for i := range dst {
+			if math.Abs(dst[i]-want[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAtomicAddFloatConcurrent hammers one OutBuf cell from many goroutines
+// and checks nothing is lost — the property that makes the CAS scatter path
+// safe without locks.
+func TestAtomicAddFloatConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		adds    = 5000
+	)
+	b := NewOutBuf(1, 2, workers, 1) // force atomic path
+	if b.Privatized() {
+		t.Fatal("expected atomic buffer")
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < adds; i++ {
+				b.AddScaled(w, 0, 1, []float64{1, 0.5})
+			}
+		}(w)
+	}
+	wg.Wait()
+	out := tensor.NewMatrix(1, 2)
+	b.Reduce(out)
+	if out.At(0, 0) != workers*adds {
+		t.Fatalf("lost updates: %g, want %d", out.At(0, 0), workers*adds)
+	}
+	if out.At(0, 1) != workers*adds/2 {
+		t.Fatalf("lost updates in col 1: %g", out.At(0, 1))
+	}
+}
+
+func TestAtomicAddSkipsZero(t *testing.T) {
+	b := NewOutBuf(1, 1, 2, 1)
+	b.AddScaled(0, 0, 0, []float64{123}) // scale 0: contributes nothing
+	b.AddHadamard(1, 0, []float64{0}, []float64{5})
+	out := tensor.NewMatrix(1, 1)
+	b.Reduce(out)
+	if out.At(0, 0) != 0 {
+		t.Fatalf("zero adds changed the cell: %g", out.At(0, 0))
+	}
+}

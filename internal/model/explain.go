@@ -1,0 +1,34 @@
+package model
+
+import (
+	"fmt"
+	"io"
+
+	"stef/internal/stats"
+)
+
+// Explain writes a per-mode breakdown of the data-movement estimate for one
+// configuration — the view of Section IV's model that tensorinfo and the
+// model-explorer example present to users deciding whether to trust a
+// memoization choice.
+func (p Params) Explain(w io.Writer, save []bool) {
+	d := len(p.Dims)
+	tab := stats.NewTable("mode(level)", "source", "reads", "writes", "total")
+	var sum Cost
+	for u := 0; u < d; u++ {
+		c := p.ModeCost(save, u)
+		sum = sum.Add(c)
+		src := "traversal"
+		if u > 0 {
+			if s := sourceLevel(save, u); s < d-1 {
+				src = fmt.Sprintf("P^(%d)", s)
+			} else {
+				src = "tensor"
+			}
+		}
+		tab.AddRow(u, src, c.Reads, c.Writes, c.Total())
+	}
+	tab.AddRow("all", "", sum.Reads, sum.Writes, sum.Total())
+	tab.Render(w)
+	fmt.Fprintf(w, "memoized-partials storage: %d bytes\n", p.MemoBytes(save))
+}

@@ -1,0 +1,61 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestBlocksCoversRangeExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 101} {
+		for _, threads := range []int{1, 2, 3, 8, 200} {
+			seen := make([]int32, n)
+			Blocks(n, threads, func(th, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d T=%d: index %d visited %d times", n, threads, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestBlocksThreadIDsDistinct(t *testing.T) {
+	const threads = 6
+	var mask int64
+	Blocks(600, threads, func(th, lo, hi int) {
+		atomic.AddInt64(&mask, 1<<th)
+	})
+	if mask != (1<<threads)-1 {
+		t.Fatalf("thread mask %b", mask)
+	}
+}
+
+func TestBlocksZeroThreads(t *testing.T) {
+	ran := false
+	Blocks(5, 0, func(th, lo, hi int) {
+		if th != 0 || lo != 0 || hi != 5 {
+			t.Errorf("th=%d lo=%d hi=%d", th, lo, hi)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("callback not invoked")
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var count int64
+	Do(9, func(th int) { atomic.AddInt64(&count, 1) })
+	if count != 9 {
+		t.Fatalf("ran %d, want 9", count)
+	}
+	count = 0
+	Do(0, func(th int) { atomic.AddInt64(&count, 1) })
+	if count != 1 {
+		t.Fatalf("Do(0) ran %d, want 1", count)
+	}
+}

@@ -1,0 +1,317 @@
+// Package reorder implements the two sparse-tensor reordering heuristics of
+// Li et al. (ICS'19), "Efficient and effective sparse tensor reordering" —
+// Lexi-Order and BFS-MCS. The paper reproduced here cites them as
+// complementary to STeF: relabeling the indices of each mode clusters
+// non-zeros, which shortens fibers' spans, reduces CSF fiber counts and
+// improves factor-row locality. They are exposed as an optional
+// preprocessing step (see cmd/stef-cpd's -reorder flag).
+//
+// Both heuristics return one relabeling permutation per mode
+// (perm[m][old] = new); Apply produces the relabeled tensor. Relabeling is
+// a similarity transformation of the CPD problem: decomposing the
+// relabeled tensor and un-permuting the factor rows recovers the original
+// decomposition, which the tests verify.
+package reorder
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"stef/internal/tensor"
+)
+
+// Perms holds one relabeling permutation per mode: Perms[m][old] = new.
+type Perms [][]int32
+
+// Identity returns the identity relabeling for the tensor's dims.
+func Identity(dims []int) Perms {
+	p := make(Perms, len(dims))
+	for m, n := range dims {
+		p[m] = make([]int32, n)
+		for i := range p[m] {
+			p[m][i] = int32(i)
+		}
+	}
+	return p
+}
+
+// Validate checks that each per-mode slice is a permutation.
+func (p Perms) Validate(dims []int) error {
+	if len(p) != len(dims) {
+		return fmt.Errorf("reorder: %d perms for %d modes", len(p), len(dims))
+	}
+	for m, pm := range p {
+		if len(pm) != dims[m] {
+			return fmt.Errorf("reorder: mode %d perm length %d, want %d", m, len(pm), dims[m])
+		}
+		seen := make([]bool, len(pm))
+		for _, v := range pm {
+			if v < 0 || int(v) >= len(pm) || seen[v] {
+				return fmt.Errorf("reorder: mode %d not a permutation", m)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+// Apply returns a new tensor with every coordinate relabeled:
+// new coord[m] = perms[m][old coord[m]]. The result is sorted.
+func Apply(t *tensor.Tensor, perms Perms) *tensor.Tensor {
+	if err := perms.Validate(t.Dims); err != nil {
+		panic(err.Error())
+	}
+	out := t.Clone()
+	d := t.Order()
+	nnz := t.NNZ()
+	for k := 0; k < nnz; k++ {
+		c := out.Inds[k*d : (k+1)*d]
+		for m := 0; m < d; m++ {
+			c[m] = perms[m][c[m]]
+		}
+	}
+	out.SortLex()
+	return out
+}
+
+// columnIDs assigns a dense id to every distinct combination of the
+// non-m coordinates, in lexicographic order of those coordinates, and
+// returns per-non-zero column ids. Column keys are packed into uint64
+// (every benchmark profile fits; larger tensors fall back to string keys).
+func columnIDs(t *tensor.Tensor, m int) []int64 {
+	d := t.Order()
+	nnz := t.NNZ()
+	ids := make([]int64, nnz)
+	strides := make([]uint64, d)
+	s := uint64(1)
+	fits := true
+	for mm := d - 1; mm >= 0; mm-- {
+		if mm == m {
+			continue
+		}
+		strides[mm] = s
+		hi := s * uint64(t.Dims[mm])
+		if hi < s {
+			fits = false
+			break
+		}
+		s = hi
+	}
+	if fits {
+		seen := make(map[uint64]int64, nnz)
+		for k := 0; k < nnz; k++ {
+			c := t.Coord(k)
+			key := uint64(0)
+			for mm := 0; mm < d; mm++ {
+				if mm != m {
+					key += strides[mm] * uint64(c[mm])
+				}
+			}
+			id, ok := seen[key]
+			if !ok {
+				id = int64(len(seen))
+				seen[key] = id
+			}
+			ids[k] = id
+		}
+		return ids
+	}
+	seen := make(map[string]int64, nnz)
+	buf := make([]byte, 0, 4*d)
+	for k := 0; k < nnz; k++ {
+		c := t.Coord(k)
+		buf = buf[:0]
+		for mm := 0; mm < d; mm++ {
+			if mm == m {
+				continue
+			}
+			v := c[mm]
+			buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		id, ok := seen[string(buf)]
+		if !ok {
+			id = int64(len(seen))
+			seen[string(buf)] = id
+		}
+		ids[k] = id
+	}
+	return ids
+}
+
+// lexiOrderMode computes the Lexi-Order relabeling of mode m: rows (mode-m
+// indices) are sorted in non-increasing lexicographic order of their sorted
+// column-id sets, which packs rows with similar sparsity patterns next to
+// each other. Rows with no non-zeros keep their relative order at the end.
+func lexiOrderMode(t *tensor.Tensor, m int) []int32 {
+	n := t.Dims[m]
+	cols := columnIDs(t, m)
+	rowCols := make([][]int64, n)
+	nnz := t.NNZ()
+	for k := 0; k < nnz; k++ {
+		r := t.Coord(k)[m]
+		rowCols[r] = append(rowCols[r], cols[k])
+	}
+	for _, rc := range rowCols {
+		sort.Slice(rc, func(a, b int) bool { return rc[a] < rc[b] })
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := rowCols[order[a]], rowCols[order[b]]
+		for i := 0; i < len(ra) && i < len(rb); i++ {
+			if ra[i] != rb[i] {
+				return ra[i] < rb[i]
+			}
+		}
+		return len(ra) > len(rb) // longer prefix-equal rows first
+	})
+	// Empty rows sort to the front under "shorter is larger"; push them
+	// to the back instead while keeping non-empty order.
+	perm := make([]int32, n)
+	next := int32(0)
+	for _, old := range order {
+		if len(rowCols[old]) > 0 {
+			perm[old] = next
+			next++
+		}
+	}
+	for _, old := range order {
+		if len(rowCols[old]) == 0 {
+			perm[old] = next
+			next++
+		}
+	}
+	return perm
+}
+
+// LexiOrder runs `rounds` passes of per-mode lexicographic relabeling over
+// all modes (Li et al. report convergence within a handful of rounds; the
+// default used by callers is 3). It returns the composed relabelings.
+func LexiOrder(t *tensor.Tensor, rounds int) Perms {
+	if rounds < 1 {
+		rounds = 1
+	}
+	cur := t.Clone()
+	total := Identity(t.Dims)
+	d := t.Order()
+	for round := 0; round < rounds; round++ {
+		for m := 0; m < d; m++ {
+			perm := lexiOrderMode(cur, m)
+			// Compose into the running total and apply to cur.
+			for old := range total[m] {
+				total[m][old] = perm[total[m][old]]
+			}
+			one := Identity(cur.Dims)
+			one[m] = perm
+			cur = Apply(cur, one)
+		}
+	}
+	return total
+}
+
+// bfsHeap is a max-heap of (score, insertion-seq, row) with lazy updates.
+type bfsItem struct {
+	score int64
+	seq   int64
+	row   int32
+}
+type bfsHeap []bfsItem
+
+func (h bfsHeap) Len() int { return len(h) }
+func (h bfsHeap) Less(a, b int) bool {
+	if h[a].score != h[b].score {
+		return h[a].score > h[b].score
+	}
+	return h[a].seq < h[b].seq
+}
+func (h bfsHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *bfsHeap) Push(x interface{}) { *h = append(*h, x.(bfsItem)) }
+func (h *bfsHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// bfsMCSMode computes the BFS-MCS relabeling of mode m: starting from the
+// highest-degree row, repeatedly emit the unvisited row with the most
+// non-zeros in already-visited columns (maximum cardinality search on the
+// row-column bipartite graph), which clusters overlapping rows.
+func bfsMCSMode(t *tensor.Tensor, m int) []int32 {
+	n := t.Dims[m]
+	cols := columnIDs(t, m)
+	numCols := int64(0)
+	for _, c := range cols {
+		if c >= numCols {
+			numCols = c + 1
+		}
+	}
+	nnz := t.NNZ()
+	rowCols := make([][]int64, n)
+	colRows := make([][]int32, numCols)
+	for k := 0; k < nnz; k++ {
+		r := t.Coord(k)[m]
+		rowCols[r] = append(rowCols[r], cols[k])
+		colRows[cols[k]] = append(colRows[cols[k]], r)
+	}
+	score := make([]int64, n)
+	placed := make([]bool, n)
+	colVisited := make([]bool, numCols)
+	h := &bfsHeap{}
+	seq := int64(0)
+	// Seed with degrees so the search starts at the densest row.
+	for r := 0; r < n; r++ {
+		if len(rowCols[r]) > 0 {
+			score[r] = int64(len(rowCols[r]))
+			heap.Push(h, bfsItem{score[r], seq, int32(r)})
+			seq++
+		}
+	}
+	perm := make([]int32, n)
+	next := int32(0)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(bfsItem)
+		r := it.row
+		if placed[r] || it.score != score[r] {
+			continue // stale entry
+		}
+		placed[r] = true
+		perm[r] = next
+		next++
+		for _, c := range rowCols[r] {
+			if colVisited[c] {
+				continue
+			}
+			colVisited[c] = true
+			for _, r2 := range colRows[c] {
+				if !placed[r2] {
+					score[r2]++
+					heap.Push(h, bfsItem{score[r2], seq, r2})
+					seq++
+				}
+			}
+		}
+	}
+	// Empty rows go last in original order.
+	for r := 0; r < n; r++ {
+		if len(rowCols[r]) == 0 {
+			perm[r] = next
+			next++
+		}
+	}
+	return perm
+}
+
+// BFSMCS computes the BFS-MCS relabeling for every mode independently.
+func BFSMCS(t *tensor.Tensor) Perms {
+	d := t.Order()
+	perms := make(Perms, d)
+	for m := 0; m < d; m++ {
+		perms[m] = bfsMCSMode(t, m)
+	}
+	return perms
+}

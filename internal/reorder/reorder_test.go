@@ -1,0 +1,171 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stef/internal/csf"
+	"stef/internal/kernels"
+	"stef/internal/tensor"
+)
+
+func TestIdentityApplyIsNoop(t *testing.T) {
+	tt := tensor.Random([]int{6, 7, 8}, 100, nil, 1)
+	out := Apply(tt, Identity(tt.Dims))
+	if out.NNZ() != tt.NNZ() {
+		t.Fatal("nnz changed")
+	}
+	for k := 0; k < tt.NNZ(); k++ {
+		a, b := tt.Coord(k), out.Coord(k)
+		for m := range a {
+			if a[m] != b[m] {
+				t.Fatalf("identity relabeling moved coordinate %d", k)
+			}
+		}
+	}
+}
+
+func TestPermsValidate(t *testing.T) {
+	dims := []int{3, 4}
+	good := Identity(dims)
+	if err := good.Validate(dims); err != nil {
+		t.Fatal(err)
+	}
+	bad := Identity(dims)
+	bad[0][0] = 2
+	bad[0][2] = 2
+	if err := bad.Validate(dims); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+	short := Perms{[]int32{0}}
+	if err := short.Validate(dims); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestLexiOrderValidPerms(t *testing.T) {
+	tt := tensor.Random([]int{15, 20, 25}, 400, []float64{1.5, 0, 0}, 2)
+	perms := LexiOrder(tt, 3)
+	if err := perms.Validate(tt.Dims); err != nil {
+		t.Fatal(err)
+	}
+	out := Apply(tt, perms)
+	if out.NNZ() != tt.NNZ() {
+		t.Fatal("nnz changed")
+	}
+	if err := out.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSMCSValidPerms(t *testing.T) {
+	tt := tensor.Random([]int{15, 20, 25, 5}, 500, nil, 3)
+	perms := BFSMCS(tt)
+	if err := perms.Validate(tt.Dims); err != nil {
+		t.Fatal(err)
+	}
+	out := Apply(tt, perms)
+	if out.NNZ() != tt.NNZ() {
+		t.Fatal("nnz changed")
+	}
+}
+
+// TestRelabelingIsSimilarityTransform: the MTTKRP of the relabeled tensor
+// with relabeled factor rows equals the relabeled MTTKRP of the original —
+// i.e. reordering changes nothing about the decomposition problem.
+func TestRelabelingIsSimilarityTransform(t *testing.T) {
+	tt := tensor.Random([]int{8, 9, 10}, 200, nil, 4)
+	perms := LexiOrder(tt, 2)
+	relabeled := Apply(tt, perms)
+
+	const rank = 3
+	factors := tensor.RandomFactors(tt.Dims, rank, 5)
+	// Relabeled factors: row perms[m][i] of the new factor = row i of
+	// the old factor.
+	relFactors := make([]*tensor.Matrix, len(factors))
+	for m, f := range factors {
+		rf := tensor.NewMatrix(f.Rows, f.Cols)
+		for i := 0; i < f.Rows; i++ {
+			copy(rf.Row(int(perms[m][i])), f.Row(i))
+		}
+		relFactors[m] = rf
+	}
+	for m := 0; m < tt.Order(); m++ {
+		orig := kernels.Reference(tt, factors, m)
+		rel := kernels.Reference(relabeled, relFactors, m)
+		// rel row perms[m][i] must equal orig row i.
+		for i := 0; i < orig.Rows; i++ {
+			oi := orig.Row(i)
+			ri := rel.Row(int(perms[m][i]))
+			for j := range oi {
+				if diff := oi[j] - ri[j]; diff > 1e-12 || diff < -1e-12 {
+					t.Fatalf("mode %d row %d differs after relabeling", m, i)
+				}
+			}
+		}
+	}
+}
+
+// TestLexiOrderClustersBlocks: on a tensor whose non-zeros live in two
+// scrambled blocks, Lexi-Order must reduce (or at least not increase) the
+// CSF fiber count, since rows of the same block become adjacent.
+func TestLexiOrderClustersBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tt := tensor.New([]int{40, 40, 40}, 0)
+	// Two 20x20x20 blocks on scrambled labels.
+	labels := rng.Perm(40)
+	seen := map[[3]int32]bool{}
+	for len(tt.Vals) < 600 {
+		b := rng.Intn(2)
+		c := [3]int32{
+			int32(labels[b*20+rng.Intn(20)]),
+			int32(labels[b*20+rng.Intn(20)]),
+			int32(labels[b*20+rng.Intn(20)]),
+		}
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		tt.Append(c[:], 1)
+	}
+	tt.SortLex()
+
+	fibersBefore := csf.Build(tt, []int{0, 1, 2}).NumFibers(1)
+	re := Apply(tt, LexiOrder(tt, 3))
+	fibersAfter := csf.Build(re, []int{0, 1, 2}).NumFibers(1)
+	if fibersAfter > fibersBefore {
+		t.Errorf("Lexi-Order increased level-1 fibers: %d -> %d", fibersBefore, fibersAfter)
+	}
+}
+
+func TestReorderQuick(t *testing.T) {
+	f := func(seed int64, which bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []int{2 + rng.Intn(10), 2 + rng.Intn(10), 2 + rng.Intn(10)}
+		space := dims[0] * dims[1] * dims[2]
+		nnz := 1 + rng.Intn(minInt(80, space))
+		tt := tensor.Random(dims, nnz, nil, seed)
+		var perms Perms
+		if which {
+			perms = LexiOrder(tt, 2)
+		} else {
+			perms = BFSMCS(tt)
+		}
+		if perms.Validate(tt.Dims) != nil {
+			return false
+		}
+		out := Apply(tt, perms)
+		return out.Validate(true) == nil && out.NNZ() == tt.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,224 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stef/internal/csf"
+	"stef/internal/tensor"
+)
+
+func buildTree(t *testing.T, dims []int, nnz int, seed int64, skew []float64) *csf.Tree {
+	t.Helper()
+	tt := tensor.Random(dims, nnz, skew, seed)
+	tr := csf.Build(tt, nil)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestPartitionValidates(t *testing.T) {
+	tree := buildTree(t, []int{10, 20, 30}, 500, 1, nil)
+	for _, threads := range []int{1, 2, 3, 4, 7, 16, 600} {
+		p := NewPartition(tree, threads)
+		if err := p.Validate(tree); err != nil {
+			t.Errorf("T=%d: %v", threads, err)
+		}
+	}
+}
+
+func TestPartitionLeafBalance(t *testing.T) {
+	tree := buildTree(t, []int{4, 50, 60}, 999, 2, []float64{2.5, 0, 0})
+	for _, threads := range []int{2, 3, 5, 8} {
+		p := NewPartition(tree, threads)
+		loads := p.Loads()
+		var lo, hi int64 = 1 << 62, 0
+		for _, l := range loads {
+			if l < lo {
+				lo = l
+			}
+			if l > hi {
+				hi = l
+			}
+		}
+		if hi-lo > 1 {
+			t.Errorf("T=%d: leaf loads %v differ by more than 1", threads, loads)
+		}
+	}
+}
+
+// TestOwnershipExact verifies that Own ranges partition each level and that
+// Own[th][l] is exactly the first node whose subtree starts at or after the
+// thread's first leaf.
+func TestOwnershipExact(t *testing.T) {
+	tree := buildTree(t, []int{6, 7, 8, 9}, 700, 3, nil)
+	d := tree.Order()
+	// leafBegin[l][n] is the first leaf of node n's subtree, computed by
+	// descending the pointer chains.
+	leafBegin := make([][]int64, d)
+	for l := range leafBegin {
+		leafBegin[l] = make([]int64, tree.NumFibers(l))
+	}
+	for l := 0; l < d; l++ {
+		for n := 0; n < tree.NumFibers(l); n++ {
+			leaf := int64(n)
+			for ll := l; ll < d-1; ll++ {
+				leaf = tree.Ptr[ll][leaf]
+			}
+			leafBegin[l][n] = leaf
+		}
+	}
+	for _, threads := range []int{1, 2, 3, 5, 9} {
+		p := NewPartition(tree, threads)
+		for th := 0; th <= threads; th++ {
+			for l := 0; l < d; l++ {
+				want := int64(tree.NumFibers(l))
+				for n := 0; n < tree.NumFibers(l); n++ {
+					if leafBegin[l][n] >= p.LeafStart[th] {
+						want = int64(n)
+						break
+					}
+				}
+				if p.Own[th][l] != want {
+					t.Errorf("T=%d th=%d level %d: Own=%d, want %d", threads, th, l, p.Own[th][l], want)
+				}
+			}
+		}
+	}
+}
+
+func TestSharedStartConsistency(t *testing.T) {
+	tree := buildTree(t, []int{3, 100, 40}, 800, 4, []float64{3, 0, 0})
+	p := NewPartition(tree, 6)
+	for th := 1; th < 6; th++ {
+		for l := 0; l < tree.Order(); l++ {
+			if p.SharedStart(th, l) != (p.Own[th][l] == p.Start[th][l]+1) {
+				t.Errorf("th=%d l=%d: SharedStart inconsistent", th, l)
+			}
+		}
+	}
+}
+
+func TestSlicePartitionEqual(t *testing.T) {
+	tree := buildTree(t, []int{9, 20, 30}, 400, 5, nil)
+	sp := NewSlicePartitionEqual(tree, 4)
+	if sp.Boundaries[0] != 0 || sp.Boundaries[4] != int64(tree.NumFibers(0)) {
+		t.Fatalf("boundaries %v do not cover slices", sp.Boundaries)
+	}
+	for th := 0; th < 4; th++ {
+		if sp.Boundaries[th] > sp.Boundaries[th+1] {
+			t.Fatalf("boundaries %v not monotone", sp.Boundaries)
+		}
+	}
+}
+
+func TestSlicePartitionNNZCoversAll(t *testing.T) {
+	tree := buildTree(t, []int{9, 20, 30}, 400, 6, []float64{2, 0, 0})
+	sp := NewSlicePartitionNNZ(tree, 3)
+	loads := sp.SliceLoads(tree)
+	var sum int64
+	for _, l := range loads {
+		sum += l
+	}
+	if sum != int64(tree.NNZ()) {
+		t.Fatalf("slice loads %v sum to %d, want %d", loads, sum, tree.NNZ())
+	}
+}
+
+// TestSlicePartitionFewSlices reproduces the paper's motivating case: with
+// fewer root slices than threads, slice partitioning leaves threads idle
+// while the balanced partition does not.
+func TestSlicePartitionFewSlices(t *testing.T) {
+	// Mode of length 2 becomes the root under length-sorted ordering.
+	tt := tensor.Random([]int{400, 300, 2}, 2000, []float64{0, 0, 4}, 7)
+	tree := csf.Build(tt, nil)
+	if tree.NumFibers(0) != 2 {
+		t.Skipf("generator produced %d root slices, want 2", tree.NumFibers(0))
+	}
+	const threads = 5
+	sp := NewSlicePartitionNNZ(tree, threads)
+	idle := 0
+	for _, l := range sp.SliceLoads(tree) {
+		if l == 0 {
+			idle++
+		}
+	}
+	if idle < threads-2 {
+		t.Errorf("expected at least %d idle threads under slice partitioning, got %d", threads-2, idle)
+	}
+	p := NewPartition(tree, threads)
+	for th, l := range p.Loads() {
+		if l == 0 {
+			t.Errorf("balanced partition left thread %d idle", th)
+		}
+	}
+	if ImbalancePct(p.Loads()) > 1 {
+		t.Errorf("balanced partition imbalance %.2f%% too high", ImbalancePct(p.Loads()))
+	}
+	if ImbalancePct(sp.SliceLoads(tree)) < 100 {
+		t.Errorf("slice partition imbalance %.2f%% unexpectedly low", ImbalancePct(sp.SliceLoads(tree)))
+	}
+}
+
+func TestToPartitionAligned(t *testing.T) {
+	tree := buildTree(t, []int{8, 10, 12, 6}, 600, 8, nil)
+	for _, threads := range []int{1, 2, 4, 9} {
+		sp := NewSlicePartitionNNZ(tree, threads)
+		p := sp.ToPartition(tree)
+		if err := p.Validate(tree); err != nil {
+			t.Errorf("T=%d: %v", threads, err)
+		}
+		for th := 0; th <= threads; th++ {
+			for l := 0; l < tree.Order(); l++ {
+				if p.Own[th][l] != p.Start[th][l] {
+					t.Errorf("T=%d th=%d l=%d: slice partition should be aligned", threads, th, l)
+				}
+			}
+		}
+	}
+}
+
+func TestImbalancePct(t *testing.T) {
+	if got := ImbalancePct([]int64{10, 10, 10}); got != 0 {
+		t.Errorf("uniform loads imbalance %g, want 0", got)
+	}
+	if got := ImbalancePct([]int64{30, 0, 0}); got != 200 {
+		t.Errorf("all-on-one imbalance %g, want 200", got)
+	}
+	if got := ImbalancePct(nil); got != 0 {
+		t.Errorf("empty imbalance %g, want 0", got)
+	}
+}
+
+func TestPartitionQuick(t *testing.T) {
+	f := func(seed int64, tRaw, dRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 3 + int(dRaw)%3
+		dims := make([]int, d)
+		for i := range dims {
+			dims[i] = 1 + rng.Intn(15)
+		}
+		space := 1
+		for _, n := range dims {
+			space *= n
+		}
+		nnz := 1 + rng.Intn(minInt(300, space))
+		tt := tensor.Random(dims, nnz, nil, seed)
+		tree := csf.Build(tt, nil)
+		threads := 1 + int(tRaw)%12
+		p := NewPartition(tree, threads)
+		return p.Validate(tree) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

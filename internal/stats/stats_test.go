@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %g", got)
+	}
+	if got := GeoMean([]float64{5}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("GeoMean(5) = %g", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %g", got)
+	}
+	// Non-positive entries are skipped.
+	if got := GeoMean([]float64{-1, 0, 4}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(-1,0,4) = %g", got)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if Min(xs) != 1 || Max(xs) != 3 {
+		t.Errorf("Min/Max = %g/%g", Min(xs), Max(xs))
+	}
+	if Mean(nil) != 0 {
+		t.Errorf("Mean(nil) = %g", Mean(nil))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max not infinite")
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	if got := KendallTau([]float64{1, 2, 3}, []float64{10, 20, 30}); got != 1 {
+		t.Errorf("identical order tau %g", got)
+	}
+	if got := KendallTau([]float64{1, 2, 3}, []float64{30, 20, 10}); got != -1 {
+		t.Errorf("reversed order tau %g", got)
+	}
+	if got := KendallTau([]float64{1}, []float64{1}); got != 0 {
+		t.Errorf("single pair tau %g", got)
+	}
+	if got := KendallTau([]float64{1, 2}, []float64{1}); got != 0 {
+		t.Errorf("mismatched length tau %g", got)
+	}
+	// One discordant pair out of three: tau = (2-1)/3.
+	got := KendallTau([]float64{1, 2, 3}, []float64{1, 3, 2})
+	if math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("partial order tau %g, want 1/3", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("short", 1)
+	tab.AddRow("a-much-longer-name", 2.5)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator line %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "2.500") {
+		t.Errorf("float formatting: %q", lines[3])
+	}
+	// Columns align: "value" column starts at the same offset everywhere.
+	idx := strings.Index(lines[0], "value")
+	for _, l := range lines[2:] {
+		if len(l) <= idx {
+			t.Errorf("row %q shorter than header column offset", l)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Profile describes a synthetic benchmark tensor. Each profile mirrors one
+// tensor from Table I of the paper, scaled down so that the full suite runs
+// on a laptop-class machine: mode lengths keep their relative order and
+// characteristic structure (e.g. vast-2015-mc1-* keeps its length-2 mode
+// with a ~94/6 split, which is what produces the paper's 1674% root-slice
+// imbalance), and the per-mode skew exponents control fiber-length profiles
+// so the model's memoize/swap decisions face the same trade-offs.
+type Profile struct {
+	// Name is the tensor's name as used in the paper (Table I).
+	Name string
+	// Dims are the scaled mode lengths.
+	Dims []int
+	// NNZ is the scaled number of non-zeros to generate.
+	NNZ int
+	// Skew holds one Zipf exponent per mode: 0 means uniform sampling,
+	// a value s > 1 samples coordinates from Zipf(s, 1, dim-1) so that a
+	// few indices dominate. Large exponents on short modes concentrate
+	// nearly all non-zeros in one slice.
+	Skew []float64
+	// Seed is the deterministic generation seed.
+	Seed int64
+}
+
+// Profiles returns the full scaled benchmark suite in Table I order.
+// The returned slice is freshly allocated and safe to modify.
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "chicago-crime-comm", Dims: []int{600, 24, 77, 32}, NNZ: 100_000, Skew: []float64{1.2, 0, 0, 0}, Seed: 101},
+		{Name: "chicago-crime-geo", Dims: []int{600, 24, 380, 395, 32}, NNZ: 100_000, Skew: []float64{1.2, 0, 0, 0, 0}, Seed: 102},
+		{Name: "delicious-3d", Dims: []int{5_330, 170_000, 20_000}, NNZ: 300_000, Skew: []float64{1.1, 0, 1.6}, Seed: 103},
+		{Name: "delicious-4d", Dims: []int{5_330, 170_000, 20_000, 1_000}, NNZ: 300_000, Skew: []float64{1.1, 0, 1.6, 1.3}, Seed: 104},
+		{Name: "enron", Dims: []int{600, 600, 24_400, 1_000}, NNZ: 150_000, Skew: []float64{1.3, 1.3, 0, 1.2}, Seed: 105},
+		{Name: "flickr-3d", Dims: []int{3_200, 280_000, 20_000}, NNZ: 250_000, Skew: []float64{1.2, 0, 1.4}, Seed: 106},
+		{Name: "flickr-4d", Dims: []int{3_200, 280_000, 20_000, 731}, NNZ: 250_000, Skew: []float64{1.2, 0, 1.4, 1.2}, Seed: 107},
+		{Name: "freebase_music", Dims: []int{230_000, 230_000, 166}, NNZ: 250_000, Skew: []float64{1.1, 1.1, 1.2}, Seed: 108},
+		{Name: "freebase_sampled", Dims: []int{380_000, 380_000, 533}, NNZ: 250_000, Skew: []float64{1.1, 1.1, 1.2}, Seed: 109},
+		{Name: "lbnl-network", Dims: []int{500, 1_000, 500, 1_000, 8_680}, NNZ: 50_000, Skew: []float64{1.2, 1.2, 1.2, 1.2, 0}, Seed: 110},
+		{Name: "nell-1", Dims: []int{30_000, 20_000, 250_000}, NNZ: 300_000, Skew: []float64{1.2, 1.2, 0}, Seed: 111},
+		{Name: "nell-2", Dims: []int{1_200, 900, 2_900}, NNZ: 200_000, Skew: []float64{1.1, 1.1, 1.1}, Seed: 112},
+		{Name: "nips", Dims: []int{2_000, 3_000, 14_000, 17}, NNZ: 100_000, Skew: []float64{1.2, 1.2, 0, 1.1}, Seed: 113},
+		{Name: "uber", Dims: []int{183, 24, 1_000, 2_000}, NNZ: 100_000, Skew: []float64{1.1, 0, 1.2, 0}, Seed: 114},
+		{Name: "vast-2015-mc1-3d", Dims: []int{16_500, 1_100, 2}, NNZ: 150_000, Skew: []float64{1.1, 1.1, 4.0}, Seed: 115},
+		{Name: "vast-2015-mc1-5d", Dims: []int{16_500, 1_100, 2, 100, 89}, NNZ: 150_000, Skew: []float64{1.1, 1.1, 4.0, 1.1, 1.1}, Seed: 116},
+	}
+}
+
+// ProfileByName returns the profile with the given name.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("tensor: unknown profile %q", name)
+}
+
+// ProfileNames returns all profile names in Table I order.
+func ProfileNames() []string {
+	ps := Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Generate materialises the profile as a sparse tensor with unique,
+// lexicographically sorted coordinates and uniform values in [0.5, 1.5).
+func (p Profile) Generate() *Tensor {
+	return Random(p.Dims, p.NNZ, p.Skew, p.Seed)
+}
+
+// Random generates a sparse tensor with nnz unique non-zeros. Coordinates
+// on mode m are sampled uniformly when skew[m] == 0 and from a Zipf
+// distribution with exponent skew[m] otherwise (skew may be nil for all
+// uniform). If the index space is too concentrated to yield nnz unique
+// coordinates within a generous attempt budget, the tensor is returned with
+// as many unique non-zeros as were found.
+func Random(dims []int, nnz int, skew []float64, seed int64) *Tensor {
+	d := len(dims)
+	if skew != nil && len(skew) != d {
+		panic(fmt.Sprintf("tensor: skew length %d does not match order %d", len(skew), d))
+	}
+	space := 1.0
+	for _, n := range dims {
+		space *= float64(n)
+	}
+	if float64(nnz) > space {
+		panic(fmt.Sprintf("tensor: requested %d non-zeros exceeds index space %.0f", nnz, space))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	samplers := make([]func() int32, d)
+	for m := 0; m < d; m++ {
+		n := dims[m]
+		if skew == nil || skew[m] == 0 || n == 1 {
+			nm := int32(n)
+			samplers[m] = func() int32 { return rng.Int31n(nm) }
+		} else {
+			z := rand.NewZipf(rng, skew[m], 1, uint64(n-1))
+			samplers[m] = func() int32 { return int32(z.Uint64()) }
+		}
+	}
+	// Coordinates are packed into a single uint64 key for dedup; every
+	// profile's index-space product fits in 63 bits.
+	strides := make([]uint64, d)
+	s := uint64(1)
+	for m := d - 1; m >= 0; m-- {
+		strides[m] = s
+		s *= uint64(dims[m])
+	}
+	seen := make(map[uint64]struct{}, nnz)
+	t := New(dims, nnz)
+	coord := make([]int32, d)
+	budget := 60 * nnz
+	for len(t.Vals) < nnz && budget > 0 {
+		budget--
+		key := uint64(0)
+		for m := 0; m < d; m++ {
+			coord[m] = samplers[m]()
+			key += strides[m] * uint64(coord[m])
+		}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		t.Append(coord, 0.5+rng.Float64())
+	}
+	t.SortLex()
+	return t
+}
+
+// LengthSortedPerm returns the mode permutation that sorts dims in
+// increasing length (ties broken by original mode index) — the common CSF
+// mode-order heuristic referenced in Section II-B of the paper. perm[m]
+// gives the original mode placed at CSF level m (level 0 is the root).
+func LengthSortedPerm(dims []int) []int {
+	perm := make([]int, len(dims))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return dims[perm[a]] < dims[perm[b]] })
+	return perm
+}

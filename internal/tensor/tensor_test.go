@@ -1,0 +1,310 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAppend(t *testing.T) {
+	tt := New([]int{3, 4, 5}, 2)
+	tt.Append([]int32{0, 0, 0}, 1.5)
+	tt.Append([]int32{2, 3, 4}, -2.0)
+	if tt.NNZ() != 2 || tt.Order() != 3 {
+		t.Fatalf("nnz=%d order=%d", tt.NNZ(), tt.Order())
+	}
+	if c := tt.Coord(1); c[0] != 2 || c[1] != 3 || c[2] != 4 {
+		t.Fatalf("coord %v", c)
+	}
+	if err := tt.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendPanicsOutOfRange(t *testing.T) {
+	tt := New([]int{2, 2}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tt.Append([]int32{0, 5}, 1)
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New([]int{3, 0, 2}, 1)
+}
+
+func TestSortLexAndValidate(t *testing.T) {
+	tt := New([]int{5, 5}, 4)
+	tt.Append([]int32{3, 1}, 1)
+	tt.Append([]int32{0, 4}, 2)
+	tt.Append([]int32{3, 0}, 3)
+	tt.Append([]int32{0, 1}, 4)
+	tt.SortLex()
+	if err := tt.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if tt.Vals[0] != 4 || tt.Vals[1] != 2 || tt.Vals[2] != 3 || tt.Vals[3] != 1 {
+		t.Fatalf("sorted values %v", tt.Vals)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	tt := New([]int{4, 4}, 3)
+	tt.Append([]int32{1, 1}, 2)
+	tt.Append([]int32{0, 0}, 5)
+	tt.Append([]int32{1, 1}, 3)
+	merged := tt.Dedup()
+	if merged != 1 || tt.NNZ() != 2 {
+		t.Fatalf("merged=%d nnz=%d", merged, tt.NNZ())
+	}
+	if tt.Vals[1] != 5 { // (1,1) sorts after (0,0)
+		t.Fatalf("vals %v", tt.Vals)
+	}
+	if tt.Vals[0] != 5 && tt.Vals[1] != 5 {
+		t.Fatalf("lost value 5: %v", tt.Vals)
+	}
+	found := false
+	for k := 0; k < tt.NNZ(); k++ {
+		c := tt.Coord(k)
+		if c[0] == 1 && c[1] == 1 {
+			if tt.Vals[k] != 5 {
+				t.Fatalf("(1,1) value %g, want 5", tt.Vals[k])
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("(1,1) missing after dedup")
+	}
+}
+
+func TestPermuteModesRoundTrip(t *testing.T) {
+	tt := Random([]int{4, 6, 8, 3}, 50, nil, 9)
+	perm := []int{2, 0, 3, 1}
+	inv := make([]int, 4)
+	for l, m := range perm {
+		inv[m] = l
+	}
+	back := tt.PermuteModes(perm).PermuteModes(inv)
+	if back.NNZ() != tt.NNZ() {
+		t.Fatal("nnz changed")
+	}
+	for k := 0; k < tt.NNZ(); k++ {
+		a, b := tt.Coord(k), back.Coord(k)
+		for m := range a {
+			if a[m] != b[m] {
+				t.Fatalf("coord mismatch at %d: %v vs %v", k, a, b)
+			}
+		}
+	}
+}
+
+func TestCheckPerm(t *testing.T) {
+	if err := CheckPerm([]int{2, 0, 1}, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]int{{0, 0, 1}, {0, 1}, {0, 1, 3}} {
+		if err := CheckPerm(bad, 3); err == nil {
+			t.Errorf("perm %v accepted", bad)
+		}
+	}
+}
+
+func TestNormFrobenius(t *testing.T) {
+	tt := New([]int{2, 2}, 2)
+	tt.Append([]int32{0, 0}, 3)
+	tt.Append([]int32{1, 1}, 4)
+	if got := tt.NormFrobenius(); math.Abs(got-5) > 1e-14 {
+		t.Fatalf("norm %g, want 5", got)
+	}
+}
+
+func TestRandomUniqueSorted(t *testing.T) {
+	tt := Random([]int{10, 10, 10}, 300, nil, 4)
+	if err := tt.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if tt.NNZ() != 300 {
+		t.Fatalf("nnz %d, want 300", tt.NNZ())
+	}
+}
+
+func TestRandomSkewConcentrates(t *testing.T) {
+	// Strong Zipf on mode 0 should put far more mass on index 0 than
+	// uniform would.
+	tt := Random([]int{100, 50, 50}, 2000, []float64{2.5, 0, 0}, 5)
+	count0 := 0
+	for k := 0; k < tt.NNZ(); k++ {
+		if tt.Coord(k)[0] == 0 {
+			count0++
+		}
+	}
+	if count0 < tt.NNZ()/4 {
+		t.Errorf("index 0 holds only %d/%d non-zeros under skew 2.5", count0, tt.NNZ())
+	}
+}
+
+func TestProfilesGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full profile generation in -short mode")
+	}
+	for _, p := range Profiles() {
+		if len(p.Dims) != len(p.Skew) {
+			t.Errorf("%s: dims/skew arity mismatch", p.Name)
+		}
+		if _, err := ProfileByName(p.Name); err != nil {
+			t.Errorf("%s: lookup failed", p.Name)
+		}
+	}
+	// Spot-generate two cheap profiles end to end.
+	for _, name := range []string{"uber", "vast-2015-mc1-3d"} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt := p.Generate()
+		if err := tt.Validate(true); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if tt.NNZ() < p.NNZ*9/10 {
+			t.Errorf("%s: generated only %d of %d non-zeros", name, tt.NNZ(), p.NNZ)
+		}
+	}
+}
+
+func TestProfileByNameUnknown(t *testing.T) {
+	if _, err := ProfileByName("no-such-tensor"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestVastProfileHasTwoRootSlices(t *testing.T) {
+	p, err := ProfileByName("vast-2015-mc1-3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := p.Generate()
+	perm := LengthSortedPerm(tt.Dims)
+	if tt.Dims[perm[0]] != 2 {
+		t.Fatalf("shortest mode length %d, want 2", tt.Dims[perm[0]])
+	}
+	// The length-2 mode must be heavily skewed (the paper's 1674%
+	// imbalance case): one slice carries > 80% of the non-zeros.
+	counts := [2]int{}
+	for k := 0; k < tt.NNZ(); k++ {
+		counts[tt.Coord(k)[perm[0]]]++
+	}
+	major := counts[0]
+	if counts[1] > major {
+		major = counts[1]
+	}
+	if float64(major) < 0.8*float64(tt.NNZ()) {
+		t.Errorf("root slice split %v not skewed enough", counts)
+	}
+}
+
+func TestModeCountsAndShares(t *testing.T) {
+	tt := New([]int{3, 4}, 5)
+	tt.Append([]int32{0, 0}, 1)
+	tt.Append([]int32{0, 1}, 1)
+	tt.Append([]int32{0, 2}, 1)
+	tt.Append([]int32{2, 0}, 1)
+	counts := tt.ModeCounts(0)
+	if counts[0] != 3 || counts[1] != 0 || counts[2] != 1 {
+		t.Fatalf("mode-0 counts %v", counts)
+	}
+	if got := tt.ModeDensity(0); got != 2.0/3 {
+		t.Errorf("mode-0 density %g", got)
+	}
+	if got := tt.TopSliceShare(0); got != 0.75 {
+		t.Errorf("mode-0 top share %g", got)
+	}
+	if got := tt.TopSliceShare(1); got != 0.5 {
+		t.Errorf("mode-1 top share %g", got)
+	}
+}
+
+func TestVastTopSliceShare(t *testing.T) {
+	p, err := ProfileByName("vast-2015-mc1-3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := p.Generate()
+	if share := tt.TopSliceShare(2); share < 0.85 {
+		t.Errorf("vast length-2 mode top share %.3f; want the paper's ~0.94 skew", share)
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(3, 4)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 || m.Row(1)[2] != 7 {
+		t.Fatal("Set/At/Row inconsistent")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 1)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone aliases storage")
+	}
+	m.Zero()
+	if m.At(1, 2) != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestMatrixRandomizeDeterministic(t *testing.T) {
+	a := NewMatrix(4, 4)
+	b := NewMatrix(4, 4)
+	a.Randomize(rand.New(rand.NewSource(5)))
+	b.Randomize(rand.New(rand.NewSource(5)))
+	if a.MaxAbsDiff(b) != 0 {
+		t.Fatal("same seed produced different matrices")
+	}
+}
+
+func TestRandomFactorsShapes(t *testing.T) {
+	fs := RandomFactors([]int{3, 7, 2}, 5, 1)
+	for m, n := range []int{3, 7, 2} {
+		if fs[m].Rows != n || fs[m].Cols != 5 {
+			t.Fatalf("factor %d shape %dx%d", m, fs[m].Rows, fs[m].Cols)
+		}
+	}
+}
+
+func TestSortLexQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []int{1 + rng.Intn(8), 1 + rng.Intn(8), 1 + rng.Intn(8)}
+		space := dims[0] * dims[1] * dims[2]
+		nnz := 1 + rng.Intn(minInt(40, space))
+		tt := Random(dims, nnz, nil, seed)
+		sum := 0.0
+		for _, v := range tt.Vals {
+			sum += v
+		}
+		tt.SortLex()
+		sum2 := 0.0
+		for _, v := range tt.Vals {
+			sum2 += v
+		}
+		return tt.Validate(true) == nil && math.Abs(sum-sum2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,188 @@
+// Package stef is the top-level API of this reproduction of
+// "Sparsity-Aware Tensor Decomposition" (Kurt et al., IPDPS 2022): CPD-ALS
+// for sparse tensors built on memoized, load-balanced MTTKRP kernels over a
+// single CSF representation, with a data-movement model choosing the
+// memoization set and mode layout per tensor.
+//
+// The heavy lifting lives in the internal packages (see DESIGN.md for the
+// full inventory); this package wires them together behind one call:
+//
+//	t, _ := stef.LoadTensor("data.tns")
+//	res, _ := stef.Decompose(t, stef.Options{Rank: 32, Threads: 8})
+//	fmt.Println(res.FinalFit())
+//
+// Engines other than STeF (the baselines from the paper's evaluation) can
+// be selected by name, which makes head-to-head comparisons one flag away.
+package stef
+
+import (
+	"fmt"
+
+	"stef/internal/baselines"
+	"stef/internal/core"
+	"stef/internal/cpd"
+	"stef/internal/dtree"
+	"stef/internal/frostt"
+	"stef/internal/reorder"
+	"stef/internal/tensor"
+)
+
+// Options configures Decompose.
+type Options struct {
+	// Rank is the number of CP components (default 16).
+	Rank int
+	// MaxIters bounds ALS iterations (default 50).
+	MaxIters int
+	// Tol is the fit-change convergence tolerance (default 1e-5;
+	// negative runs all iterations).
+	Tol float64
+	// Threads is the worker count (default 1).
+	Threads int
+	// Seed seeds the random initial factors.
+	Seed int64
+	// Engine selects the MTTKRP engine: "stef" (default), "stef2",
+	// "splatt-1", "splatt-2", "splatt-all", "adatm", "alto", "taco",
+	// "hicoo", "dtree" or "naive".
+	Engine string
+	// CacheBytes parameterises STeF's data-movement model (0 = default).
+	CacheBytes int64
+	// Reorder optionally relabels tensor indices before decomposition to
+	// improve locality: "" (none), "lexi" (Lexi-Order) or "bfsmcs"
+	// (BFS-MCS), both from Li et al. (ICS'19). Factor matrices are
+	// mapped back to the original index space before being returned.
+	Reorder string
+}
+
+// Result re-exports the CPD result type.
+type Result = cpd.Result
+
+// Decompose factorises the sparse tensor with CPD-ALS using the selected
+// engine and returns the factor matrices, component weights and fit trace.
+func Decompose(t *tensor.Tensor, opts Options) (*Result, error) {
+	var perms reorder.Perms
+	switch opts.Reorder {
+	case "":
+	case "lexi":
+		perms = reorder.LexiOrder(t, 3)
+	case "bfsmcs":
+		perms = reorder.BFSMCS(t)
+	default:
+		return nil, fmt.Errorf("stef: unknown reordering %q", opts.Reorder)
+	}
+	if perms != nil {
+		t = reorder.Apply(t, perms)
+	}
+	eng, err := NewEngine(t, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cpd.Run(t.Dims, t.NormFrobenius(), eng, cpd.Options{
+		Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol, Seed: opts.Seed,
+	})
+	if err != nil || perms == nil {
+		return res, err
+	}
+	// Map factor rows back to the original index space: relabeled row
+	// perms[m][i] corresponds to original index i.
+	for m, f := range res.Factors {
+		orig := tensor.NewMatrix(f.Rows, f.Cols)
+		for i := 0; i < f.Rows; i++ {
+			copy(orig.Row(i), f.Row(int(perms[m][i])))
+		}
+		res.Factors[m] = orig
+	}
+	return res, nil
+}
+
+// DecomposeBest runs Decompose `restarts` times with different random
+// initialisations (seeds opts.Seed, opts.Seed+1, ...) and returns the
+// result with the best final fit. CPD-ALS converges to local optima, so a
+// handful of restarts is the standard way to stabilise the fit; on exactly
+// low-rank data one restart usually suffices.
+func DecomposeBest(t *tensor.Tensor, opts Options, restarts int) (*Result, error) {
+	if restarts < 1 {
+		restarts = 1
+	}
+	var best *Result
+	for i := 0; i < restarts; i++ {
+		o := opts
+		o.Seed = opts.Seed + int64(i)
+		res, err := Decompose(t, o)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.FinalFit() > best.FinalFit() {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// NewEngine constructs the named MTTKRP engine for the tensor. The empty
+// name selects STeF.
+func NewEngine(t *tensor.Tensor, opts Options) (*cpd.Engine, error) {
+	threads := opts.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	rank := opts.Rank
+	if rank <= 0 {
+		rank = 16
+	}
+	switch opts.Engine {
+	case "", "stef":
+		eng, _, err := core.NewEngineFor(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes})
+		return eng, err
+	case "stef2":
+		eng, _, err := core.NewEngineFor(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, SecondCSF: true})
+		return eng, err
+	case "splatt-1":
+		return baselines.NewSplatt(t, baselines.SplattOptions{Copies: 1, Threads: threads, Rank: rank}), nil
+	case "splatt-2":
+		return baselines.NewSplatt(t, baselines.SplattOptions{Copies: 2, Threads: threads, Rank: rank}), nil
+	case "splatt-all":
+		return baselines.NewSplatt(t, baselines.SplattOptions{Copies: -1, Threads: threads, Rank: rank}), nil
+	case "adatm":
+		return baselines.NewAdaTM(t, baselines.AdaTMOptions{Threads: threads, Rank: rank}), nil
+	case "alto":
+		return baselines.NewALTO(t, baselines.ALTOOptions{Threads: threads, Rank: rank})
+	case "taco":
+		return baselines.NewTACO(t, baselines.TACOOptions{Threads: threads, Rank: rank}), nil
+	case "hicoo":
+		return baselines.NewHiCOO(t, baselines.HiCOOOptions{Threads: threads, Rank: rank})
+	case "dtree":
+		return dtree.NewEngine(t, dtree.Options{Rank: rank, Threads: threads})
+	case "naive":
+		return cpd.NaiveEngine(t), nil
+	}
+	return nil, fmt.Errorf("stef: unknown engine %q", opts.Engine)
+}
+
+// Plan exposes STeF's planning decisions (chosen layout, memoization set,
+// modeled cost, Table II byte accounting) without running a decomposition.
+func Plan(t *tensor.Tensor, opts Options) (*core.Plan, error) {
+	rank := opts.Rank
+	if rank <= 0 {
+		rank = 16
+	}
+	threads := opts.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	return core.NewPlan(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, SecondCSF: opts.Engine == "stef2"})
+}
+
+// LoadTensor reads a FROSTT .tns file.
+func LoadTensor(path string) (*tensor.Tensor, error) {
+	return frostt.ReadFile(path, nil)
+}
+
+// Benchmark generates one of the named synthetic benchmark tensors
+// reproducing Table I's suite (see stef/internal/tensor.ProfileNames).
+func Benchmark(name string) (*tensor.Tensor, error) {
+	p, err := tensor.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Generate(), nil
+}
