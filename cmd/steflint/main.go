@@ -1,0 +1,98 @@
+// Command steflint runs the repo-native static analyzers over the module:
+//
+//	hotpath-alloc  no allocations inside for loops of the hot packages
+//	par-safety     par.Blocks/par.Do callbacks write only thread-indexed state
+//	panic-prefix   panic messages in internal/... start with the package name
+//	no-deps        imports resolve to the stdlib or stef/... only
+//
+// Usage:
+//
+//	steflint [-run a,b] [-list] [packages]
+//
+// With no arguments (or "./...") every package in the module is analyzed.
+// Arguments name package directories relative to the working directory.
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stef/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("steflint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	runNames := fs.String("run", "", "comma-separated analyzers to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers := lint.All()
+	if *runNames != "" {
+		var err error
+		analyzers, err = lint.ByName(*runNames)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "steflint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "steflint:", err)
+		return 2
+	}
+
+	var pkgs []*lint.Package
+	patterns := fs.Args()
+	wholeModule := len(patterns) == 0
+	for _, p := range patterns {
+		if p == "./..." || p == "..." {
+			wholeModule = true
+		}
+	}
+	if wholeModule {
+		pkgs, err = loader.LoadAll()
+		if err != nil {
+			fmt.Fprintln(stderr, "steflint:", err)
+			return 2
+		}
+	} else {
+		for _, p := range patterns {
+			pkg, err := loader.LoadDir(p)
+			if err != nil {
+				fmt.Fprintln(stderr, "steflint:", err)
+				return 2
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "steflint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -122,6 +122,7 @@ func Run(dims []int, normX float64, eng *Engine, opts Options) (*Result, error) 
 		factors = make([]*tensor.Matrix, d)
 		for m, f := range opts.InitialFactors {
 			if f.Rows != dims[m] || f.Cols != r {
+				//lint:allow hotpath-alloc one-time input validation, cold error path
 				return nil, fmt.Errorf("cpd: initial factor %d has shape %dx%d, want %dx%d", m, f.Rows, f.Cols, dims[m], r)
 			}
 			factors[m] = f.Clone()
@@ -169,6 +170,7 @@ func Run(dims []int, normX float64, eng *Engine, opts Options) (*Result, error) 
 			}
 			chol, err := dense.NewCholesky(v)
 			if err != nil {
+				//lint:allow hotpath-alloc cold error path, aborts the iteration
 				return nil, fmt.Errorf("cpd: engine %q iteration %d mode %d: %w", eng.Name, it, m, err)
 			}
 			factors[m].CopyFrom(mttkrp[m])
@@ -192,6 +194,7 @@ func Run(dims []int, normX float64, eng *Engine, opts Options) (*Result, error) 
 		}
 
 		fit := computeFit(normX, factors, grams, lambda, mttkrp[lastMode], lastMode)
+		//lint:allow hotpath-alloc one fit record per ALS iteration, amortised over d MTTKRPs
 		res.Fits = append(res.Fits, fit)
 		res.Iters = it + 1
 		if math.Abs(fit-prevFit) < opts.Tol {

@@ -61,6 +61,8 @@ func sqrtf(x float64) float64 {
 //	mode <m> <rows> followed by rows lines of R values each
 //
 // It round-trips with ReadKruskal.
+//
+//lint:allow hotpath-alloc checkpoint serialisation, never on the iteration path
 func WriteKruskal(w io.Writer, r *Result) error {
 	bw := bufio.NewWriter(w)
 	d := len(r.Factors)
@@ -90,6 +92,8 @@ func WriteKruskal(w io.Writer, r *Result) error {
 }
 
 // ReadKruskal parses the format written by WriteKruskal.
+//
+//lint:allow hotpath-alloc checkpoint deserialisation, never on the iteration path
 func ReadKruskal(r io.Reader) (*Result, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)

@@ -1,0 +1,82 @@
+package csf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"stef/internal/tensor"
+)
+
+// serializedSeed returns the bytes of a valid small tree.
+func serializedSeed(dims []int, nnz int, seed int64) []byte {
+	tt := tensor.Random(dims, nnz, nil, seed)
+	var buf bytes.Buffer
+	if _, err := Build(tt, nil).WriteTo(&buf); err != nil {
+		panic("csf: seed serialisation failed: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// hugeCountHeader crafts a header whose level-0 fiber count claims 2^39
+// elements and then ends. Before ReadFrom switched to chunked reads this
+// made a terabyte-scale allocation before noticing EOF.
+func hugeCountHeader() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	binary.Write(&buf, binary.LittleEndian, uint32(3))
+	for i := 0; i < 3; i++ {
+		binary.Write(&buf, binary.LittleEndian, int64(10)) // dims
+	}
+	for i := 0; i < 3; i++ {
+		binary.Write(&buf, binary.LittleEndian, int64(i)) // perm
+	}
+	binary.Write(&buf, binary.LittleEndian, int64(1)<<39) // level-0 count
+	return buf.Bytes()
+}
+
+// FuzzReadFrom feeds arbitrary bytes to the CSF deserialiser; it must
+// never panic or allocate unboundedly, and whatever it accepts must
+// survive a write/read round trip.
+func FuzzReadFrom(f *testing.F) {
+	valid := serializedSeed([]int{5, 6, 7}, 60, 2)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-payload
+	f.Add(valid[:len(magic)+2]) // truncated in the order field
+	f.Add([]byte{})
+	f.Add([]byte("NOPE0000000000000000"))
+	f.Add(hugeCountHeader())
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0xff
+	f.Add(flipped)
+	f.Add(serializedSeed([]int{4, 5, 6, 7}, 40, 3))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted tree fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			t.Fatalf("write of accepted tree failed: %v", err)
+		}
+		back, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted tree failed: %v", err)
+		}
+		if back.Order() != tr.Order() || back.NNZ() != tr.NNZ() {
+			t.Fatalf("round trip changed shape: order %d->%d nnz %d->%d",
+				tr.Order(), back.Order(), tr.NNZ(), back.NNZ())
+		}
+	})
+}
+
+// TestReadFromHugeCount pins the chunked-read hardening: a corrupt header
+// claiming 2^39 fibers must fail fast with an error, not allocate.
+func TestReadFromHugeCount(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader(hugeCountHeader())); err == nil {
+		t.Fatal("expected error for truncated huge-count input")
+	}
+}

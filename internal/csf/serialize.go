@@ -69,6 +69,25 @@ func (t *Tree) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
+// readChunk bounds single allocations while deserialising: a corrupt
+// header claiming a huge element count hits EOF after at most one chunk
+// instead of attempting a terabyte-sized make up front.
+const readChunk = 1 << 16
+
+// readSlice reads count little-endian elements in bounded chunks.
+func readSlice[T int32 | int64 | float64](r io.Reader, count int64) ([]T, error) {
+	out := make([]T, 0, int(min(count, readChunk)))
+	for int64(len(out)) < count {
+		n := min(count-int64(len(out)), readChunk)
+		start := len(out)
+		out = append(out, make([]T, int(n))...)
+		if err := binary.Read(r, binary.LittleEndian, out[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // ReadFrom deserialises a tree written by WriteTo and validates it.
 func ReadFrom(r io.Reader) (*Tree, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
@@ -121,13 +140,12 @@ func ReadFrom(r io.Reader) (*Tree, error) {
 		if count < 0 || count > maxCount {
 			return nil, fmt.Errorf("csf: implausible level %d count %d", l, count)
 		}
-		t.Fids[l] = make([]int32, count)
-		if err := read(t.Fids[l]); err != nil {
+		var err error
+		if t.Fids[l], err = readSlice[int32](br, count); err != nil {
 			return nil, fmt.Errorf("csf: read level %d fids: %w", l, err)
 		}
 		if l < d-1 {
-			t.Ptr[l] = make([]int64, count+1)
-			if err := read(t.Ptr[l]); err != nil {
+			if t.Ptr[l], err = readSlice[int64](br, count+1); err != nil {
 				return nil, fmt.Errorf("csf: read level %d ptr: %w", l, err)
 			}
 		}
@@ -139,10 +157,11 @@ func ReadFrom(r io.Reader) (*Tree, error) {
 	if nnz < 0 || nnz > maxCount {
 		return nil, fmt.Errorf("csf: implausible nnz %d", nnz)
 	}
-	t.Vals = make([]float64, nnz)
-	if err := read(t.Vals); err != nil {
+	vals, err := readSlice[float64](br, nnz)
+	if err != nil {
 		return nil, fmt.Errorf("csf: read vals: %w", err)
 	}
+	t.Vals = vals
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("csf: deserialised tree invalid: %w", err)
 	}

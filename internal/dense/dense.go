@@ -108,6 +108,7 @@ func NewCholesky(v *tensor.Matrix) (*Cholesky, error) {
 	for i := 0; i < n; i++ {
 		d := math.Abs(v.At(i, i))
 		if math.IsNaN(d) || math.IsInf(d, 0) {
+			//lint:allow hotpath-alloc cold error path
 			return nil, fmt.Errorf("dense: Cholesky input has non-finite diagonal")
 		}
 		if d > maxDiag {
@@ -119,6 +120,7 @@ func NewCholesky(v *tensor.Matrix) (*Cholesky, error) {
 	}
 	jitter := 0.0
 	for attempt := 0; attempt < 40; attempt++ {
+		//lint:allow hotpath-alloc one R×R buffer per factorisation attempt; retries only on jitter escalation
 		l := make([]float64, n*n)
 		ok := true
 	factor:

@@ -64,11 +64,11 @@ func modeGeneric(tree *csf.Tree, factors []*tensor.Matrix, u, src int, partials 
 		// u..src-1.
 		kv := make([][]float64, u)
 		for l := 1; l < u; l++ {
-			kv[l] = make([]float64, r)
+			kv[l] = make([]float64, r) //lint:allow hotpath-alloc per-thread setup, once per kernel launch
 		}
 		tmp := make([][]float64, src)
 		for l := u; l < src; l++ {
-			tmp[l] = make([]float64, r)
+			tmp[l] = make([]float64, r) //lint:allow hotpath-alloc per-thread setup, once per kernel launch
 		}
 
 		// down computes t_l for node n at level l (u <= l < src) by

@@ -31,6 +31,7 @@ func NewPartials(tree *csf.Tree, rank int, save []bool) *Partials {
 			continue
 		}
 		if l < 1 || l > d-2 {
+			//lint:allow hotpath-alloc cold validation panic, once per Partials construction
 			panic(fmt.Sprintf("kernels: level %d cannot be memoized (order %d)", l, d))
 		}
 		p.P[l] = tensor.NewMatrix(tree.NumFibers(l), rank)

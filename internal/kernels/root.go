@@ -70,7 +70,7 @@ func rootGeneric(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, p
 		// One accumulator per level, reused depth-first.
 		tmp := make([][]float64, d-1)
 		for l := range tmp {
-			tmp[l] = make([]float64, r)
+			tmp[l] = make([]float64, r) //lint:allow hotpath-alloc per-thread setup, once per kernel launch
 		}
 		var rec func(l int, n int64)
 		rec = func(l int, n int64) {

@@ -16,7 +16,7 @@ func RootMTTKRPSubtrees(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Ma
 	r := factors[0].Cols
 	tmp := make([][]float64, d-1)
 	for l := range tmp {
-		tmp[l] = make([]float64, r)
+		tmp[l] = make([]float64, r) //lint:allow hotpath-alloc per-call setup, once per subtree range
 	}
 	var rec func(l int, n int64)
 	rec = func(l int, n int64) {
@@ -57,11 +57,11 @@ func ModeMTTKRPSubtrees(tree *csf.Tree, factors []*tensor.Matrix, u int, partial
 	r := factors[0].Cols
 	kv := make([][]float64, u)
 	for l := 1; l < u; l++ {
-		kv[l] = make([]float64, r)
+		kv[l] = make([]float64, r) //lint:allow hotpath-alloc per-call setup, once per subtree range
 	}
 	tmp := make([][]float64, src)
 	for l := u; l < src; l++ {
-		tmp[l] = make([]float64, r)
+		tmp[l] = make([]float64, r) //lint:allow hotpath-alloc per-call setup, once per subtree range
 	}
 	var down func(l int, n int64) []float64
 	down = func(l int, n int64) []float64 {

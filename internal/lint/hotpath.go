@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotPackages are the import-path suffixes of the packages whose loop
+// bodies must stay allocation-free: the MTTKRP kernels themselves, the
+// dense ALS kernels around them, the Algorithm-3 scheduler, and the ALS
+// driver. Everything else (I/O, planning, experiments) allocates freely.
+var hotPackages = []string{
+	"internal/kernels",
+	"internal/dense",
+	"internal/sched",
+	"internal/cpd",
+}
+
+func isHotPackage(path string) bool {
+	for _, suffix := range hotPackages {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// HotPathAlloc flags allocation sites and allocation-prone constructs
+// inside for-loop bodies of the hot packages: append, make, map and slice
+// literals, fmt.* calls, and implicit interface conversions (each boxes
+// its operand on the heap). STeF's kernels hoist every buffer out of the
+// nnz-proportional loops; this analyzer keeps it that way. Legitimate
+// once-per-call setup allocations are escaped with //lint:allow
+// hotpath-alloc comments.
+var HotPathAlloc = &Analyzer{
+	Name:      "hotpath-alloc",
+	Doc:       "flag allocations (append/make/literals/fmt/interface boxing) inside for loops of hot packages",
+	NeedTypes: true,
+	Run:       runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) {
+	if !isHotPackage(pass.PkgPath) {
+		return
+	}
+	for _, f := range pass.Files {
+		v := &hotPathVisitor{pass: pass}
+		ast.Walk(v, f)
+	}
+}
+
+// hotPathVisitor walks a file tracking for-loop nesting depth. Loop depth
+// is NOT reset inside function literals: a closure created inside a loop
+// is virtually always invoked inside it too (sort.Search predicates,
+// recursive kernel helpers), so its body counts as loop code.
+type hotPathVisitor struct {
+	pass      *Pass
+	loopDepth int
+}
+
+func (v *hotPathVisitor) Visit(n ast.Node) ast.Visitor {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		// The init statement runs once; cond, post and body repeat.
+		if n.Init != nil {
+			ast.Walk(v, n.Init)
+		}
+		inner := &hotPathVisitor{pass: v.pass, loopDepth: v.loopDepth + 1}
+		if n.Cond != nil {
+			ast.Walk(inner, n.Cond)
+		}
+		if n.Post != nil {
+			ast.Walk(inner, n.Post)
+		}
+		ast.Walk(inner, n.Body)
+		return nil
+	case *ast.RangeStmt:
+		if n.X != nil {
+			ast.Walk(v, n.X)
+		}
+		inner := &hotPathVisitor{pass: v.pass, loopDepth: v.loopDepth + 1}
+		ast.Walk(inner, n.Body)
+		return nil
+	}
+	if v.loopDepth == 0 {
+		return v
+	}
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		v.checkCall(n)
+	case *ast.CompositeLit:
+		v.checkCompositeLit(n)
+	case *ast.AssignStmt:
+		v.checkAssignConversions(n)
+	}
+	return v
+}
+
+// checkCall flags append, make, fmt.* and interface-boxing arguments of
+// calls inside loops.
+func (v *hotPathVisitor) checkCall(call *ast.CallExpr) {
+	pass := v.pass
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := pass.Info.Uses[fun].(*types.Builtin); ok {
+			switch obj.Name() {
+			case "append":
+				pass.Reportf(call.Pos(), "append inside a hot loop grows a slice per iteration; hoist the buffer out of the loop")
+			case "make":
+				pass.Reportf(call.Pos(), "make inside a hot loop allocates per iteration; hoist the buffer out of the loop")
+			}
+			// Other builtins (panic, copy, len, ...) take no boxing hit
+			// worth flagging here.
+			return
+		}
+	case *ast.SelectorExpr:
+		if pkg, ok := pass.Info.Uses[identOf(fun.X)].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s inside a hot loop allocates (formatting and boxing); move it out of the loop or use //lint:allow hotpath-alloc on a cold error path", fun.Sel.Name)
+			return // don't double-report its ...interface{} arguments
+		}
+	}
+	// Explicit conversion to an interface type: T(x) where T is an
+	// interface boxes x.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && !isInterfaceOrNil(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to interface type %s inside a hot loop boxes its operand", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+		}
+		return
+	}
+	// Implicit interface conversions at call boundaries: a concrete
+	// argument passed as an interface parameter escapes to the heap.
+	sig, ok := calleeSignature(pass, call)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && !isInterfaceOrNil(pass, arg) {
+			pass.Reportf(arg.Pos(), "argument boxed into interface parameter %s inside a hot loop", types.TypeString(pt, types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+// checkCompositeLit flags map and slice literals (both allocate).
+func (v *hotPathVisitor) checkCompositeLit(lit *ast.CompositeLit) {
+	tv, ok := v.pass.Info.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		v.pass.Reportf(lit.Pos(), "slice literal inside a hot loop allocates per iteration")
+	case *types.Map:
+		v.pass.Reportf(lit.Pos(), "map literal inside a hot loop allocates per iteration")
+	}
+}
+
+// checkAssignConversions flags assignments that box a concrete value into
+// an interface-typed variable.
+func (v *hotPathVisitor) checkAssignConversions(assign *ast.AssignStmt) {
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	pass := v.pass
+	for i, lhs := range assign.Lhs {
+		lt, ok := pass.Info.Types[lhs]
+		if !ok || !types.IsInterface(lt.Type) {
+			continue
+		}
+		if !isInterfaceOrNil(pass, assign.Rhs[i]) {
+			pass.Reportf(assign.Rhs[i].Pos(), "assignment boxes a concrete value into interface %s inside a hot loop", types.TypeString(lt.Type, types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+// calleeSignature resolves the static signature of a call, or reports
+// false for builtins, conversions and unresolvable callees.
+func calleeSignature(pass *Pass, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil, false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// isInterfaceOrNil reports whether arg is already an interface value (no
+// new boxing) or the untyped nil.
+func isInterfaceOrNil(pass *Pass, arg ast.Expr) bool {
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Type == nil {
+		return true // be conservative: don't flag what we can't see
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return true
+	}
+	return types.IsInterface(tv.Type)
+}
+
+// identOf unwraps parens and returns the identifier of e, or nil.
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}

@@ -1,0 +1,291 @@
+// Package lint is a stdlib-only static-analysis framework enforcing the
+// repo-specific invariants STeF's performance and correctness claims rest
+// on: allocation-free hot loops, race-freedom of par.Blocks/par.Do
+// callbacks by thread-indexed writes (the paper's no-atomics boundary-row
+// scheme), panic messages prefixed with their package name, and a
+// dependency-free import graph.
+//
+// The framework deliberately avoids golang.org/x/tools: packages are
+// loaded from source with go/parser and typechecked with go/types (see
+// load.go), keeping the module's zero-dependency invariant intact — which
+// the no-deps analyzer in turn enforces.
+//
+// Findings can be suppressed with escape comments:
+//
+//	//lint:allow <analyzer> [reason]
+//
+// placed either on the offending line, on the line directly above it, or
+// in the doc comment of the enclosing function declaration (which exempts
+// the whole function — used for serialisation and validation helpers that
+// live in hot packages but are never on the per-iteration path).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and allow comments.
+	Name string
+	// Doc is a one-line description shown by `steflint -list`.
+	Doc string
+	// NeedTypes reports whether Run requires Pass.Pkg/Pass.Info. Analyzers
+	// with NeedTypes unset run even on packages that fail to typecheck
+	// (e.g. because of a forbidden import).
+	NeedTypes bool
+	// Run inspects the package and reports findings via Pass.Reportf.
+	Run func(*Pass)
+}
+
+// A Finding is one rule violation at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// A Pass carries one (analyzer, package) run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test files, typechecked when the
+	// loader succeeded.
+	Files []*ast.File
+	// TestFiles are the package's _test.go files, parsed but not
+	// typechecked. Only analyzers that work purely syntactically (e.g.
+	// no-deps) should look at them.
+	TestFiles []*ast.File
+	// PkgPath is the package's import path (e.g. "stef/internal/sched").
+	PkgPath string
+	// Pkg and Info are nil when typechecking failed or was skipped.
+	Pkg  *types.Package
+	Info *types.Info
+
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.findings = append(p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// PkgName returns the package's name, falling back to the AST when type
+// information is unavailable.
+func (p *Pass) PkgName() string {
+	if p.Pkg != nil {
+		return p.Pkg.Name()
+	}
+	if len(p.Files) > 0 {
+		return p.Files[0].Name.Name
+	}
+	return ""
+}
+
+// Run executes every analyzer over every package and returns the surviving
+// findings sorted by position. Analyzers that need type information are
+// skipped (with a loader-level finding) on packages that failed to
+// typecheck.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var all []Finding
+	for _, pkg := range pkgs {
+		allow := buildAllowIndex(pkg.Fset, append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...))
+		var skipped []string
+		for _, a := range analyzers {
+			if a.NeedTypes && pkg.TypeErr != nil {
+				skipped = append(skipped, a.Name)
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				TestFiles: pkg.TestFiles,
+				PkgPath:   pkg.Path,
+				Pkg:       pkg.Types,
+				Info:      pkg.Info,
+			}
+			a.Run(pass)
+			for _, f := range pass.findings {
+				if !allow.allows(f) {
+					all = append(all, f)
+				}
+			}
+		}
+		if len(skipped) > 0 {
+			all = append(all, Finding{
+				Pos:      token.Position{Filename: pkg.Dir},
+				Analyzer: "typecheck",
+				Message:  fmt.Sprintf("package %s failed to typecheck, skipped %s: %v", pkg.Path, strings.Join(skipped, ", "), pkg.TypeErr),
+			})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}
+
+// allowDirective is the comment prefix of an escape comment.
+const allowDirective = "lint:allow"
+
+// allowIndex records where escape comments permit findings: individual
+// (file, line, analyzer) entries and whole-function spans.
+type allowIndex struct {
+	fset  *token.FileSet
+	lines map[string]map[int]map[string]bool // file -> line -> analyzer
+	spans []allowSpan
+}
+
+type allowSpan struct {
+	file     string
+	from, to int // line range, inclusive
+	analyzer string
+}
+
+// parseAllow extracts the analyzer names from one comment, or nil if the
+// comment is not an allow directive. `//lint:allow a,b reason...` and
+// `//lint:allow a b` both allow analyzers a and b.
+func parseAllow(text string) []string {
+	body, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), allowDirective)
+	if !ok || (body != "" && body[0] != ' ' && body[0] != '\t') {
+		return nil
+	}
+	body = strings.TrimSpace(body)
+	if body == "" {
+		return nil
+	}
+	// Analyzer names are the comma-separated list before the first
+	// whitespace; everything after is free-form reason text.
+	namesPart := strings.FieldsFunc(body, func(r rune) bool { return r == ' ' || r == '\t' })[0]
+	var names []string
+	for _, field := range strings.Split(namesPart, ",") {
+		if isAnalyzerName(field) {
+			names = append(names, field)
+		}
+	}
+	return names
+}
+
+func isAnalyzerName(s string) bool {
+	for _, r := range s {
+		ok := r == '-' || r >= 'a' && r <= 'z' || r >= '0' && r <= '9'
+		if !ok {
+			return false
+		}
+	}
+	return s != ""
+}
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{fset: fset, lines: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := parseAllow(c.Text)
+				if names == nil {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				for _, name := range names {
+					idx.addLine(pos.Filename, pos.Line, name)
+					// A comment on its own line allows the line below it.
+					idx.addLine(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+		// Function-level escapes: a directive in a FuncDecl's doc comment
+		// exempts the whole declaration.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				for _, name := range parseAllow(c.Text) {
+					from := fset.Position(fd.Pos())
+					to := fset.Position(fd.End())
+					idx.spans = append(idx.spans, allowSpan{
+						file: from.Filename, from: from.Line, to: to.Line, analyzer: name,
+					})
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *allowIndex) addLine(file string, line int, analyzer string) {
+	byLine := idx.lines[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		idx.lines[file] = byLine
+	}
+	byAnalyzer := byLine[line]
+	if byAnalyzer == nil {
+		byAnalyzer = make(map[string]bool)
+		byLine[line] = byAnalyzer
+	}
+	byAnalyzer[analyzer] = true
+}
+
+func (idx *allowIndex) allows(f Finding) bool {
+	if byLine := idx.lines[f.Pos.Filename]; byLine != nil && byLine[f.Pos.Line][f.Analyzer] {
+		return true
+	}
+	for _, sp := range idx.spans {
+		if sp.analyzer == f.Analyzer && sp.file == f.Pos.Filename && sp.from <= f.Pos.Line && f.Pos.Line <= sp.to {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{HotPathAlloc, ParSafety, PanicPrefix, NoDeps}
+}
+
+// ByName resolves a comma-separated analyzer list; unknown names error.
+func ByName(names string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: no analyzers selected")
+	}
+	return out, nil
+}

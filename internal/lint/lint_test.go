@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Fixture tests: each analyzer runs over a seeded-violation file under
+// internal/lint/testdata/src/ and its findings are matched line-by-line
+// against `// want "substring"` annotations. The same files double as
+// negative tests when analyzed under package paths outside the analyzer's
+// scope.
+
+var (
+	loaderOnce sync.Once
+	loaderVal  *Loader
+	loaderErr  error
+)
+
+// sharedLoader returns a process-wide loader rooted at the module, so the
+// stdlib source importer's work is shared across fixture tests.
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loaderVal, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return loaderVal
+}
+
+// loadFixture parses (and optionally typechecks) one fixture file as a
+// single-file package with the given synthetic import path.
+func loadFixture(t *testing.T, file, pkgPath string, typecheck bool) *Package {
+	t.Helper()
+	l := sharedLoader(t)
+	abs, err := filepath.Abs(file)
+	if err != nil {
+		t.Fatalf("abs %s: %v", file, err)
+	}
+	f, err := parser.ParseFile(l.Fset, abs, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", file, err)
+	}
+	pkg := &Package{
+		Path:  pkgPath,
+		Dir:   filepath.Dir(abs),
+		Fset:  l.Fset,
+		Files: []*ast.File{f},
+	}
+	if typecheck {
+		pkg.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: importerFunc(l.importPkg)}
+		pkg.Types, pkg.TypeErr = conf.Check(pkgPath, l.Fset, pkg.Files, pkg.Info)
+		if pkg.TypeErr != nil {
+			t.Fatalf("typecheck %s: %v", file, pkg.TypeErr)
+		}
+	}
+	return pkg
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// collectWants maps line number -> expected finding substring for every
+// `// want "..."` annotation in the fixture.
+func collectWants(t *testing.T, pkg *Package) map[int]string {
+	t.Helper()
+	wants := make(map[int]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := pkg.Fset.Position(c.Slash).Line
+				wants[line] = m[1]
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture has no // want annotations")
+	}
+	return wants
+}
+
+// checkFixture runs one analyzer over the fixture package and matches its
+// findings against the want annotations: every finding must land on a
+// wanted line and contain the wanted substring, and every wanted line must
+// produce at least one finding.
+func checkFixture(t *testing.T, pkg *Package, a *Analyzer) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	findings := Run([]*Package{pkg}, []*Analyzer{a})
+	hit := make(map[int]bool)
+	for _, f := range findings {
+		want, ok := wants[f.Pos.Line]
+		if !ok {
+			t.Errorf("unexpected finding at line %d: %s", f.Pos.Line, f.Message)
+			continue
+		}
+		if !strings.Contains(f.Message, want) {
+			t.Errorf("line %d: finding %q does not contain %q", f.Pos.Line, f.Message, want)
+		}
+		hit[f.Pos.Line] = true
+	}
+	for line, want := range wants {
+		if !hit[line] {
+			t.Errorf("line %d: expected finding containing %q, got none", line, want)
+		}
+	}
+}
+
+// checkSilent asserts an analyzer produces no findings on the package.
+func checkSilent(t *testing.T, pkg *Package, a *Analyzer) {
+	t.Helper()
+	for _, f := range Run([]*Package{pkg}, []*Analyzer{a}) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+func TestHotPathAllocFixture(t *testing.T) {
+	pkg := loadFixture(t, "testdata/src/hotpath/hotpath.go", "stef/internal/kernels", true)
+	checkFixture(t, pkg, HotPathAlloc)
+}
+
+func TestHotPathAllocColdPackage(t *testing.T) {
+	// The same violations are fine outside the hot packages.
+	pkg := loadFixture(t, "testdata/src/hotpath/hotpath.go", "stef/internal/frostt", true)
+	checkSilent(t, pkg, HotPathAlloc)
+}
+
+func TestParSafetyFixture(t *testing.T) {
+	pkg := loadFixture(t, "testdata/src/parsafety/parsafety.go", "stef/internal/parfix", true)
+	checkFixture(t, pkg, ParSafety)
+}
+
+func TestPanicPrefixFixture(t *testing.T) {
+	// badDynamic reproduces the internal/reorder/reorder.go:63 class of
+	// bug: panic(err.Error()) with no package prefix.
+	pkg := loadFixture(t, "testdata/src/panicprefix/panicprefix.go", "stef/internal/panicfix", true)
+	checkFixture(t, pkg, PanicPrefix)
+}
+
+func TestPanicPrefixOutsideInternal(t *testing.T) {
+	// The discipline applies to internal/... only; commands are exempt.
+	pkg := loadFixture(t, "testdata/src/panicprefix/panicprefix.go", "stef/cmd/panicfix", true)
+	checkSilent(t, pkg, PanicPrefix)
+}
+
+func TestNoDepsFixture(t *testing.T) {
+	// Parse-only: the forbidden imports cannot typecheck, by design, and
+	// no-deps must not require type information.
+	pkg := loadFixture(t, "testdata/src/nodeps/nodeps.go", "stef/internal/depfix", false)
+	checkFixture(t, pkg, NoDeps)
+}
+
+// TestSelfCheck runs the full analyzer suite over the real repository and
+// asserts zero findings — the tree must stay lint-clean.
+func TestSelfCheck(t *testing.T) {
+	l := sharedLoader(t)
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("LoadAll found only %d packages, expected the whole module", len(pkgs))
+	}
+	for _, f := range Run(pkgs, All()) {
+		t.Errorf("repo not lint-clean: %s", f)
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//lint:allow hotpath-alloc", []string{"hotpath-alloc"}},
+		{"//lint:allow hotpath-alloc one-time setup", []string{"hotpath-alloc"}},
+		{"//lint:allow hotpath-alloc,par-safety shared buffer", []string{"hotpath-alloc", "par-safety"}},
+		{"// lint:allow panic-prefix re-panic", []string{"panic-prefix"}},
+		{"// regular comment", nil},
+		{"//lint:allow", nil},
+		{"//lint:allowhotpath-alloc", nil},
+	}
+	for _, c := range cases {
+		got := parseAllow(c.text)
+		if len(got) != len(c.want) {
+			t.Errorf("parseAllow(%q) = %v, want %v", c.text, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseAllow(%q) = %v, want %v", c.text, got, c.want)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("hotpath-alloc,no-deps")
+	if err != nil || len(as) != 2 || as[0].Name != "hotpath-alloc" || as[1].Name != "no-deps" {
+		t.Fatalf("ByName = %v, %v", as, err)
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Fatalf("ByName accepted unknown analyzer")
+	}
+	if _, err := ByName(""); err == nil {
+		t.Fatalf("ByName accepted empty selection")
+	}
+}

@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded module package, parsed and (when possible)
+// typechecked from source.
+type Package struct {
+	// Path is the import path, e.g. "stef/internal/kernels".
+	Path string
+	// Dir is the package directory on disk.
+	Dir  string
+	Fset *token.FileSet
+	// Files holds the non-test files (typechecked when TypeErr is nil).
+	Files []*ast.File
+	// TestFiles holds _test.go files, parsed only.
+	TestFiles []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+	// TypeErr records why typechecking failed, if it did. Syntactic
+	// analyzers still run on such packages.
+	TypeErr error
+}
+
+// Loader loads and typechecks packages of a single module from source,
+// using only the standard library: module-local imports are resolved by
+// walking the module tree, everything else through go/importer's source
+// importer (which compiles the standard library from $GOROOT/src).
+type Loader struct {
+	Fset    *token.FileSet
+	root    string // module root directory (contains go.mod)
+	modPath string // module path from go.mod
+	std     types.ImporterFrom
+	cache   map[string]*Package
+	loading map[string]bool // import-cycle guard
+}
+
+// NewLoader creates a loader for the module rooted at (or above) dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer unavailable")
+	}
+	return &Loader{
+		Fset:    fset,
+		root:    root,
+		modPath: modPath,
+		std:     std,
+		cache:   make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// Root returns the module root directory.
+func (l *Loader) Root() string { return l.root }
+
+// ModPath returns the module path declared in go.mod.
+func (l *Loader) ModPath() string { return l.modPath }
+
+// findModule walks up from dir to the nearest go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					mp := strings.TrimSpace(rest)
+					mp = strings.Trim(mp, `"`)
+					if mp == "" {
+						break
+					}
+					return dir, mp, nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadAll loads every package in the module (directories containing .go
+// files), skipping testdata, hidden directories, and vendor.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir loads the package in the given directory (which must be inside
+// the module).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("lint: %s is outside module %s", dir, l.root)
+	}
+	path := l.modPath
+	if rel != "." {
+		path = l.modPath + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(path)
+}
+
+// load parses and typechecks one package by import path, caching results.
+// Typecheck failures are recorded in Package.TypeErr rather than returned:
+// the caller can still run syntactic analyzers.
+func (l *Loader) load(path string) (*Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		f, perr := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if perr != nil {
+			return nil, perr
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			pkg.TestFiles = append(pkg.TestFiles, f)
+		} else {
+			pkg.Files = append(pkg.Files, f)
+		}
+	}
+	if len(pkg.Files) > 0 {
+		pkg.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: importerFunc(l.importPkg)}
+		pkg.Types, pkg.TypeErr = conf.Check(path, l.Fset, pkg.Files, pkg.Info)
+		if pkg.TypeErr != nil {
+			pkg.Types, pkg.Info = nil, nil
+		}
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// importPkg resolves an import during typechecking: module-local packages
+// recurse through the loader; everything else goes to the stdlib source
+// importer.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if p.TypeErr != nil {
+			return nil, p.TypeErr
+		}
+		if p.Types == nil {
+			return nil, fmt.Errorf("lint: %s has no buildable Go files", path)
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, l.root, 0)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

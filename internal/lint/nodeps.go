@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// NoDeps guards the module's zero-dependency invariant (README: "Go
+// standard library only"): every import must resolve to the standard
+// library or to a module-local "stef/..." package. It runs purely
+// syntactically — including over _test.go files and over packages that
+// fail to typecheck (a forbidden import usually breaks typechecking
+// first).
+var NoDeps = &Analyzer{
+	Name: "no-deps",
+	Doc:  "imports must be standard library or module-local",
+	Run:  runNoDeps,
+}
+
+// modulePath is the module's import-path prefix. The analyzer derives the
+// allowed prefix from the analyzed package's own path when possible and
+// falls back to this.
+const modulePath = "stef"
+
+func runNoDeps(pass *Pass) {
+	for _, f := range append(append([]*ast.File(nil), pass.Files...), pass.TestFiles...) {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if !allowedImport(path) {
+				pass.Reportf(imp.Pos(), "import %q is neither standard library nor module-local; the module must stay dependency-free", path)
+			}
+		}
+	}
+}
+
+// allowedImport reports whether path is standard library or module-local.
+// Stdlib detection uses the gc rule: a standard-library path's first
+// segment never contains a dot, while any external module path starts
+// with a (dotted) domain. Cgo ("C") counts as a dependency: it breaks the
+// pure-Go build the README promises.
+func allowedImport(path string) bool {
+	if path == modulePath || strings.HasPrefix(path, modulePath+"/") {
+		return true
+	}
+	if path == "C" {
+		return false
+	}
+	first, _, _ := strings.Cut(path, "/")
+	return first != "" && !strings.Contains(first, ".")
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// PanicPrefix enforces the repo's panic-message convention in internal
+// packages: every panic message must begin with "<package>: " so a stack
+// line alone identifies the failing subsystem. Messages whose prefix
+// cannot be established statically (panic(err.Error()), panic(err), ...)
+// are flagged too — wrap them, e.g. panic("pkg: " + err.Error()).
+var PanicPrefix = &Analyzer{
+	Name:      "panic-prefix",
+	Doc:       "panic messages in internal packages must start with the package name",
+	NeedTypes: true,
+	Run:       runPanicPrefix,
+}
+
+func runPanicPrefix(pass *Pass) {
+	if !strings.Contains(pass.PkgPath, "internal/") {
+		return
+	}
+	prefix := pass.PkgName() + ": "
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id := identOf(call.Fun)
+			if id == nil {
+				return true
+			}
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			checkPanicArg(pass, prefix, call.Args[0])
+			return true
+		})
+	}
+}
+
+// checkPanicArg verifies that the panic argument's message starts with the
+// package prefix, reporting otherwise.
+func checkPanicArg(pass *Pass, prefix string, arg ast.Expr) {
+	msg, known := staticPrefix(pass, arg)
+	switch {
+	case !known:
+		pass.Reportf(arg.Pos(), "panic message cannot be statically verified to start with %q; wrap it, e.g. panic(%q + err.Error())", prefix, prefix)
+	case !strings.HasPrefix(msg, prefix):
+		pass.Reportf(arg.Pos(), "panic message %q does not start with %q", truncate(msg, 40), prefix)
+	}
+}
+
+// staticPrefix extracts the statically-known leading string of a panic
+// argument: a constant string, the left end of a + concatenation chain, or
+// the format string of fmt.Sprintf/fmt.Errorf.
+func staticPrefix(pass *Pass, arg ast.Expr) (string, bool) {
+	arg = ast.Unparen(arg)
+	// Constant string expressions (literals, named constants, and
+	// constant concatenations) are fully known.
+	if tv, ok := pass.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	switch e := arg.(type) {
+	case *ast.BinaryExpr:
+		// "pkg: " + err.Error(): only the leftmost operand must be known.
+		return staticPrefix(pass, e.X)
+	case *ast.CallExpr:
+		if fun, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			pkg, ok := pass.Info.Uses[identOf(fun.X)].(*types.PkgName)
+			if ok && pkg.Imported().Path() == "fmt" && (fun.Sel.Name == "Sprintf" || fun.Sel.Name == "Errorf" || fun.Sel.Name == "Sprint") && len(e.Args) > 0 {
+				return staticPrefix(pass, e.Args[0])
+			}
+		}
+	}
+	return "", false
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

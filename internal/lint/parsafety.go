@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// parPkgPath is the import path of the parallel-loop helpers.
+const parPkgPath = "stef/internal/par"
+
+// parWrappers names module-local functions that forward a callback to
+// par.Do/par.Blocks verbatim; function literals passed to them get the
+// same scrutiny.
+var parWrappers = map[string]bool{
+	"runThreads": true,
+}
+
+// ParSafety is the static counterpart of the paper's no-atomics
+// boundary-row scheme: inside a function literal passed to par.Blocks or
+// par.Do, every write to captured (outer-scope) state must be indexed by a
+// value derived from the callback's own parameters (the thread id or block
+// bounds). A bare assignment to a captured variable, or an indexed store
+// whose index is provably thread-independent, is a data race waiting for a
+// schedule.
+var ParSafety = &Analyzer{
+	Name:      "par-safety",
+	Doc:       "flag writes to captured variables in par.Blocks/par.Do callbacks not indexed by thread-local values",
+	NeedTypes: true,
+	Run:       runParSafety,
+}
+
+func runParSafety(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isParallelEntry(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					checkParCallback(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isParallelEntry reports whether call invokes par.Blocks, par.Do, or a
+// known local wrapper around them.
+func isParallelEntry(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		pkg, ok := pass.Info.Uses[identOf(fun.X)].(*types.PkgName)
+		if !ok || pkg.Imported().Path() != parPkgPath {
+			return false
+		}
+		return fun.Sel.Name == "Blocks" || fun.Sel.Name == "Do"
+	case *ast.Ident:
+		return parWrappers[fun.Name]
+	}
+	return false
+}
+
+// checkParCallback analyzes one parallel callback literal.
+func checkParCallback(pass *Pass, lit *ast.FuncLit) {
+	// tainted holds variables whose value is (transitively) derived from
+	// the callback's parameters — the thread id and block bounds. Indexing
+	// captured state by a tainted value is the sanctioned write pattern.
+	tainted := make(map[types.Object]bool)
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				tainted[obj] = true
+			}
+		}
+	}
+	// Propagate taint to fixpoint: an assignment or range clause whose
+	// right side mentions a tainted variable taints the locals it defines
+	// or updates. Loops in the body can feed taint backwards, hence the
+	// iteration.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				rhsTainted := false
+				for _, r := range n.Rhs {
+					if mentionsTainted(pass, tainted, r) {
+						rhsTainted = true
+						break
+					}
+				}
+				if !rhsTainted {
+					return true
+				}
+				for _, l := range n.Lhs {
+					if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+						if obj := objOf(pass, id); obj != nil && isLocal(lit, obj) && !tainted[obj] {
+							tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if !mentionsTainted(pass, tainted, n.X) {
+					return true
+				}
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok && id != nil {
+						if obj := objOf(pass, id); obj != nil && isLocal(lit, obj) && !tainted[obj] {
+							tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, l := range n.Lhs {
+				checkParStore(pass, lit, tainted, l)
+			}
+		case *ast.IncDecStmt:
+			checkParStore(pass, lit, tainted, n.X)
+		}
+		return true
+	})
+}
+
+// checkParStore validates one store target inside a parallel callback.
+func checkParStore(pass *Pass, lit *ast.FuncLit, tainted map[types.Object]bool, target ast.Expr) {
+	root, indices := storeRoot(target)
+	if root == nil {
+		return // store through a call result etc.; out of scope
+	}
+	obj := objOf(pass, root)
+	v, ok := obj.(*types.Var)
+	if !ok || isLocal(lit, v) {
+		return // callback-local state is private by construction
+	}
+	if len(indices) == 0 {
+		pass.Reportf(target.Pos(), "assignment to captured variable %q inside a parallel callback races across threads; make it a per-thread slot indexed by the callback's parameters", root.Name)
+		return
+	}
+	for _, idx := range indices {
+		if mentionsTainted(pass, tainted, idx) {
+			return // e.g. counts[th] = ..., out[i] with i := lo
+		}
+	}
+	pass.Reportf(target.Pos(), "store to captured %q is not indexed by any value derived from the callback's thread/block parameters; concurrent callbacks may write the same element", root.Name)
+}
+
+// storeRoot unwraps an assignment target to its root identifier and
+// collects the index expressions along the chain (a[i].f[j] -> a, [i, j]).
+func storeRoot(e ast.Expr) (*ast.Ident, []ast.Expr) {
+	var indices []ast.Expr
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return t, indices
+		case *ast.IndexExpr:
+			indices = append(indices, t.Index)
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// mentionsTainted reports whether expr references any tainted variable.
+func mentionsTainted(pass *Pass, tainted map[types.Object]bool, expr ast.Expr) bool {
+	if expr == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := objOf(pass, id); obj != nil && tainted[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// objOf resolves an identifier to its object (use or definition).
+func objOf(pass *Pass, id *ast.Ident) types.Object {
+	if id == nil {
+		return nil
+	}
+	if obj := pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[id]
+}
+
+// isLocal reports whether obj is declared inside the function literal
+// (parameters included); such variables are private to one callback
+// invocation.
+func isLocal(lit *ast.FuncLit, obj types.Object) bool {
+	return obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+}

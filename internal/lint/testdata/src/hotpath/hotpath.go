@@ -1,0 +1,75 @@
+// Package hotfix seeds hotpath-alloc violations: every construct the
+// analyzer must flag inside a for loop, plus the escape-comment forms it
+// must honour. The test harness analyzes this file under a hot package
+// path (stef/internal/kernels) and under a cold one (expecting silence).
+package hotfix
+
+import "fmt"
+
+func sink(v interface{}) { _ = v }
+
+func setupLoop(n int) [][]float64 {
+	buf := make([][]float64, n) // ok: outside any loop
+	for i := range buf {
+		buf[i] = make([]float64, 8) // want "make inside a hot loop"
+	}
+	return buf
+}
+
+func hotLoop(n int) {
+	var acc []int
+	for i := 0; i < n; i++ {
+		acc = append(acc, i) // want "append inside a hot loop"
+		m := map[int]int{}   // want "map literal inside a hot loop"
+		_ = m
+		s := []int{i} // want "slice literal inside a hot loop"
+		_ = s
+		fmt.Println(i) // want "fmt.Println inside a hot loop"
+		sink(i)        // want "boxed into interface parameter"
+		var box interface{}
+		box = i // want "boxes a concrete value into interface"
+		_ = box
+		_ = any(i) // want "conversion to interface type"
+	}
+	_ = acc
+}
+
+func rangeLoop(xs []int) {
+	for _, x := range xs {
+		fmt.Print(x) // want "fmt.Print inside a hot loop"
+	}
+}
+
+func closureInLoop(n int) {
+	for i := 0; i < n; i++ {
+		f := func() []int { return make([]int, 1) } // want "make inside a hot loop"
+		_ = f()
+	}
+}
+
+func interfacePassThrough(n int, vs []interface{}) {
+	for i := 0; i < n; i++ {
+		sink(vs[i])        // ok: already an interface, no new boxing
+		fmt.Println(vs...) // want "fmt.Println inside a hot loop"
+	}
+}
+
+func lineEscapes(n int) {
+	for i := 0; i < n; i++ {
+		scratch := make([]int, 4) //lint:allow hotpath-alloc seeded escape on the same line
+		_ = scratch
+		//lint:allow hotpath-alloc seeded escape on the line above
+		scratch2 := make([]int, 4)
+		_ = scratch2
+	}
+}
+
+// funcEscape is cold serialisation-style code; the directive below exempts
+// the whole function.
+//
+//lint:allow hotpath-alloc whole-function escape
+func funcEscape(n int) {
+	for i := 0; i < n; i++ {
+		fmt.Println(make([]int, i))
+	}
+}

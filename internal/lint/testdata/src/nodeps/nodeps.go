@@ -1,0 +1,20 @@
+// Package depfix seeds no-deps violations: external module imports that
+// would break the repo's zero-dependency invariant. This file is parsed
+// but never typechecked (the imports do not resolve, by design).
+package depfix
+
+import (
+	"fmt"
+	"go/ast"
+
+	"github.com/external/dep"        // want "neither standard library nor module-local"
+	"golang.org/x/tools/go/analysis" // want "neither standard library nor module-local"
+
+	"stef/internal/par"
+)
+
+var _ = fmt.Sprint
+var _ = ast.IsExported
+var _ = dep.Thing
+var _ = analysis.Analyzer{}
+var _ = par.Do

@@ -1,0 +1,46 @@
+// Package panicfix seeds panic-prefix violations, including the exact
+// class of the bug fixed at internal/reorder/reorder.go:63 —
+// panic(err.Error()) without the package-name prefix.
+package panicfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+const prefixed = "panicfix: constant message"
+
+func bad(err error) {
+	panic("wrong: other package's prefix") // want "does not start with"
+}
+
+func badDynamic(err error) {
+	panic(err.Error()) // want "cannot be statically verified"
+}
+
+func badSprintf(d int) {
+	panic(fmt.Sprintf("order-%d tensor unsupported", d)) // want "does not start with"
+}
+
+func badWrapped(err error) {
+	panic(errors.New("panicfix: opaque to the analyzer")) // want "cannot be statically verified"
+}
+
+func good(err error, d int) {
+	if d == 1 {
+		panic("panicfix: boom")
+	}
+	if d == 2 {
+		panic("panicfix: " + err.Error())
+	}
+	if d == 3 {
+		panic(fmt.Sprintf("panicfix: bad order %d", d))
+	}
+	if d == 4 {
+		panic(prefixed)
+	}
+	if d == 5 {
+		//lint:allow panic-prefix re-panic of a recovered value
+		panic(err)
+	}
+}

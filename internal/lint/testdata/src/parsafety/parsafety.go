@@ -1,0 +1,71 @@
+// Package parfix seeds par-safety violations: writes to captured state
+// inside par.Blocks / par.Do callbacks (and a runThreads-style wrapper)
+// that are not indexed by a thread-local value — the class of race the
+// paper's boundary-replica scheme exists to prevent.
+package parfix
+
+import "stef/internal/par"
+
+func runThreads(t int, fn func(th int)) { par.Do(t, fn) }
+
+func stores(n, t int, out []int, loads []int64, grid [][]float64) {
+	total := 0
+	par.Do(t, func(th int) {
+		total += th // want "assignment to captured variable"
+		out[th] = th
+		out[0] = 1 // want "not indexed by any value derived"
+		k := 3
+		out[k] = 2 // want "not indexed by any value derived"
+		lo := th * 2
+		out[lo] = 3
+		grid[th][0] = 1 // ok: outer index is the thread id
+		local := 0
+		local++ // ok: callback-local
+		_ = local
+	})
+	_ = total
+}
+
+func blocks(n, t int, out []int, loads []int64) {
+	sum := int64(0)
+	par.Blocks(n, t, func(th, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = i // ok: index derived from block bounds
+		}
+		loads[th]++
+		sum++ // want "assignment to captured variable"
+	})
+	_ = sum
+}
+
+func wrapped(t int, out []int) {
+	runThreads(t, func(th int) {
+		out[2] = th // want "not indexed by any value derived"
+	})
+}
+
+func flagCapture(t int) {
+	done := false
+	par.Do(t, func(th int) {
+		done = true // want "assignment to captured variable"
+	})
+	_ = done
+}
+
+func rangeTaint(t int, rows [][]float64, sums []float64) {
+	par.Do(t, func(th int) {
+		mine := rows[th]
+		s := 0.0
+		for _, v := range mine {
+			s += v // ok: callback-local accumulator
+		}
+		sums[th] = s // ok: thread-indexed slot
+	})
+}
+
+func escaped(t int, out []int) {
+	par.Do(t, func(th int) {
+		//lint:allow par-safety single-threaded by construction in this test
+		out[0] = th
+	})
+}

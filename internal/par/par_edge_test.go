@@ -1,0 +1,114 @@
+package par
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBlocksEdgeCases drives Blocks through the degenerate shapes the
+// kernels rely on — n == 0, n < T, T < 1, T == n — and asserts the block
+// invariants: every index in [0, n) is covered exactly once, bounds are
+// within range, thread ids are distinct, and blocks are contiguous and
+// monotone in th. Run under -race this also checks the callbacks are
+// properly joined before Blocks returns.
+func TestBlocksEdgeCases(t *testing.T) {
+	type block struct{ th, lo, hi int }
+	cases := []struct{ n, threads int }{
+		{0, 1}, {0, 8}, {1, 8}, {2, 2}, {3, 8}, {7, 16},
+		{5, 5}, {6, 4}, {10, -3}, {10, 0}, {100, 7}, {101, 8},
+	}
+	for _, c := range cases {
+		seen := make([]int32, c.n)
+		var mu sync.Mutex
+		var got []block
+		Blocks(c.n, c.threads, func(th, lo, hi int) {
+			if lo < 0 || hi < lo || hi > c.n {
+				t.Errorf("n=%d T=%d: bad block th=%d [%d,%d)", c.n, c.threads, th, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+			mu.Lock()
+			got = append(got, block{th, lo, hi})
+			mu.Unlock()
+		})
+		for i, cnt := range seen {
+			if cnt != 1 {
+				t.Fatalf("n=%d T=%d: index %d visited %d times", c.n, c.threads, i, cnt)
+			}
+		}
+		// Effective invocation count: T < 1 clamps to 1; tiny n collapses
+		// to a single call.
+		want := c.threads
+		if want < 1 {
+			want = 1
+		}
+		if want == 1 || c.n <= 1 {
+			want = 1
+		}
+		if len(got) != want {
+			t.Fatalf("n=%d T=%d: %d callbacks, want %d", c.n, c.threads, len(got), want)
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].th < got[j].th })
+		prevHi := 0
+		for i, b := range got {
+			if b.th != i {
+				t.Fatalf("n=%d T=%d: thread ids not distinct 0..%d: %v", c.n, c.threads, want-1, got)
+			}
+			if b.lo != prevHi {
+				t.Fatalf("n=%d T=%d: block %d starts at %d, want %d (contiguous)", c.n, c.threads, i, b.lo, prevHi)
+			}
+			prevHi = b.hi
+		}
+		if prevHi != c.n {
+			t.Fatalf("n=%d T=%d: blocks end at %d, want %d", c.n, c.threads, prevHi, c.n)
+		}
+	}
+}
+
+// TestBlocksEmptyBoundaryBlocks pins the n < T behaviour the scheduler's
+// boundary handling depends on: surplus threads get empty [lo, lo) blocks
+// rather than being skipped, so per-thread buffers stay indexable by th.
+func TestBlocksEmptyBoundaryBlocks(t *testing.T) {
+	const n, threads = 3, 8
+	var empty, calls int32
+	Blocks(n, threads, func(th, lo, hi int) {
+		atomic.AddInt32(&calls, 1)
+		if lo == hi {
+			atomic.AddInt32(&empty, 1)
+		}
+	})
+	if calls != threads {
+		t.Fatalf("ran %d callbacks, want %d", calls, threads)
+	}
+	if empty != threads-n {
+		t.Fatalf("%d empty blocks, want %d", empty, threads-n)
+	}
+}
+
+// TestDoEdgeCases checks the T clamping of Do: non-positive T runs the
+// callback exactly once with th == 0; positive T runs th = 0..T-1 each
+// exactly once.
+func TestDoEdgeCases(t *testing.T) {
+	for _, threads := range []int{-5, 0, 1, 2, 7} {
+		want := threads
+		if want < 1 {
+			want = 1
+		}
+		counts := make([]int32, want)
+		Do(threads, func(th int) {
+			if th < 0 || th >= want {
+				t.Errorf("T=%d: thread id %d out of range", threads, th)
+				return
+			}
+			atomic.AddInt32(&counts[th], 1)
+		})
+		for th, c := range counts {
+			if c != 1 {
+				t.Fatalf("T=%d: thread %d ran %d times, want 1", threads, th, c)
+			}
+		}
+	}
+}

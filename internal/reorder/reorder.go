@@ -60,7 +60,7 @@ func (p Perms) Validate(dims []int) error {
 // new coord[m] = perms[m][old coord[m]]. The result is sorted.
 func Apply(t *tensor.Tensor, perms Perms) *tensor.Tensor {
 	if err := perms.Validate(t.Dims); err != nil {
-		panic(err.Error())
+		panic("reorder: " + err.Error())
 	}
 	out := t.Clone()
 	d := t.Order()

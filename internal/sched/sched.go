@@ -57,8 +57,9 @@ func NewPartition(tree *csf.Tree, t int) *Partition {
 	}
 	for th := 0; th <= t; th++ {
 		p.LeafStart[th] = int64(th) * nnz / int64(t)
+		//lint:allow hotpath-alloc partition construction runs once per plan, T+1 small slices
 		p.Start[th] = make([]int64, d)
-		p.Own[th] = make([]int64, d)
+		p.Own[th] = make([]int64, d) //lint:allow hotpath-alloc partition construction runs once per plan
 		// Walk the parent chain of the thread's first leaf
 		// (find_parent_CSF in Algorithm 3).
 		node := p.LeafStart[th]
@@ -118,6 +119,8 @@ func (p *Partition) LeafRange(th int) (lo, hi int64) {
 }
 
 // Validate checks the partition invariants against the tree.
+//
+//lint:allow hotpath-alloc diagnostic validation, error formatting only
 func (p *Partition) Validate(tree *csf.Tree) error {
 	d := tree.Order()
 	for th := 0; th <= p.T; th++ {
@@ -225,6 +228,7 @@ func (sp *SlicePartition) ToPartition(tree *csf.Tree) *Partition {
 		Own:       make([][]int64, sp.T+1),
 	}
 	for th := 0; th <= sp.T; th++ {
+		//lint:allow hotpath-alloc partition conversion runs once per plan
 		p.Start[th] = make([]int64, d)
 		node := sp.Boundaries[th]
 		p.Start[th][0] = node

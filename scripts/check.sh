@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repo verification gate: build, vet, steflint, tests, and the race
+# detector on the parallel packages. CI (.github/workflows/ci.yml) runs
+# these same steps; run this locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> steflint"
+go run ./cmd/steflint ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race (parallel packages)"
+go test -race ./internal/par/ ./internal/sched/ ./internal/kernels/ ./internal/cpd/
+
+echo "All checks passed."
