@@ -4,10 +4,18 @@
 //	par-safety     par.Blocks/par.Do callbacks write only thread-indexed state
 //	panic-prefix   panic messages in internal/... start with the package name
 //	no-deps        imports resolve to the stdlib or stef/... only
+//	stale-allow    //lint:allow and //gate:allow directives must suppress something
+//
+// With -gates it instead runs the compiler-diagnostic performance gates
+// (internal/lint/gates): the hot packages are rebuilt with escape-analysis
+// and bounds-check diagnostics enabled, and the manifest's hot functions
+// must stay free of in-loop escapes and bounds checks, with everything
+// else ratcheted against the committed baseline.
 //
 // Usage:
 //
 //	steflint [-run a,b] [-list] [packages]
+//	steflint -gates [-write-baseline]
 //
 // With no arguments (or "./...") every package in the module is analyzed.
 // Arguments name package directories relative to the working directory.
@@ -18,8 +26,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"stef/internal/lint"
+	"stef/internal/lint/gates"
 )
 
 func main() {
@@ -31,8 +41,17 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list available analyzers and exit")
 	runNames := fs.String("run", "", "comma-separated analyzers to run (default: all)")
+	gatesMode := fs.Bool("gates", false, "run the compiler-diagnostic performance gates")
+	writeBaseline := fs.Bool("write-baseline", false, "with -gates: rewrite the committed baseline to the observed counts")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *writeBaseline && !*gatesMode {
+		fmt.Fprintln(stderr, "steflint: -write-baseline requires -gates")
+		return 2
+	}
+	if *gatesMode {
+		return runGates(*writeBaseline, stdout, stderr)
 	}
 	if *list {
 		for _, a := range lint.All() {
@@ -92,6 +111,66 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "steflint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// runGates executes the compiler-diagnostic gates over the module
+// containing the working directory.
+func runGates(writeBaseline bool, stdout, stderr *os.File) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "steflint:", err)
+		return 2
+	}
+	root, _, err := gates.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "steflint:", err)
+		return 2
+	}
+	basePath := filepath.Join(root, filepath.FromSlash(gates.BaselineFile))
+	baseline := make(map[string]int)
+	if !writeBaseline {
+		baseline, err = gates.LoadBaseline(basePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "steflint: %v (run `steflint -gates -write-baseline` to create the baseline)\n", err)
+			return 2
+		}
+	}
+	res, err := gates.Check(root, gates.Default(), baseline)
+	if err != nil {
+		fmt.Fprintln(stderr, "steflint:", err)
+		return 2
+	}
+	if writeBaseline {
+		if err := os.WriteFile(basePath, gates.FormatBaseline(res.Counts), 0o644); err != nil {
+			fmt.Fprintln(stderr, "steflint:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "steflint: wrote %s (%d baseline entries)\n", gates.BaselineFile, len(res.Counts))
+	}
+	for _, v := range res.Violations {
+		fmt.Fprintln(stdout, v)
+	}
+	for _, s := range res.Stale {
+		fmt.Fprintln(stdout, s)
+	}
+	if !writeBaseline {
+		for _, d := range res.Regressions {
+			fmt.Fprintf(stdout, "regression vs baseline: %s\n", d)
+		}
+		for _, d := range res.Improvements {
+			fmt.Fprintf(stdout, "improvement vs baseline: %s (tighten with -gates -write-baseline)\n", d)
+		}
+	}
+	nfail := len(res.Violations) + len(res.Stale)
+	if !writeBaseline {
+		nfail += len(res.Regressions)
+	}
+	if nfail > 0 {
+		fmt.Fprintf(stderr, "steflint: gates failed: %d violation(s), %d stale allow(s), %d regression(s)\n",
+			len(res.Violations), len(res.Stale), len(res.Regressions))
 		return 1
 	}
 	return 0

@@ -64,10 +64,12 @@ func modeGeneric(tree *csf.Tree, factors []*tensor.Matrix, u, src int, partials 
 		// u..src-1.
 		kv := make([][]float64, u)
 		for l := 1; l < u; l++ {
+			//gate:allow escape,bounds per-thread accumulator setup, once per kernel launch, not per-nnz
 			kv[l] = make([]float64, r) //lint:allow hotpath-alloc per-thread setup, once per kernel launch
 		}
 		tmp := make([][]float64, src)
 		for l := u; l < src; l++ {
+			//gate:allow escape,bounds per-thread accumulator setup, once per kernel launch, not per-nnz
 			tmp[l] = make([]float64, r) //lint:allow hotpath-alloc per-thread setup, once per kernel launch
 		}
 
@@ -88,15 +90,15 @@ func modeGeneric(tree *csf.Tree, factors []*tensor.Matrix, u, src int, partials 
 			switch {
 			case l+1 == src && src == d-1:
 				for k := cLo; k < cHi; k++ {
-					addScaled(tl, tree.Vals[k], factors[d-1].Row(int(tree.Fids[d-1][k])))
+					addScaled(tl, tree.Vals[k], factors[d-1].Row(int(tree.Fids[d-1][k]))) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
 				}
 			case l+1 == src:
 				for c := cLo; c < cHi; c++ {
-					hadamardAccum(tl, partials.P[src].Row(int(c)), factors[src].Row(int(tree.Fids[src][c])))
+					hadamardAccum(tl, partials.P[src].Row(int(c)), factors[src].Row(int(tree.Fids[src][c]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 				}
 			default:
 				for c := cLo; c < cHi; c++ {
-					hadamardAccum(tl, down(l+1, c), factors[l+1].Row(int(tree.Fids[l+1][c])))
+					hadamardAccum(tl, down(l+1, c), factors[l+1].Row(int(tree.Fids[l+1][c]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 				}
 			}
 			return tl
@@ -131,19 +133,19 @@ func modeGeneric(tree *csf.Tree, factors []*tensor.Matrix, u, src int, partials 
 				// Leaf mode: pure Khatri-Rao push-down; l+1 is
 				// the leaf level (src == d-1 here).
 				for k := cLo; k < cHi; k++ {
-					buf.AddScaled(th, int(tree.Fids[d-1][k]), tree.Vals[k], kcur)
+					buf.AddScaled(th, int(tree.Fids[d-1][k]), tree.Vals[k], kcur) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
 				}
 			case u == src:
 				// Memoized at exactly level u: one MTTV per
 				// owned fiber (Algorithm 6).
 				for c := cLo; c < cHi; c++ {
-					buf.AddHadamard(th, int(tree.Fids[u][c]), kcur, partials.P[u].Row(int(c)))
+					buf.AddHadamard(th, int(tree.Fids[u][c]), kcur, partials.P[u].Row(int(c))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 				}
 			default:
 				// Recompute t_u below level u from the source
 				// (Algorithms 7 and 8).
 				for c := cLo; c < cHi; c++ {
-					buf.AddHadamard(th, int(tree.Fids[u][c]), kcur, down(u, c))
+					buf.AddHadamard(th, int(tree.Fids[u][c]), kcur, down(u, c)) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 				}
 			}
 		}

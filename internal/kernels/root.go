@@ -37,7 +37,7 @@ func RootMTTKRP(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, pa
 	// both for saved partial levels and, at level 0, for the output.
 	bound := make([]*tensor.Matrix, d)
 	for l := 0; l < d-1; l++ {
-		if l == 0 || partials.Save[l] {
+		if l == 0 || partials.Save[l] { //gate:allow bounds Save is sized to the order; l ranges over levels
 			bound[l] = tensor.NewMatrix(t, r)
 		}
 	}
@@ -60,7 +60,7 @@ func RootMTTKRP(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, pa
 func rootGeneric(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, bound []*tensor.Matrix) {
 	d := tree.Order()
 	r := factors[0].Cols
-	runThreads(part.T, func(th int) {
+	par.Do(part.T, func(th int) {
 		s := part.Start[th]
 		e := part.Own[th+1] // exclusive end of touched nodes per level
 		ownLo := part.Own[th]
@@ -70,6 +70,7 @@ func rootGeneric(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, p
 		// One accumulator per level, reused depth-first.
 		tmp := make([][]float64, d-1)
 		for l := range tmp {
+			//gate:allow escape per-thread accumulator setup, once per kernel launch, not per-nnz
 			tmp[l] = make([]float64, r) //lint:allow hotpath-alloc per-thread setup, once per kernel launch
 		}
 		var rec func(l int, n int64)
@@ -80,29 +81,29 @@ func rootGeneric(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, p
 			cHi := minI64(tree.Ptr[l][n+1], e[l+1])
 			if l+1 == d-1 {
 				for k := cLo; k < cHi; k++ {
-					addScaled(tl, tree.Vals[k], factors[d-1].Row(int(tree.Fids[d-1][k])))
+					addScaled(tl, tree.Vals[k], factors[d-1].Row(int(tree.Fids[d-1][k]))) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
 				}
 				return
 			}
 			for c := cLo; c < cHi; c++ {
 				rec(l+1, c)
-				child := tmp[l+1]
-				if partials.Save[l+1] {
-					if c >= ownLo[l+1] {
-						copy(partials.P[l+1].Row(int(c)), child)
+				child := tmp[l+1]       //gate:allow bounds level arrays are indexed by the recursion depth, sized to the order
+				if partials.Save[l+1] { //gate:allow bounds level arrays are indexed by the recursion depth, sized to the order
+					if c >= ownLo[l+1] { //gate:allow bounds level arrays are indexed by the recursion depth, sized to the order
+						copy(partials.P[l+1].Row(int(c)), child) //gate:allow bounds memoized partial row addressed by node id, data-dependent
 					} else {
-						copy(bound[l+1].Row(th), child)
+						copy(bound[l+1].Row(th), child) //gate:allow bounds boundary replica row per level, sized to the order
 					}
 				}
-				hadamardAccum(tl, child, factors[l+1].Row(int(tree.Fids[l+1][c])))
+				hadamardAccum(tl, child, factors[l+1].Row(int(tree.Fids[l+1][c]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 			}
 		}
 		for n := s[0]; n < e[0]; n++ {
 			rec(0, n)
-			if n >= ownLo[0] {
-				copy(out.Row(int(tree.Fids[0][n])), tmp[0])
+			if n >= ownLo[0] { //gate:allow bounds ownLo is sized to the order; constant level index
+				copy(out.Row(int(tree.Fids[0][n])), tmp[0]) //gate:allow bounds output row addressed by stored fiber id, data-dependent
 			} else {
-				copy(bound[0].Row(th), tmp[0])
+				copy(bound[0].Row(th), tmp[0]) //gate:allow bounds boundary replica row, one per thread
 			}
 		}
 	})
@@ -134,6 +135,3 @@ func mergeBoundaries(tree *csf.Tree, out *tensor.Matrix, partials *Partials, par
 		}
 	}
 }
-
-// runThreads runs fn(th) for th in [0, t) concurrently and waits.
-func runThreads(t int, fn func(th int)) { par.Do(t, fn) }

@@ -16,6 +16,7 @@ func RootMTTKRPSubtrees(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Ma
 	r := factors[0].Cols
 	tmp := make([][]float64, d-1)
 	for l := range tmp {
+		//gate:allow escape,bounds per-call accumulator setup, once per subtree range, not per-nnz
 		tmp[l] = make([]float64, r) //lint:allow hotpath-alloc per-call setup, once per subtree range
 	}
 	var rec func(l int, n int64)
@@ -25,24 +26,24 @@ func RootMTTKRPSubtrees(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Ma
 		cLo, cHi := tree.Ptr[l][n], tree.Ptr[l][n+1]
 		if l+1 == d-1 {
 			for k := cLo; k < cHi; k++ {
-				addScaled(tl, tree.Vals[k], factors[d-1].Row(int(tree.Fids[d-1][k])))
+				addScaled(tl, tree.Vals[k], factors[d-1].Row(int(tree.Fids[d-1][k]))) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
 			}
 			return
 		}
 		for c := cLo; c < cHi; c++ {
 			rec(l+1, c)
-			child := tmp[l+1]
-			if partials.Save[l+1] {
-				copy(partials.P[l+1].Row(int(c)), child)
+			child := tmp[l+1]       //gate:allow bounds level arrays are indexed by the recursion depth, sized to the order
+			if partials.Save[l+1] { //gate:allow bounds level arrays are indexed by the recursion depth, sized to the order
+				copy(partials.P[l+1].Row(int(c)), child) //gate:allow bounds memoized partial row addressed by node id, data-dependent
 			}
-			hadamardAccum(tl, child, factors[l+1].Row(int(tree.Fids[l+1][c])))
+			hadamardAccum(tl, child, factors[l+1].Row(int(tree.Fids[l+1][c]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 		}
 	}
 	for n := lo; n < hi; n++ {
 		rec(0, n)
-		dst := out.Row(int(tree.Fids[0][n]))
+		dst := out.Row(int(tree.Fids[0][n])) //gate:allow bounds output row addressed by stored fiber id, data-dependent
 		for j := range dst {
-			dst[j] += tmp[0][j]
+			dst[j] += tmp[0][j] //gate:allow bounds accumulator and output rows share rank length, unprovable across slices
 		}
 	}
 }
@@ -57,10 +58,12 @@ func ModeMTTKRPSubtrees(tree *csf.Tree, factors []*tensor.Matrix, u int, partial
 	r := factors[0].Cols
 	kv := make([][]float64, u)
 	for l := 1; l < u; l++ {
+		//gate:allow escape,bounds per-call accumulator setup, once per subtree range, not per-nnz
 		kv[l] = make([]float64, r) //lint:allow hotpath-alloc per-call setup, once per subtree range
 	}
 	tmp := make([][]float64, src)
 	for l := u; l < src; l++ {
+		//gate:allow escape,bounds per-call accumulator setup, once per subtree range, not per-nnz
 		tmp[l] = make([]float64, r) //lint:allow hotpath-alloc per-call setup, once per subtree range
 	}
 	var down func(l int, n int64) []float64
@@ -71,15 +74,15 @@ func ModeMTTKRPSubtrees(tree *csf.Tree, factors []*tensor.Matrix, u int, partial
 		switch {
 		case l+1 == src && src == d-1:
 			for k := cLo; k < cHi; k++ {
-				addScaled(tl, tree.Vals[k], factors[d-1].Row(int(tree.Fids[d-1][k])))
+				addScaled(tl, tree.Vals[k], factors[d-1].Row(int(tree.Fids[d-1][k]))) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
 			}
 		case l+1 == src:
 			for c := cLo; c < cHi; c++ {
-				hadamardAccum(tl, partials.P[src].Row(int(c)), factors[src].Row(int(tree.Fids[src][c])))
+				hadamardAccum(tl, partials.P[src].Row(int(c)), factors[src].Row(int(tree.Fids[src][c]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 			}
 		default:
 			for c := cLo; c < cHi; c++ {
-				hadamardAccum(tl, down(l+1, c), factors[l+1].Row(int(tree.Fids[l+1][c])))
+				hadamardAccum(tl, down(l+1, c), factors[l+1].Row(int(tree.Fids[l+1][c]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 			}
 		}
 		return tl
@@ -102,15 +105,15 @@ func ModeMTTKRPSubtrees(tree *csf.Tree, factors []*tensor.Matrix, u int, partial
 			}
 		case u == d-1:
 			for k := cLo; k < cHi; k++ {
-				addScaled(out.Row(int(tree.Fids[d-1][k])), tree.Vals[k], kcur)
+				addScaled(out.Row(int(tree.Fids[d-1][k])), tree.Vals[k], kcur) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
 			}
 		case u == src:
 			for c := cLo; c < cHi; c++ {
-				hadamardAccum(out.Row(int(tree.Fids[u][c])), kcur, partials.P[u].Row(int(c)))
+				hadamardAccum(out.Row(int(tree.Fids[u][c])), kcur, partials.P[u].Row(int(c))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 			}
 		default:
 			for c := cLo; c < cHi; c++ {
-				hadamardAccum(out.Row(int(tree.Fids[u][c])), kcur, down(u, c))
+				hadamardAccum(out.Row(int(tree.Fids[u][c])), kcur, down(u, c)) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 			}
 		}
 	}

@@ -1,0 +1,78 @@
+package gates
+
+// Manifest declares which packages are compiled with diagnostics enabled
+// and which of their functions are hot: inside a hot function, any escape
+// or bounds-check diagnostic positioned in a loop body is a violation
+// unless a //gate:allow directive covers it. Diagnostics anywhere else in
+// the gated packages are baseline-ratcheted instead.
+type Manifest struct {
+	// Packages are the import paths built with -m=1 -d=ssa/check_bce.
+	Packages []string
+	// Rules lists the hot functions by qualified short name
+	// ("pkgname.Func" or "pkgname.Type.Method").
+	Rules []Rule
+}
+
+// Rule marks one function as hot.
+type Rule struct {
+	// Func is the qualified short name, e.g. "kernels.rootGeneric".
+	Func string
+	// Note records why the function is on the manifest; it is echoed in
+	// failure messages so a gate trip explains itself.
+	Note string
+}
+
+func (m *Manifest) ruleFor(fn string) (Rule, bool) {
+	for _, r := range m.Rules {
+		if r.Func == fn {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// IsGatedPackage reports whether the default manifest compiles pkgPath
+// with diagnostics — i.e. whether //gate:allow directives in that package
+// can ever take effect.
+func IsGatedPackage(pkgPath string) bool {
+	for _, p := range Default().Packages {
+		if p == pkgPath {
+			return true
+		}
+	}
+	return false
+}
+
+// Default is the repository's manifest: the per-nnz MTTKRP path from the
+// paper's Algorithms 2–9 plus the thread-launch and partition machinery it
+// runs under. The stated notes mirror the paper's cost model — these
+// functions execute O(nnz) (or O(fibers)) times per CPD iteration, so a
+// single stray allocation or check multiplies across the whole tensor.
+func Default() *Manifest {
+	return &Manifest{
+		Packages: []string{
+			"stef/internal/kernels",
+			"stef/internal/par",
+			"stef/internal/sched",
+			"stef/internal/dense",
+		},
+		Rules: []Rule{
+			{Func: "kernels.RootMTTKRP", Note: "root-mode dispatch wrapper (Alg. 4/5), runs once per iteration but owns the boundary-replica setup loop"},
+			{Func: "kernels.rootGeneric", Note: "order-agnostic recursive root kernel; the semantic reference per-nnz path"},
+			{Func: "kernels.root3", Note: "order-3 unrolled root kernel, dominant benchmark path"},
+			{Func: "kernels.root4", Note: "order-4 unrolled root kernel"},
+			{Func: "kernels.root5", Note: "order-5 unrolled root kernel"},
+			{Func: "kernels.RootMTTKRPSubtrees", Note: "subtree-parallel root kernel (ablation path), per-nnz"},
+			{Func: "kernels.ModeMTTKRPSubtrees", Note: "subtree-parallel non-root kernel, per-nnz"},
+			{Func: "kernels.ModeMTTKRP", Note: "non-root dispatch (Alg. 6-8)"},
+			{Func: "kernels.modeGeneric", Note: "order-agnostic recursive non-root kernel, per-nnz"},
+			{Func: "kernels.zero", Note: "rank-vector clear inside every fiber visit; must lower to memclr"},
+			{Func: "kernels.addScaled", Note: "leaf-level axpy, executed once per nonzero"},
+			{Func: "kernels.hadamardAccum", Note: "fiber fold-up, executed once per internal CSF node"},
+			{Func: "kernels.hadamardInto", Note: "downward Khatri-Rao product, executed once per internal CSF node"},
+			{Func: "par.Blocks", Note: "thread launcher wrapping every parallel kernel"},
+			{Func: "par.Do", Note: "thread launcher wrapping every parallel kernel"},
+			{Func: "sched.NewPartition", Note: "nnz-balanced partition walk (Alg. 3), O(nnz) leaf scan at build time"},
+		},
+	}
+}

@@ -1,0 +1,3 @@
+module gatesfix
+
+go 1.22

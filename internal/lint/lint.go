@@ -100,15 +100,26 @@ func (p *Pass) PkgName() string {
 // skipped (with a loader-level finding) on packages that failed to
 // typecheck.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	staleEnabled := false
+	for _, a := range analyzers {
+		if a.Name == StaleAllow.Name {
+			staleEnabled = true
+		}
+	}
 	var all []Finding
 	for _, pkg := range pkgs {
-		allow := buildAllowIndex(pkg.Fset, append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...))
+		allow := buildAllowIndex(pkg.Fset, pkg.Files, pkg.TestFiles)
+		ran := make(map[string]bool)
 		var skipped []string
 		for _, a := range analyzers {
+			if a.Name == StaleAllow.Name {
+				continue // post-pass below, after usage is known
+			}
 			if a.NeedTypes && pkg.TypeErr != nil {
 				skipped = append(skipped, a.Name)
 				continue
 			}
+			ran[a.Name] = true
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -120,6 +131,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 			}
 			a.Run(pass)
 			for _, f := range pass.findings {
+				if !allow.allows(f) {
+					all = append(all, f)
+				}
+			}
+		}
+		if staleEnabled {
+			for _, f := range staleAllowFindings(allow, ran, pkg) {
 				if !allow.allows(f) {
 					all = append(all, f)
 				}
@@ -149,18 +167,37 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 // allowDirective is the comment prefix of an escape comment.
 const allowDirective = "lint:allow"
 
+// allowRecord is one (directive, analyzer) pair with its usage state; the
+// stale-allow post-pass reports records that never suppressed a finding.
+type allowRecord struct {
+	pos      token.Position // position of the directive comment
+	analyzer string
+	used     bool
+}
+
+// gateDirective is a //gate:allow comment seen by the lint loader. The
+// gates harness (internal/lint/gates) owns their semantics; lint only
+// checks they are placed where that harness can ever see them.
+type gateDirective struct {
+	pos    token.Position
+	inTest bool
+}
+
 // allowIndex records where escape comments permit findings: individual
-// (file, line, analyzer) entries and whole-function spans.
+// (file, line) entries and whole-function spans, each backed by a record
+// whose usage is tracked for staleness.
 type allowIndex struct {
-	fset  *token.FileSet
-	lines map[string]map[int]map[string]bool // file -> line -> analyzer
-	spans []allowSpan
+	fset    *token.FileSet
+	lines   map[string]map[int][]*allowRecord // file -> covered line
+	spans   []allowSpan
+	records []*allowRecord
+	gates   []gateDirective
 }
 
 type allowSpan struct {
 	file     string
 	from, to int // line range, inclusive
-	analyzer string
+	rec      *allowRecord
 }
 
 // parseAllow extracts the analyzer names from one comment, or nil if the
@@ -197,73 +234,90 @@ func isAnalyzerName(s string) bool {
 	return s != ""
 }
 
-func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
-	idx := &allowIndex{fset: fset, lines: make(map[string]map[int]map[string]bool)}
+func buildAllowIndex(fset *token.FileSet, files, testFiles []*ast.File) *allowIndex {
+	idx := &allowIndex{fset: fset, lines: make(map[string]map[int][]*allowRecord)}
+	idx.addFiles(files, false)
+	idx.addFiles(testFiles, true)
+	return idx
+}
+
+func (idx *allowIndex) addFiles(files []*ast.File, isTest bool) {
+	fset := idx.fset
 	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				names := parseAllow(c.Text)
-				if names == nil {
-					continue
-				}
-				pos := fset.Position(c.Slash)
-				for _, name := range names {
-					idx.addLine(pos.Filename, pos.Line, name)
-					// A comment on its own line allows the line below it.
-					idx.addLine(pos.Filename, pos.Line+1, name)
-				}
-			}
-		}
-		// Function-level escapes: a directive in a FuncDecl's doc comment
-		// exempts the whole declaration.
+		// FuncDecl doc comments become whole-function spans, so skip them
+		// in the line pass.
+		inDoc := make(map[*ast.Comment]bool)
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Doc == nil {
 				continue
 			}
 			for _, c := range fd.Doc.List {
+				inDoc[c] = true
 				for _, name := range parseAllow(c.Text) {
 					from := fset.Position(fd.Pos())
 					to := fset.Position(fd.End())
+					rec := &allowRecord{pos: fset.Position(c.Slash), analyzer: name}
+					idx.records = append(idx.records, rec)
 					idx.spans = append(idx.spans, allowSpan{
-						file: from.Filename, from: from.Line, to: to.Line, analyzer: name,
+						file: from.Filename, from: from.Line, to: to.Line, rec: rec,
 					})
 				}
 			}
 		}
-	}
-	return idx
-}
-
-func (idx *allowIndex) addLine(file string, line int, analyzer string) {
-	byLine := idx.lines[file]
-	if byLine == nil {
-		byLine = make(map[int]map[string]bool)
-		idx.lines[file] = byLine
-	}
-	byAnalyzer := byLine[line]
-	if byAnalyzer == nil {
-		byAnalyzer = make(map[string]bool)
-		byLine[line] = byAnalyzer
-	}
-	byAnalyzer[analyzer] = true
-}
-
-func (idx *allowIndex) allows(f Finding) bool {
-	if byLine := idx.lines[f.Pos.Filename]; byLine != nil && byLine[f.Pos.Line][f.Analyzer] {
-		return true
-	}
-	for _, sp := range idx.spans {
-		if sp.analyzer == f.Analyzer && sp.file == f.Pos.Filename && sp.from <= f.Pos.Line && f.Pos.Line <= sp.to {
-			return true
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if isGateAllow(c.Text) {
+					idx.gates = append(idx.gates, gateDirective{pos: fset.Position(c.Slash), inTest: isTest})
+					continue
+				}
+				if inDoc[c] {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				for _, name := range parseAllow(c.Text) {
+					rec := &allowRecord{pos: pos, analyzer: name}
+					idx.records = append(idx.records, rec)
+					idx.addLine(pos.Filename, pos.Line, rec)
+					// A comment on its own line allows the line below it.
+					idx.addLine(pos.Filename, pos.Line+1, rec)
+				}
+			}
 		}
 	}
-	return false
+}
+
+func (idx *allowIndex) addLine(file string, line int, rec *allowRecord) {
+	byLine := idx.lines[file]
+	if byLine == nil {
+		byLine = make(map[int][]*allowRecord)
+		idx.lines[file] = byLine
+	}
+	byLine[line] = append(byLine[line], rec)
+}
+
+// allows reports whether any directive covers f, marking every covering
+// directive as used.
+func (idx *allowIndex) allows(f Finding) bool {
+	hit := false
+	for _, rec := range idx.lines[f.Pos.Filename][f.Pos.Line] {
+		if rec.analyzer == f.Analyzer {
+			rec.used = true
+			hit = true
+		}
+	}
+	for _, sp := range idx.spans {
+		if sp.rec.analyzer == f.Analyzer && sp.file == f.Pos.Filename && sp.from <= f.Pos.Line && f.Pos.Line <= sp.to {
+			sp.rec.used = true
+			hit = true
+		}
+	}
+	return hit
 }
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{HotPathAlloc, ParSafety, PanicPrefix, NoDeps}
+	return []*Analyzer{HotPathAlloc, ParSafety, PanicPrefix, NoDeps, StaleAllow}
 }
 
 // ByName resolves a comma-separated analyzer list; unknown names error.

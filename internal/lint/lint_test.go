@@ -96,14 +96,14 @@ func collectWants(t *testing.T, pkg *Package) map[int]string {
 	return wants
 }
 
-// checkFixture runs one analyzer over the fixture package and matches its
-// findings against the want annotations: every finding must land on a
-// wanted line and contain the wanted substring, and every wanted line must
-// produce at least one finding.
-func checkFixture(t *testing.T, pkg *Package, a *Analyzer) {
+// checkFixture runs the given analyzers over the fixture package and
+// matches their findings against the want annotations: every finding must
+// land on a wanted line and contain the wanted substring, and every wanted
+// line must produce at least one finding.
+func checkFixture(t *testing.T, pkg *Package, as ...*Analyzer) {
 	t.Helper()
 	wants := collectWants(t, pkg)
-	findings := Run([]*Package{pkg}, []*Analyzer{a})
+	findings := Run([]*Package{pkg}, as)
 	hit := make(map[int]bool)
 	for _, f := range findings {
 		want, ok := wants[f.Pos.Line]
@@ -123,10 +123,10 @@ func checkFixture(t *testing.T, pkg *Package, a *Analyzer) {
 	}
 }
 
-// checkSilent asserts an analyzer produces no findings on the package.
-func checkSilent(t *testing.T, pkg *Package, a *Analyzer) {
+// checkSilent asserts the analyzers produce no findings on the package.
+func checkSilent(t *testing.T, pkg *Package, as ...*Analyzer) {
 	t.Helper()
-	for _, f := range Run([]*Package{pkg}, []*Analyzer{a}) {
+	for _, f := range Run([]*Package{pkg}, as) {
 		t.Errorf("unexpected finding: %s", f)
 	}
 }
@@ -165,6 +165,37 @@ func TestNoDepsFixture(t *testing.T) {
 	// no-deps must not require type information.
 	pkg := loadFixture(t, "testdata/src/nodeps/nodeps.go", "stef/internal/depfix", false)
 	checkFixture(t, pkg, NoDeps)
+}
+
+func TestStaleAllowFixture(t *testing.T) {
+	// Under a hot, gated package path: the used directive stays silent, the
+	// stale line and doc directives and the typo are flagged, the in-loop
+	// //gate:allow is left to the gates harness.
+	pkg := loadFixture(t, "testdata/src/staleallow/staleallow.go", "stef/internal/kernels", true)
+	checkFixture(t, pkg, HotPathAlloc, StaleAllow)
+}
+
+func TestStaleAllowGateMisplaced(t *testing.T) {
+	// A //gate:allow outside the gated packages can never take effect.
+	pkg := loadFixture(t, "testdata/src/staleallow/gatemisplaced.go", "stef/internal/gatefix", true)
+	checkFixture(t, pkg, StaleAllow)
+}
+
+func TestStaleAllowUnselectedAnalyzerNotJudged(t *testing.T) {
+	// When the named analyzer did not run, stale-allow must stay quiet
+	// about its directives (it cannot know whether they would suppress
+	// something) — only the typo and the misplaced gate remain findings,
+	// and those lines are absent from this fixture subset.
+	pkg := loadFixture(t, "testdata/src/staleallow/staleallow.go", "stef/internal/kernels", true)
+	findings := Run([]*Package{pkg}, []*Analyzer{StaleAllow})
+	for _, f := range findings {
+		if !strings.Contains(f.Message, "unknown analyzer") {
+			t.Errorf("directive judged without its analyzer running: %s", f)
+		}
+	}
+	if len(findings) != 1 {
+		t.Errorf("got %d findings, want only the unknown-analyzer one: %v", len(findings), findings)
+	}
 }
 
 // TestSelfCheck runs the full analyzer suite over the real repository and

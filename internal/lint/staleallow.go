@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+
+	"stef/internal/lint/gates"
+)
+
+// StaleAllow flags escape comments that suppress nothing, so justifications
+// rot visibly instead of silently outliving the code they excused:
+//
+//   - a //lint:allow whose named analyzer ran over the package and reported
+//     no finding on the covered lines (or function, for doc-comment
+//     directives);
+//   - a //lint:allow naming an analyzer that does not exist (usually a typo
+//     — the directive never matched anything);
+//   - a //gate:allow in a package the gates manifest does not compile, or
+//     in a _test.go file, where the gates harness (internal/lint/gates) can
+//     never see it. Staleness of well-placed //gate:allow directives is
+//     checked by `steflint -gates` itself, which knows the compiler's
+//     actual diagnostics.
+//
+// The analyzer runs as a framework post-pass: it needs to observe which
+// findings the other selected analyzers produced, so directives naming
+// analyzers that were not selected (or were skipped on a typecheck failure)
+// are not judged.
+var StaleAllow = &Analyzer{
+	Name: "stale-allow",
+	Doc:  "flag //lint:allow and //gate:allow directives that suppress nothing",
+	// Run is a no-op: Run() evaluates staleness after the other analyzers
+	// have reported, via staleAllowFindings.
+	Run: func(*Pass) {},
+}
+
+// isGateAllow reports whether a comment is a //gate:allow directive. The
+// syntax is owned by internal/lint/gates; this mirrors its prefix rule.
+func isGateAllow(text string) bool {
+	body, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "gate:allow")
+	return ok && (body == "" || body[0] == ' ' || body[0] == '\t')
+}
+
+// staleAllowFindings is the post-pass behind StaleAllow. ran holds the
+// names of analyzers that actually executed over pkg.
+func staleAllowFindings(idx *allowIndex, ran map[string]bool, pkg *Package) []Finding {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	report := func(pos token.Position, format string, args ...interface{}) Finding {
+		return Finding{Pos: pos, Analyzer: StaleAllow.Name, Message: fmt.Sprintf(format, args...)}
+	}
+	var out []Finding
+	for _, rec := range idx.records {
+		switch {
+		case !known[rec.analyzer]:
+			out = append(out, report(rec.pos, "//lint:allow names unknown analyzer %q", rec.analyzer))
+		case ran[rec.analyzer] && !rec.used:
+			out = append(out, report(rec.pos, "//lint:allow %s suppresses no finding (stale)", rec.analyzer))
+		}
+	}
+	for _, g := range idx.gates {
+		switch {
+		case g.inTest:
+			out = append(out, report(g.pos, "//gate:allow in a _test.go file; the gates harness only compiles non-test files, so it can never take effect"))
+		case !gates.IsGatedPackage(pkg.Path):
+			out = append(out, report(g.pos, "//gate:allow in package %s, which the gates manifest does not compile; it can never take effect", pkg.Path))
+		}
+	}
+	return out
+}

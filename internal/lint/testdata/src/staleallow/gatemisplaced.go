@@ -1,0 +1,9 @@
+// Package gatefix is analyzed under a package path the gates manifest does
+// not compile, so its //gate:allow directive can never take effect.
+package gatefix
+
+func walk(dst []float64, idx []int) {
+	for i := range idx {
+		dst[idx[i]]++ //gate:allow bounds misplaced // want "does not compile"
+	}
+}

@@ -1,0 +1,41 @@
+// Package stalefix seeds allow directives in every state the stale-allow
+// analyzer distinguishes. It is analyzed under the package path
+// "stef/internal/kernels" so hotpath-alloc actually runs (hot package) and
+// //gate:allow placement is legitimate (gated package).
+package stalefix
+
+// setup's per-call allocation is genuinely suppressed: the directive must
+// NOT be reported as stale.
+func setup(n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n) //lint:allow hotpath-alloc once per call
+	}
+	return out
+}
+
+func staleLine(dst []float64, s float64) {
+	for i := range dst {
+		dst[i] += s //lint:allow hotpath-alloc nothing allocates here // want "suppresses no finding"
+	}
+}
+
+//lint:allow hotpath-alloc whole function, but it never allocates // want "suppresses no finding"
+func staleDoc(dst []float64, s float64) {
+	for i := range dst {
+		dst[i] *= s
+	}
+}
+
+//lint:allow hotpath-allok misspelled analyzer name // want "unknown analyzer"
+func typo(n int) []float64 {
+	return make([]float64, n)
+}
+
+// gated is fine: //gate:allow directives in a gated package belong to the
+// gates harness, which checks their staleness itself.
+func gated(dst []float64, idx []int) {
+	for i := range idx {
+		dst[idx[i]]++ //gate:allow bounds data-dependent index
+	}
+}

@@ -22,6 +22,7 @@ func Blocks(n, t int, fn func(th, lo, hi int)) {
 	for th := 0; th < t; th++ {
 		lo := th * n / t
 		hi := (th + 1) * n / t
+		//gate:allow escape goroutine closure, one allocation per thread launch, not per-nnz
 		go func(th, lo, hi int) {
 			defer wg.Done()
 			fn(th, lo, hi)
@@ -42,6 +43,7 @@ func Do(t int, fn func(th int)) {
 	var wg sync.WaitGroup
 	wg.Add(t)
 	for th := 0; th < t; th++ {
+		//gate:allow escape goroutine closure, one allocation per thread launch, not per-nnz
 		go func(th int) {
 			defer wg.Done()
 			fn(th)

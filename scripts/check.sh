@@ -14,6 +14,9 @@ go vet ./...
 echo "==> steflint"
 go run ./cmd/steflint ./...
 
+echo "==> steflint -gates (compiler-diagnostic perf gates)"
+go run ./cmd/steflint -gates
+
 echo "==> go test ./..."
 go test ./...
 
