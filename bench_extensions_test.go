@@ -37,14 +37,17 @@ func BenchmarkExtensions(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		order := eng.UpdateOrder()
 		outs := make([]*tensor.Matrix, d)
 		for pos := 0; pos < d; pos++ {
-			outs[pos] = tensor.NewMatrix(tt.Dims[eng.UpdateOrder[pos]], rank)
+			outs[pos] = tensor.NewMatrix(tt.Dims[order[pos]], rank)
 		}
+		ws := eng.NewWorkspace()
+		ws.Reset()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for pos := 0; pos < d; pos++ {
-				eng.Compute(pos, factors, outs[pos])
+				eng.Compute(ws, pos, factors, outs[pos])
 			}
 		}
 	})
@@ -53,14 +56,17 @@ func BenchmarkExtensions(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		order := eng.UpdateOrder()
 		outs := make([]*tensor.Matrix, d)
 		for pos := 0; pos < d; pos++ {
-			outs[pos] = tensor.NewMatrix(tt.Dims[eng.UpdateOrder[pos]], rank)
+			outs[pos] = tensor.NewMatrix(tt.Dims[order[pos]], rank)
 		}
+		ws := eng.NewWorkspace()
+		ws.Reset()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for pos := 0; pos < d; pos++ {
-				eng.Compute(pos, factors, outs[pos])
+				eng.Compute(ws, pos, factors, outs[pos])
 			}
 		}
 	})

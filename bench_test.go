@@ -76,14 +76,17 @@ func benchFig3(b *testing.B, rank int) {
 				}
 				factors := tensor.RandomFactors(tt.Dims, rank, 7)
 				d := tt.Order()
+				order := eng.UpdateOrder()
 				outs := make([]*tensor.Matrix, d)
 				for pos := 0; pos < d; pos++ {
-					outs[pos] = tensor.NewMatrix(tt.Dims[eng.UpdateOrder[pos]], rank)
+					outs[pos] = tensor.NewMatrix(tt.Dims[order[pos]], rank)
 				}
+				ws := eng.NewWorkspace()
+				ws.Reset()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					for pos := 0; pos < d; pos++ {
-						eng.Compute(pos, factors, outs[pos])
+						eng.Compute(ws, pos, factors, outs[pos])
 					}
 				}
 			})
@@ -168,14 +171,17 @@ func BenchmarkFig6_Ablations(b *testing.B) {
 			}
 			factors := tensor.RandomFactors(tt.Dims, 32, 7)
 			d := tt.Order()
+			order := eng.UpdateOrder()
 			outs := make([]*tensor.Matrix, d)
 			for pos := 0; pos < d; pos++ {
-				outs[pos] = tensor.NewMatrix(tt.Dims[eng.UpdateOrder[pos]], 32)
+				outs[pos] = tensor.NewMatrix(tt.Dims[order[pos]], 32)
 			}
+			ws := eng.NewWorkspace()
+			ws.Reset()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for pos := 0; pos < d; pos++ {
-					eng.Compute(pos, factors, outs[pos])
+					eng.Compute(ws, pos, factors, outs[pos])
 				}
 			}
 		})

@@ -2,6 +2,7 @@
 //
 //	hotpath-alloc  no allocations inside for loops of the hot packages
 //	par-safety     par.Blocks/par.Do callbacks write only thread-indexed state
+//	engine-purity  Engine Compute implementations mutate only their Workspace
 //	panic-prefix   panic messages in internal/... start with the package name
 //	no-deps        imports resolve to the stdlib or stef/... only
 //	stale-allow    //lint:allow and //gate:allow directives must suppress something

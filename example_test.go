@@ -43,7 +43,7 @@ func ExampleNewEngine() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println(eng.Name, eng.UpdateOrder)
+	fmt.Println(eng.Name(), eng.UpdateOrder())
 	// Output:
 	// splatt-all [0 1 2]
 }

@@ -91,12 +91,75 @@ type ALTOOptions struct {
 	MaxPrivElems int64
 }
 
+// altoEngine is the immutable linearized layout plus scheduling constants.
+type altoEngine struct {
+	a       *altoFormat
+	d       int
+	nnz     int
+	rank    int
+	threads int
+	maxPriv int64
+	order   []int
+	dims    []int
+}
+
+// altoWorkspace holds one solve's output buffers.
+type altoWorkspace struct {
+	bufs []*kernels.OutBuf
+}
+
+// Reset is a no-op: every buffer is Reset inside Compute before use.
+func (w *altoWorkspace) Reset() {}
+
+func (e *altoEngine) Name() string { return "alto" }
+
+func (e *altoEngine) UpdateOrder() []int { return e.order }
+
+func (e *altoEngine) NewWorkspace() cpd.Workspace {
+	w := &altoWorkspace{bufs: make([]*kernels.OutBuf, e.d)}
+	for m := 0; m < e.d; m++ {
+		w.bufs[m] = kernels.NewOutBuf(e.dims[m], e.rank, e.threads, e.maxPriv)
+	}
+	return w
+}
+
+func (e *altoEngine) Compute(ws cpd.Workspace, pos int, factors []*tensor.Matrix, out *tensor.Matrix) {
+	w, ok := ws.(*altoWorkspace)
+	if !ok {
+		panic(fmt.Sprintf("baselines: alto Compute got workspace type %T", ws))
+	}
+	u := pos
+	buf := w.bufs[u]
+	buf.Reset()
+	a, d, r := e.a, e.d, e.rank
+	par.Blocks(e.nnz, e.threads, func(th, lo, hi int) {
+		row := make([]float64, r)
+		for k := lo; k < hi; k++ {
+			c := a.coords[k*d : (k+1)*d]
+			for j := range row {
+				row[j] = a.vals[k]
+			}
+			for m := 0; m < d; m++ {
+				if m == u {
+					continue
+				}
+				f := factors[m].Row(int(c[m]))
+				for j := range row {
+					row[j] *= f[j]
+				}
+			}
+			buf.AddScaled(th, int(c[u]), 1, row)
+		}
+	})
+	buf.Reduce(out)
+}
+
 // NewALTO builds the ALTO-style engine: non-zero-parallel MTTKRP directly
 // on the linearized layout, recomputing every mode from scratch. Like the
 // original, it is naturally load-balanced (non-zeros split evenly) and
 // needs no per-mode tensor copies, but performs the full FLOP count for
 // every mode.
-func NewALTO(t *tensor.Tensor, opts ALTOOptions) (*cpd.Engine, error) {
+func NewALTO(t *tensor.Tensor, opts ALTOOptions) (cpd.Engine, error) {
 	if opts.Threads < 1 {
 		opts.Threads = 1
 	}
@@ -105,43 +168,18 @@ func NewALTO(t *tensor.Tensor, opts ALTOOptions) (*cpd.Engine, error) {
 		return nil, err
 	}
 	d := t.Order()
-	nnz := t.NNZ()
 	order := make([]int, d)
 	for i := range order {
 		order[i] = i
 	}
-	bufs := make([]*kernels.OutBuf, d)
-	for m := 0; m < d; m++ {
-		bufs[m] = kernels.NewOutBuf(t.Dims[m], opts.Rank, opts.Threads, opts.MaxPrivElems)
-	}
-	return &cpd.Engine{
-		Name:        "alto",
-		UpdateOrder: order,
-		Compute: func(pos int, factors []*tensor.Matrix, out *tensor.Matrix) {
-			u := pos
-			buf := bufs[u]
-			buf.Reset()
-			r := opts.Rank
-			par.Blocks(nnz, opts.Threads, func(th, lo, hi int) {
-				row := make([]float64, r)
-				for k := lo; k < hi; k++ {
-					c := a.coords[k*d : (k+1)*d]
-					for j := range row {
-						row[j] = a.vals[k]
-					}
-					for m := 0; m < d; m++ {
-						if m == u {
-							continue
-						}
-						f := factors[m].Row(int(c[m]))
-						for j := range row {
-							row[j] *= f[j]
-						}
-					}
-					buf.AddScaled(th, int(c[u]), 1, row)
-				}
-			})
-			buf.Reduce(out)
-		},
+	return &altoEngine{
+		a:       a,
+		d:       d,
+		nnz:     t.NNZ(),
+		rank:    opts.Rank,
+		threads: opts.Threads,
+		maxPriv: opts.MaxPrivElems,
+		order:   order,
+		dims:    append([]int(nil), t.Dims...),
 	}, nil
 }

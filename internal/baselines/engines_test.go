@@ -13,9 +13,9 @@ import (
 )
 
 // allEngines builds every engine for the given tensor and thread count.
-func allEngines(t *testing.T, tt *tensor.Tensor, threads, rank int) []*cpd.Engine {
+func allEngines(t *testing.T, tt *tensor.Tensor, threads, rank int) []cpd.Engine {
 	t.Helper()
-	var engines []*cpd.Engine
+	var engines []cpd.Engine
 	for _, copies := range []int{1, 2, -1} {
 		engines = append(engines, baselines.NewSplatt(tt, baselines.SplattOptions{Copies: copies, Threads: threads, Rank: rank}))
 	}
@@ -77,16 +77,19 @@ func TestEnginesMatchReference(t *testing.T) {
 		}
 		for _, threads := range []int{1, 3} {
 			for _, eng := range allEngines(t, tt, threads, rank) {
+				ws := eng.NewWorkspace()
+				ws.Reset()
+				order := eng.UpdateOrder()
 				for pos := 0; pos < d; pos++ {
-					m := eng.UpdateOrder[pos]
+					m := order[pos]
 					got := tensor.NewMatrix(tt.Dims[m], rank)
-					eng.Compute(pos, factors, got)
+					eng.Compute(ws, pos, factors, got)
 					scale := want[m].NormFrobenius()
 					if scale == 0 {
 						scale = 1
 					}
 					if diff := got.MaxAbsDiff(want[m]); diff > 1e-9*scale {
-						t.Errorf("dims=%v T=%d engine=%s mode=%d: max diff %g", sh.dims, threads, eng.Name, m, diff)
+						t.Errorf("dims=%v T=%d engine=%s mode=%d: max diff %g", sh.dims, threads, eng.Name(), m, diff)
 					}
 				}
 			}
@@ -108,14 +111,17 @@ func TestEnginesSequenceWithUpdates(t *testing.T) {
 			for m := range shadow {
 				shadow[m] = factors[m].Clone()
 			}
+			ws := eng.NewWorkspace()
+			ws.Reset()
+			order := eng.UpdateOrder()
 			for pos := 0; pos < d; pos++ {
-				m := eng.UpdateOrder[pos]
+				m := order[pos]
 				got := tensor.NewMatrix(tt.Dims[m], rank)
-				eng.Compute(pos, factors, got)
+				eng.Compute(ws, pos, factors, got)
 				want := kernels.Reference(tt, shadow, m)
 				scale := want.NormFrobenius()
 				if diff := got.MaxAbsDiff(want); diff > 1e-9*(1+scale) {
-					t.Fatalf("T=%d engine=%s pos=%d mode=%d: max diff %g", threads, eng.Name, pos, m, diff)
+					t.Fatalf("T=%d engine=%s pos=%d mode=%d: max diff %g", threads, eng.Name(), pos, m, diff)
 				}
 				// "Update" the factor like ALS would: perturb it
 				// deterministically.
@@ -142,14 +148,14 @@ func TestFullCPDAllEngines(t *testing.T) {
 	for _, eng := range allEngines(t, tt, 2, 4) {
 		res, err := cpd.Run(tt.Dims, normX, eng, opts)
 		if err != nil {
-			t.Fatalf("%s: %v", eng.Name, err)
+			t.Fatalf("%s: %v", eng.Name(), err)
 		}
 		if math.Abs(res.FinalFit()-naive.FinalFit()) > 0.05 {
-			t.Errorf("%s: final fit %.4f vs naive %.4f", eng.Name, res.FinalFit(), naive.FinalFit())
+			t.Errorf("%s: final fit %.4f vs naive %.4f", eng.Name(), res.FinalFit(), naive.FinalFit())
 		}
 		for i := 1; i < len(res.Fits); i++ {
 			if res.Fits[i] < res.Fits[i-1]-1e-6 {
-				t.Errorf("%s: fit decreased at iter %d: %v", eng.Name, i, res.Fits)
+				t.Errorf("%s: fit decreased at iter %d: %v", eng.Name(), i, res.Fits)
 				break
 			}
 		}
@@ -160,10 +166,10 @@ func TestEngineNamesDistinct(t *testing.T) {
 	tt := tensor.Random([]int{5, 6, 7}, 100, nil, 1)
 	names := map[string]bool{}
 	for _, eng := range allEngines(t, tt, 1, 2)[:7] {
-		if names[eng.Name] {
-			t.Errorf("duplicate engine name %q", eng.Name)
+		if names[eng.Name()] {
+			t.Errorf("duplicate engine name %q", eng.Name())
 		}
-		names[eng.Name] = true
+		names[eng.Name()] = true
 	}
 	for _, want := range []string{"splatt-1", "splatt-2", "splatt-all", "adatm", "alto", "taco", "stef"} {
 		if !names[want] {
@@ -175,6 +181,6 @@ func TestEngineNamesDistinct(t *testing.T) {
 func ExampleNewSplatt() {
 	tt := tensor.Random([]int{4, 5, 6}, 30, nil, 2)
 	eng := baselines.NewSplatt(tt, baselines.SplattOptions{Copies: -1, Threads: 2, Rank: 3})
-	fmt.Println(eng.Name)
+	fmt.Println(eng.Name())
 	// Output: splatt-all
 }

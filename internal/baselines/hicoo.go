@@ -112,10 +112,80 @@ type HiCOOOptions struct {
 	MaxPrivElems int64
 }
 
+// hicooEngine is the immutable blocked layout plus the nnz-balanced thread
+// block ranges.
+type hicooEngine struct {
+	h       *hicooFormat
+	d       int
+	rank    int
+	threads int
+	maxPriv int64
+	order   []int
+	dims    []int
+	bounds  []int
+}
+
+// hicooWorkspace holds one solve's output buffers.
+type hicooWorkspace struct {
+	bufs []*kernels.OutBuf
+}
+
+// Reset is a no-op: every buffer is Reset inside Compute before use.
+func (w *hicooWorkspace) Reset() {}
+
+func (e *hicooEngine) Name() string { return "hicoo" }
+
+func (e *hicooEngine) UpdateOrder() []int { return e.order }
+
+func (e *hicooEngine) NewWorkspace() cpd.Workspace {
+	w := &hicooWorkspace{bufs: make([]*kernels.OutBuf, e.d)}
+	for m := 0; m < e.d; m++ {
+		w.bufs[m] = kernels.NewOutBuf(e.dims[m], e.rank, e.threads, e.maxPriv)
+	}
+	return w
+}
+
+func (e *hicooEngine) Compute(ws cpd.Workspace, pos int, factors []*tensor.Matrix, out *tensor.Matrix) {
+	w, ok := ws.(*hicooWorkspace)
+	if !ok {
+		panic(fmt.Sprintf("baselines: hicoo Compute got workspace type %T", ws))
+	}
+	u := pos
+	buf := w.bufs[u]
+	buf.Reset()
+	h, d, r, bounds := e.h, e.d, e.rank, e.bounds
+	par.Do(e.threads, func(th int) {
+		row := make([]float64, r)
+		coord := make([]int32, d)
+		for b := bounds[th]; b < bounds[th+1]; b++ {
+			base := h.blockBase[b]
+			for k := h.blockPtr[b]; k < h.blockPtr[b+1]; k++ {
+				for m := 0; m < d; m++ {
+					coord[m] = base[m] + int32(h.offsets[k*int64(d)+int64(m)])
+				}
+				for j := range row {
+					row[j] = h.vals[k]
+				}
+				for m := 0; m < d; m++ {
+					if m == u {
+						continue
+					}
+					f := factors[m].Row(int(coord[m]))
+					for j := range row {
+						row[j] *= f[j]
+					}
+				}
+				buf.AddScaled(th, int(coord[u]), 1, row)
+			}
+		}
+	})
+	buf.Reduce(out)
+}
+
 // NewHiCOO builds the HiCOO-style engine: block-parallel MTTKRP that
 // recomputes every mode from the blocked layout. Blocks are distributed
 // across threads in contiguous runs balanced by non-zero count.
-func NewHiCOO(t *tensor.Tensor, opts HiCOOOptions) (*cpd.Engine, error) {
+func NewHiCOO(t *tensor.Tensor, opts HiCOOOptions) (cpd.Engine, error) {
 	if opts.Threads < 1 {
 		opts.Threads = 1
 	}
@@ -131,10 +201,6 @@ func NewHiCOO(t *tensor.Tensor, opts HiCOOOptions) (*cpd.Engine, error) {
 	for i := range order {
 		order[i] = i
 	}
-	bufs := make([]*kernels.OutBuf, d)
-	for m := 0; m < d; m++ {
-		bufs[m] = kernels.NewOutBuf(t.Dims[m], opts.Rank, opts.Threads, opts.MaxPrivElems)
-	}
 	// Thread block ranges balanced by non-zeros.
 	nb := h.numBlocks()
 	bounds := make([]int, opts.Threads+1)
@@ -149,40 +215,14 @@ func NewHiCOO(t *tensor.Tensor, opts HiCOOOptions) (*cpd.Engine, error) {
 	}
 	bounds[opts.Threads] = nb
 
-	return &cpd.Engine{
-		Name:        "hicoo",
-		UpdateOrder: order,
-		Compute: func(pos int, factors []*tensor.Matrix, out *tensor.Matrix) {
-			u := pos
-			buf := bufs[u]
-			buf.Reset()
-			r := opts.Rank
-			par.Do(opts.Threads, func(th int) {
-				row := make([]float64, r)
-				coord := make([]int32, d)
-				for b := bounds[th]; b < bounds[th+1]; b++ {
-					base := h.blockBase[b]
-					for k := h.blockPtr[b]; k < h.blockPtr[b+1]; k++ {
-						for m := 0; m < d; m++ {
-							coord[m] = base[m] + int32(h.offsets[k*int64(d)+int64(m)])
-						}
-						for j := range row {
-							row[j] = h.vals[k]
-						}
-						for m := 0; m < d; m++ {
-							if m == u {
-								continue
-							}
-							f := factors[m].Row(int(coord[m]))
-							for j := range row {
-								row[j] *= f[j]
-							}
-						}
-						buf.AddScaled(th, int(coord[u]), 1, row)
-					}
-				}
-			})
-			buf.Reduce(out)
-		},
+	return &hicooEngine{
+		h:       h,
+		d:       d,
+		rank:    opts.Rank,
+		threads: opts.Threads,
+		maxPriv: opts.MaxPrivElems,
+		order:   order,
+		dims:    append([]int(nil), t.Dims...),
+		bounds:  bounds,
 	}, nil
 }

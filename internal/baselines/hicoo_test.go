@@ -82,10 +82,13 @@ func TestHiCOOEngineMatchesReference(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		ws := eng.NewWorkspace()
+		ws.Reset()
+		order := eng.UpdateOrder()
 		for pos := 0; pos < tt.Order(); pos++ {
-			m := eng.UpdateOrder[pos]
+			m := order[pos]
 			got := tensor.NewMatrix(tt.Dims[m], rank)
-			eng.Compute(pos, factors, got)
+			eng.Compute(ws, pos, factors, got)
 			want := kernels.Reference(tt, factors, m)
 			if diff := got.MaxAbsDiff(want); diff > 1e-9*(1+want.NormFrobenius()) {
 				t.Errorf("T=%d mode %d: max diff %g", threads, m, diff)

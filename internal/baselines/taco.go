@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +21,106 @@ type TACOOptions struct {
 	ChunkSizes []int
 }
 
+// tacoEngine is immutable: the CSF, the shared no-memoization Partials
+// (never written, since nothing is saved) and the auto-tuned chunk size.
+type tacoEngine struct {
+	d       int
+	rank    int
+	threads int
+	order   []int
+	tree    *csf.Tree
+	noMemo  *kernels.Partials
+	chunk   int
+}
+
+// tacoWorkspace carries each worker's private output scratch, grown lazily
+// to the largest non-root mode actually computed, plus releveled factors.
+type tacoWorkspace struct {
+	priv [][]float64
+	lf   []*tensor.Matrix
+}
+
+// Reset is a no-op: private scratch is zeroed at the start of every mode
+// that uses it.
+func (w *tacoWorkspace) Reset() {}
+
+func (e *tacoEngine) Name() string { return "taco" }
+
+func (e *tacoEngine) UpdateOrder() []int { return e.order }
+
+func (e *tacoEngine) NewWorkspace() cpd.Workspace {
+	return &tacoWorkspace{
+		priv: make([][]float64, e.threads),
+		lf:   make([]*tensor.Matrix, e.d),
+	}
+}
+
+func (e *tacoEngine) Compute(ws cpd.Workspace, pos int, factors []*tensor.Matrix, out *tensor.Matrix) {
+	w, ok := ws.(*tacoWorkspace)
+	if !ok {
+		panic(fmt.Sprintf("baselines: taco Compute got workspace type %T", ws))
+	}
+	e.runMode(w, pos, factors, out, e.chunk)
+}
+
+// runMode executes one MTTKRP with dynamic chunk scheduling.
+func (e *tacoEngine) runMode(w *tacoWorkspace, pos int, factors []*tensor.Matrix, out *tensor.Matrix, chunk int) {
+	kernels.LevelFactorsInto(w.lf, factors, e.tree.Perm)
+	lf := w.lf
+	tree, rank := e.tree, e.rank
+	slices := int64(tree.NumFibers(0))
+	var next int64
+	out.Zero()
+	var wg sync.WaitGroup
+	wg.Add(e.threads)
+	for wk := 0; wk < e.threads; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			var mine *tensor.Matrix
+			if pos != 0 {
+				need := out.Rows * rank
+				if cap(w.priv[wk]) < need {
+					w.priv[wk] = make([]float64, need)
+				}
+				mine = &tensor.Matrix{Rows: out.Rows, Cols: rank, Data: w.priv[wk][:need]}
+				mine.Zero()
+			}
+			for {
+				lo := atomic.AddInt64(&next, int64(chunk)) - int64(chunk)
+				if lo >= slices {
+					return
+				}
+				hi := lo + int64(chunk)
+				if hi > slices {
+					hi = slices
+				}
+				if pos == 0 {
+					// Root rows are disjoint across
+					// slices, so workers write out
+					// directly.
+					kernels.RootMTTKRPSubtrees(tree, lf, out, e.noMemo, lo, hi)
+				} else {
+					kernels.ModeMTTKRPSubtrees(tree, lf, pos, e.noMemo, mine, lo, hi)
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	if pos != 0 {
+		for wk := 0; wk < e.threads; wk++ {
+			if cap(w.priv[wk]) < out.Rows*rank {
+				continue // worker never ran this mode
+			}
+			src := w.priv[wk][:out.Rows*rank]
+			for i, v := range src {
+				if v != 0 {
+					out.Data[i] += v
+				}
+			}
+		}
+	}
+}
+
 // NewTACO builds a TACO-style engine: a single CSF, no memoization, and
 // dynamic chunk-of-slices scheduling whose chunk size is auto-tuned when
 // the engine is built — mirroring the paper's description of the scheduling
@@ -27,7 +128,7 @@ type TACOOptions struct {
 // best, paying a small preprocessing overhead for faster run time").
 // Dynamic chunking load-balances better than static slice blocks but still
 // degrades when very few root slices carry most non-zeros.
-func NewTACO(t *tensor.Tensor, opts TACOOptions) *cpd.Engine {
+func NewTACO(t *tensor.Tensor, opts TACOOptions) cpd.Engine {
 	if opts.Threads < 1 {
 		opts.Threads = 1
 	}
@@ -37,89 +138,32 @@ func NewTACO(t *tensor.Tensor, opts TACOOptions) *cpd.Engine {
 	d := t.Order()
 	perm := tensor.LengthSortedPerm(t.Dims)
 	tree := csf.Build(t, perm)
-	noMemo := kernels.NoPartials(d)
-	rank := opts.Rank
 
-	// priv[w] is worker w's private output scratch, grown lazily to the
-	// largest non-root mode actually computed.
-	priv := make([][]float64, opts.Threads)
-
-	// runMode executes one MTTKRP with dynamic chunk scheduling.
-	runMode := func(pos int, factors []*tensor.Matrix, out *tensor.Matrix, chunk int) {
-		lf := kernels.LevelFactors(factors, tree.Perm)
-		slices := int64(tree.NumFibers(0))
-		var next int64
-		out.Zero()
-		var wg sync.WaitGroup
-		wg.Add(opts.Threads)
-		for w := 0; w < opts.Threads; w++ {
-			go func(w int) {
-				defer wg.Done()
-				var mine *tensor.Matrix
-				if pos != 0 {
-					need := out.Rows * rank
-					if cap(priv[w]) < need {
-						priv[w] = make([]float64, need)
-					}
-					mine = &tensor.Matrix{Rows: out.Rows, Cols: rank, Data: priv[w][:need]}
-					mine.Zero()
-				}
-				for {
-					lo := atomic.AddInt64(&next, int64(chunk)) - int64(chunk)
-					if lo >= slices {
-						return
-					}
-					hi := lo + int64(chunk)
-					if hi > slices {
-						hi = slices
-					}
-					if pos == 0 {
-						// Root rows are disjoint across
-						// slices, so workers write out
-						// directly.
-						kernels.RootMTTKRPSubtrees(tree, lf, out, noMemo, lo, hi)
-					} else {
-						kernels.ModeMTTKRPSubtrees(tree, lf, pos, noMemo, mine, lo, hi)
-					}
-				}
-			}(w)
-		}
-		wg.Wait()
-		if pos != 0 {
-			for w := 0; w < opts.Threads; w++ {
-				if cap(priv[w]) < out.Rows*rank {
-					continue // worker never ran this mode
-				}
-				src := priv[w][:out.Rows*rank]
-				for i, v := range src {
-					if v != 0 {
-						out.Data[i] += v
-					}
-				}
-			}
-		}
+	e := &tacoEngine{
+		d:       d,
+		rank:    opts.Rank,
+		threads: opts.Threads,
+		order:   append([]int(nil), perm...),
+		tree:    tree,
+		noMemo:  kernels.NoPartials(d),
+		chunk:   opts.ChunkSizes[0],
 	}
 
-	// Auto-tune the chunk size on a throwaway mode-0 run.
-	chunk := opts.ChunkSizes[0]
+	// Auto-tune the chunk size on a throwaway mode-0 run with a temporary
+	// workspace; this is the one place runMode is called before the engine
+	// is published, so it cannot race with concurrent solves.
 	if len(opts.ChunkSizes) > 1 {
-		factors := tensor.RandomFactors(t.Dims, rank, 1)
-		scratch := tensor.NewMatrix(tree.Dims[0], rank)
+		tw := e.NewWorkspace().(*tacoWorkspace)
+		factors := tensor.RandomFactors(t.Dims, e.rank, 1)
+		scratch := tensor.NewMatrix(tree.Dims[0], e.rank)
 		bestT := time.Duration(1<<62 - 1)
 		for _, c := range opts.ChunkSizes {
 			start := time.Now()
-			runMode(0, factors, scratch, c)
+			e.runMode(tw, 0, factors, scratch, c)
 			if el := time.Since(start); el < bestT {
-				bestT, chunk = el, c
+				bestT, e.chunk = el, c
 			}
 		}
 	}
-
-	return &cpd.Engine{
-		Name:        "taco",
-		UpdateOrder: append([]int(nil), perm...),
-		Compute: func(pos int, factors []*tensor.Matrix, out *tensor.Matrix) {
-			runMode(pos, factors, out, chunk)
-		},
-	}
+	return e
 }

@@ -1,0 +1,79 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"stef"
+	"stef/internal/experiments"
+)
+
+// SolveBenchRow compares per-call planning against compile-once/solve-many
+// for one benchmark tensor: the same ALS solves run once through the
+// top-level stef.Decompose (CSF construction + model search on every call)
+// and once through a shared stef.Compile handle that pays those costs a
+// single time. Durations marshal as nanoseconds under -json.
+type SolveBenchRow struct {
+	Tensor string `json:"tensor"`
+	Rank   int    `json:"rank"`
+	// Threads used by the MTTKRP kernels inside each solve.
+	Threads int `json:"threads"`
+	// Solves is the number of restarts timed on each path.
+	Solves int `json:"solves"`
+	// Compile is the one-time stef.Compile cost (reorder + CSF + model search).
+	Compile time.Duration `json:"compile_ns"`
+	// PerSolveShared is the mean per-solve time on the shared compiled handle.
+	PerSolveShared time.Duration `json:"per_solve_compiled_ns"`
+	// PerSolvePlanned is the mean per-solve time when every call replans.
+	PerSolvePlanned time.Duration `json:"per_solve_per_call_ns"`
+	// Speedup is PerSolvePlanned / PerSolveShared.
+	Speedup float64 `json:"speedup"`
+}
+
+// solveBench measures both solve paths over every suite tensor.
+func solveBench(s *experiments.Suite, rank, iters, solves int, out io.Writer) ([]SolveBenchRow, error) {
+	fmt.Fprintf(out, "\n== solvebench: per-call planning vs compile-once/solve-many (R=%d, %d solves x %d iters, T=%d) ==\n",
+		rank, solves, iters, s.Opts.Threads)
+	fmt.Fprintf(out, "%-18s %12s %15s %15s %8s\n", "tensor", "compile", "solve(shared)", "solve(percall)", "speedup")
+	rows := make([]SolveBenchRow, 0, len(s.Opts.Tensors))
+	for _, name := range s.Opts.Tensors {
+		tt, err := s.Tensor(name)
+		if err != nil {
+			return nil, err
+		}
+		opts := stef.Options{Rank: rank, Threads: s.Opts.Threads, MaxIters: iters, Tol: -1}
+		start := time.Now()
+		c, err := stef.Compile(tt, opts)
+		if err != nil {
+			return nil, err
+		}
+		compile := time.Since(start)
+		start = time.Now()
+		for i := 0; i < solves; i++ {
+			if _, err := c.DecomposeSeed(int64(i)); err != nil {
+				return nil, err
+			}
+		}
+		shared := time.Since(start) / time.Duration(solves)
+		start = time.Now()
+		for i := 0; i < solves; i++ {
+			o := opts
+			o.Seed = int64(i)
+			if _, err := stef.Decompose(tt, o); err != nil {
+				return nil, err
+			}
+		}
+		planned := time.Since(start) / time.Duration(solves)
+		row := SolveBenchRow{
+			Tensor: name, Rank: rank, Threads: s.Opts.Threads, Solves: solves,
+			Compile: compile, PerSolveShared: shared, PerSolvePlanned: planned,
+			Speedup: float64(planned) / float64(shared),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(out, "%-18s %12s %15s %15s %7.2fx\n", name,
+			compile.Round(time.Microsecond), shared.Round(time.Microsecond),
+			planned.Round(time.Microsecond), row.Speedup)
+	}
+	return rows, nil
+}

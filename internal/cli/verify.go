@@ -53,10 +53,13 @@ func RunVerify(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		worst := 0.0
+		ws := eng.NewWorkspace()
+		ws.Reset()
+		order := eng.UpdateOrder()
 		for pos := 0; pos < d; pos++ {
-			m := eng.UpdateOrder[pos]
+			m := order[pos]
 			got := tensor.NewMatrix(tt.Dims[m], *rank)
-			eng.Compute(pos, factors, got)
+			eng.Compute(ws, pos, factors, got)
 			if dev := got.MaxAbsDiff(want[m]) / scale[m]; dev > worst {
 				worst = dev
 			}

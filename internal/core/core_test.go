@@ -165,8 +165,8 @@ func TestSliceSchedOption(t *testing.T) {
 		}
 	}
 	eng := NewEngine(plan)
-	if eng.Name != "stef-slicesched" {
-		t.Errorf("engine name %q", eng.Name)
+	if eng.Name() != "stef-slicesched" {
+		t.Errorf("engine name %q", eng.Name())
 	}
 }
 

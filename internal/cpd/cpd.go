@@ -3,6 +3,14 @@
 // implement the Engine interface; the driver supplies the dense parts of
 // the iteration: V via Hadamard products of Gram matrices, the SPD solve,
 // column normalisation, and fit-based convergence.
+//
+// Execution is split into three layers. An Engine is immutable once
+// constructed — CSF trees, partitions, memo configuration — and safe to
+// share across goroutines. All mutable per-solve state (memo partials,
+// output buffers, per-thread scratch) lives in a Workspace the engine
+// manufactures via NewWorkspace and receives explicitly on every Compute
+// call. A Solver pairs an engine with a sync.Pool of workspaces so that
+// repeated or concurrent solves reuse buffers instead of reallocating them.
 package cpd
 
 import (
@@ -15,22 +23,42 @@ import (
 	"stef/internal/tensor"
 )
 
+// A Workspace holds the mutable per-solve state of one Engine: memo
+// partials, privatised output buffers, per-thread scratch vectors. A
+// workspace may be reused across solves (via Solver's pool) but must never
+// be used by two Compute sequences concurrently; concurrency is achieved
+// by acquiring one workspace per goroutine while sharing the engine.
+type Workspace interface {
+	// Reset prepares the workspace for a fresh solve sequence. Engines
+	// whose buffers are unconditionally overwritten at the start of each
+	// iteration may make this a no-op; engines that cache results across
+	// Compute calls (e.g. dimension trees) must invalidate them here.
+	Reset()
+}
+
 // Engine produces the sequence of MTTKRP results for one CPD iteration.
-//
-// UpdateOrder fixes the sequence in which the driver updates the factor
-// matrices; engines that memoize partial results need the update order to
-// match their CSF level order so saved partials remain valid (a P^(l) only
-// involves factors of deeper levels, which have not yet been updated when
-// level l is processed).
-type Engine struct {
+// Implementations must be immutable after construction: Compute may write
+// only into the supplied workspace and output matrix, never into engine
+// state, so one engine can serve concurrent solves that each bring their
+// own workspace.
+type Engine interface {
 	// Name identifies the engine in benchmark output.
-	Name string
-	// UpdateOrder lists original mode indices in update order.
-	UpdateOrder []int
-	// Compute fills out with the MTTKRP for UpdateOrder[pos], given the
+	Name() string
+	// UpdateOrder lists original mode indices in update order. The driver
+	// updates factor matrices in this sequence; engines that memoize
+	// partial results need the update order to match their CSF level order
+	// so saved partials remain valid (a P^(l) only involves factors of
+	// deeper levels, which have not yet been updated when level l is
+	// processed). The returned slice must not be mutated by callers.
+	UpdateOrder() []int
+	// NewWorkspace allocates a workspace sized for this engine. The
+	// returned workspace is ready for use without a prior Reset.
+	NewWorkspace() Workspace
+	// Compute fills out with the MTTKRP for UpdateOrder()[pos], given the
 	// current factor matrices (indexed by original mode). out has shape
-	// Dims[UpdateOrder[pos]] × R and may contain stale data on entry.
-	Compute func(pos int, factors []*tensor.Matrix, out *tensor.Matrix)
+	// Dims[UpdateOrder()[pos]] × R and may contain stale data on entry.
+	// ws must have been produced by this engine's NewWorkspace.
+	Compute(ws Workspace, pos int, factors []*tensor.Matrix, out *tensor.Matrix)
 }
 
 // Options configures a CPD run.
@@ -105,13 +133,25 @@ func (r *Result) FinalFit() float64 {
 	return r.Fits[len(r.Fits)-1]
 }
 
-// Run executes CPD-ALS with the given engine. dims are the tensor's mode
-// lengths and normX its Frobenius norm (used for the fit).
-func Run(dims []int, normX float64, eng *Engine, opts Options) (*Result, error) {
+// Run executes CPD-ALS with the given engine using a freshly allocated
+// workspace. dims are the tensor's mode lengths and normX its Frobenius
+// norm (used for the fit). Callers that solve repeatedly should pool
+// workspaces through a Solver instead.
+func Run(dims []int, normX float64, eng Engine, opts Options) (*Result, error) {
+	return RunWith(dims, normX, eng, eng.NewWorkspace(), opts)
+}
+
+// RunWith executes CPD-ALS with the given engine and workspace. The
+// workspace is Reset before use and remains owned by the caller, which
+// makes repeated solves on a pooled workspace allocation-free in steady
+// state: every buffer the iteration needs is either part of the workspace
+// or hoisted out of the ALS loop below.
+func RunWith(dims []int, normX float64, eng Engine, ws Workspace, opts Options) (*Result, error) {
 	opts.fill()
 	d := len(dims)
-	if err := tensor.CheckPerm(eng.UpdateOrder, d); err != nil {
-		return nil, fmt.Errorf("cpd: engine %q: %w", eng.Name, err)
+	order := eng.UpdateOrder()
+	if err := tensor.CheckPerm(order, d); err != nil {
+		return nil, fmt.Errorf("cpd: engine %q: %w", eng.Name(), err)
 	}
 	r := opts.Rank
 	var factors []*tensor.Matrix
@@ -140,24 +180,34 @@ func Run(dims []int, normX float64, eng *Engine, opts Options) (*Result, error) 
 	}
 	lambda := make([]float64, r)
 	res := &Result{Factors: factors, Lambda: lambda, ModeTime: make([]time.Duration, d)}
-	lastMode := eng.UpdateOrder[d-1]
+	res.Fits = make([]float64, 0, opts.MaxIters)
+	lastMode := order[d-1]
 	prevFit := math.Inf(-1)
 	deadline := time.Time{}
 	if opts.TimeBudget > 0 {
 		deadline = time.Now().Add(opts.TimeBudget)
 	}
 
+	// Everything the per-mode update needs is allocated once here; the
+	// iteration below reuses these buffers so a pooled workspace's solve
+	// does no per-iteration heap allocation.
+	v := tensor.NewMatrix(r, r)
+	fitG := tensor.NewMatrix(r, r)
+	norms := make([]float64, r)
+	var chol dense.Cholesky
+	ws.Reset()
+
 	for it := 0; it < opts.MaxIters; it++ {
 		for pos := 0; pos < d; pos++ {
-			m := eng.UpdateOrder[pos]
+			m := order[pos]
 			start := time.Now()
-			eng.Compute(pos, factors, mttkrp[m])
+			eng.Compute(ws, pos, factors, mttkrp[m])
 			el := time.Since(start)
 			res.MTTKRPTime += el
 			res.ModeTime[m] += el
 
 			// V = Hadamard product of the other modes' Grams.
-			v := dense.Ones(r)
+			dense.OnesInto(v)
 			for mm := 0; mm < d; mm++ {
 				if mm != m {
 					dense.HadamardInto(v, grams[mm])
@@ -168,10 +218,9 @@ func Run(dims []int, normX float64, eng *Engine, opts Options) (*Result, error) 
 					v.Set(p, p, v.At(p, p)+opts.Regularization)
 				}
 			}
-			chol, err := dense.NewCholesky(v)
-			if err != nil {
+			if err := chol.Refactor(v); err != nil {
 				//lint:allow hotpath-alloc cold error path, aborts the iteration
-				return nil, fmt.Errorf("cpd: engine %q iteration %d mode %d: %w", eng.Name, it, m, err)
+				return nil, fmt.Errorf("cpd: engine %q iteration %d mode %d: %w", eng.Name(), it, m, err)
 			}
 			factors[m].CopyFrom(mttkrp[m])
 			chol.SolveRowsInPlace(factors[m])
@@ -183,18 +232,17 @@ func Run(dims []int, normX float64, eng *Engine, opts Options) (*Result, error) 
 				}
 			}
 
-			var norms []float64
 			if it == 0 {
-				norms = dense.NormalizeColumns(factors[m])
+				dense.NormalizeColumnsInto(factors[m], norms)
 			} else {
-				norms = dense.NormalizeColumnsMax(factors[m])
+				dense.NormalizeColumnsMaxInto(factors[m], norms)
 			}
 			copy(lambda, norms)
 			dense.Gram(factors[m], grams[m])
 		}
 
-		fit := computeFit(normX, factors, grams, lambda, mttkrp[lastMode], lastMode)
-		//lint:allow hotpath-alloc one fit record per ALS iteration, amortised over d MTTKRPs
+		fit := computeFit(normX, factors, grams, lambda, mttkrp[lastMode], lastMode, fitG)
+		//lint:allow hotpath-alloc append stays within the MaxIters capacity reserved above
 		res.Fits = append(res.Fits, fit)
 		res.Iters = it + 1
 		if math.Abs(fit-prevFit) < opts.Tol {
@@ -212,11 +260,11 @@ func Run(dims []int, normX float64, eng *Engine, opts Options) (*Result, error) 
 // computeFit evaluates 1 - ||X - model||_F / ||X||_F using the standard
 // identity: ||X - M||² = ||X||² + ||M||² - 2<X, M>, where <X, M> is
 // recovered from the last MTTKRP result (already available) and ||M||² from
-// the Gram matrices and lambda.
-func computeFit(normX float64, factors []*tensor.Matrix, grams []*tensor.Matrix, lambda []float64, lastMTTKRP *tensor.Matrix, lastMode int) float64 {
+// the Gram matrices and lambda. g is an R×R scratch matrix overwritten here.
+func computeFit(normX float64, factors []*tensor.Matrix, grams []*tensor.Matrix, lambda []float64, lastMTTKRP *tensor.Matrix, lastMode int, g *tensor.Matrix) float64 {
 	r := len(lambda)
 	// ||M||² = λᵀ (G_0 ⊙ G_1 ⊙ ... ⊙ G_{d-1}) λ
-	g := dense.Ones(r)
+	dense.OnesInto(g)
 	for _, gm := range grams {
 		dense.HadamardInto(g, gm)
 	}
@@ -247,21 +295,39 @@ func computeFit(normX float64, factors []*tensor.Matrix, grams []*tensor.Matrix,
 	return 1 - math.Sqrt(resid2)/normX
 }
 
+// naiveEngine computes every MTTKRP straight from the COO tensor (no CSF,
+// no memoization, no parallelism). Its workspace is empty: Reference
+// allocates per call, which is fine for a ground-truth engine.
+type naiveEngine struct {
+	t     *tensor.Tensor
+	order []int
+}
+
+// naiveWorkspace is the empty workspace of the naive engine.
+type naiveWorkspace struct{}
+
+// Reset is a no-op: the naive engine keeps no state between calls.
+func (naiveWorkspace) Reset() {}
+
+func (e *naiveEngine) Name() string { return "naive" }
+
+func (e *naiveEngine) UpdateOrder() []int { return e.order }
+
+func (e *naiveEngine) NewWorkspace() Workspace { return naiveWorkspace{} }
+
+func (e *naiveEngine) Compute(_ Workspace, pos int, factors []*tensor.Matrix, out *tensor.Matrix) {
+	ref := kernels.Reference(e.t, factors, pos)
+	out.CopyFrom(ref)
+}
+
 // NaiveEngine returns a correctness-first engine that computes every MTTKRP
 // straight from the COO tensor (no CSF, no memoization, no parallelism).
 // It is the ground truth for engine equivalence tests.
-func NaiveEngine(t *tensor.Tensor) *Engine {
+func NaiveEngine(t *tensor.Tensor) Engine {
 	d := t.Order()
 	order := make([]int, d)
 	for i := range order {
 		order[i] = i
 	}
-	return &Engine{
-		Name:        "naive",
-		UpdateOrder: order,
-		Compute: func(pos int, factors []*tensor.Matrix, out *tensor.Matrix) {
-			ref := kernels.Reference(t, factors, pos)
-			out.CopyFrom(ref)
-		},
-	}
+	return &naiveEngine{t: t, order: order}
 }

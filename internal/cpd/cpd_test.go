@@ -76,10 +76,15 @@ func TestConvergenceStopsEarly(t *testing.T) {
 	}
 }
 
+// badOrderEngine wraps an engine and reports a non-permutation update
+// order, to exercise the driver's validation.
+type badOrderEngine struct{ Engine }
+
+func (badOrderEngine) UpdateOrder() []int { return []int{0, 0, 2} }
+
 func TestRunRejectsBadOrder(t *testing.T) {
 	tt := tensor.Random([]int{4, 4, 4}, 20, nil, 1)
-	eng := NaiveEngine(tt)
-	eng.UpdateOrder = []int{0, 0, 2}
+	eng := badOrderEngine{NaiveEngine(tt)}
 	if _, err := Run(tt.Dims, tt.NormFrobenius(), eng, Options{Rank: 2}); err == nil {
 		t.Fatal("expected error for invalid update order")
 	}

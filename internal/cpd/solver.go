@@ -1,0 +1,43 @@
+package cpd
+
+import "sync"
+
+// A Solver pairs an immutable Engine with a pool of its workspaces, giving
+// compile-once/solve-many callers allocation-free repeated solves and safe
+// concurrent solves: the engine is shared, each in-flight solve draws its
+// own workspace from the pool.
+type Solver struct {
+	eng  Engine
+	pool sync.Pool
+}
+
+// NewSolver wraps eng in a workspace-pooling solver.
+func NewSolver(eng Engine) *Solver {
+	s := &Solver{eng: eng}
+	s.pool.New = func() interface{} { return s.eng.NewWorkspace() }
+	return s
+}
+
+// Engine returns the wrapped engine.
+func (s *Solver) Engine() Engine { return s.eng }
+
+// Acquire returns a Reset workspace from the pool. Callers must Release it
+// when the solve completes; each workspace may serve only one solve at a
+// time.
+func (s *Solver) Acquire() Workspace {
+	ws := s.pool.Get().(Workspace)
+	ws.Reset()
+	return ws
+}
+
+// Release returns a workspace to the pool for reuse.
+func (s *Solver) Release(ws Workspace) { s.pool.Put(ws) }
+
+// Run executes one CPD-ALS solve on a pooled workspace. It is safe to call
+// concurrently: parallel calls share the engine's immutable plan and each
+// use their own workspace.
+func (s *Solver) Run(dims []int, normX float64, opts Options) (*Result, error) {
+	ws := s.Acquire()
+	defer s.Release(ws)
+	return RunWith(dims, normX, s.eng, ws, opts)
+}

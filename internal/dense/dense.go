@@ -58,10 +58,16 @@ func HadamardInto(dst, src *tensor.Matrix) {
 // product used when accumulating Gram matrices across modes.
 func Ones(n int) *tensor.Matrix {
 	m := tensor.NewMatrix(n, n)
+	OnesInto(m)
+	return m
+}
+
+// OnesInto fills m with ones, the allocation-free form of Ones for reusable
+// Hadamard accumulators.
+func OnesInto(m *tensor.Matrix) {
 	for i := range m.Data {
 		m.Data[i] = 1
 	}
-	return m
 }
 
 // MatMul computes C = A·B with fresh allocation; used by tests and by the
@@ -100,8 +106,20 @@ type Cholesky struct {
 // factor columns become linearly dependent). It fails only if v contains
 // non-finite entries or jitter escalation exhausts its budget.
 func NewCholesky(v *tensor.Matrix) (*Cholesky, error) {
+	var c Cholesky
+	if err := c.Refactor(v); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Refactor factors v into c, reusing c's buffer when the dimension matches
+// so that repeated factorisations (one per ALS mode update) allocate
+// nothing. The factorisation only ever reads lower-triangle entries written
+// earlier in the same attempt, so stale contents need no clearing.
+func (c *Cholesky) Refactor(v *tensor.Matrix) error {
 	if v.Rows != v.Cols {
-		return nil, fmt.Errorf("dense: Cholesky of non-square %dx%d", v.Rows, v.Cols)
+		return fmt.Errorf("dense: Cholesky of non-square %dx%d", v.Rows, v.Cols)
 	}
 	n := v.Rows
 	maxDiag := 0.0
@@ -109,7 +127,7 @@ func NewCholesky(v *tensor.Matrix) (*Cholesky, error) {
 		d := math.Abs(v.At(i, i))
 		if math.IsNaN(d) || math.IsInf(d, 0) {
 			//lint:allow hotpath-alloc cold error path
-			return nil, fmt.Errorf("dense: Cholesky input has non-finite diagonal")
+			return fmt.Errorf("dense: Cholesky input has non-finite diagonal")
 		}
 		if d > maxDiag {
 			maxDiag = d
@@ -118,10 +136,13 @@ func NewCholesky(v *tensor.Matrix) (*Cholesky, error) {
 	if maxDiag == 0 {
 		maxDiag = 1
 	}
+	if c.n != n || len(c.l) != n*n {
+		c.n = n
+		c.l = make([]float64, n*n)
+	}
+	l := c.l
 	jitter := 0.0
 	for attempt := 0; attempt < 40; attempt++ {
-		//lint:allow hotpath-alloc one R×R buffer per factorisation attempt; retries only on jitter escalation
-		l := make([]float64, n*n)
 		ok := true
 	factor:
 		for i := 0; i < n; i++ {
@@ -145,7 +166,7 @@ func NewCholesky(v *tensor.Matrix) (*Cholesky, error) {
 			}
 		}
 		if ok {
-			return &Cholesky{n: n, l: l}, nil
+			return nil
 		}
 		if jitter == 0 {
 			jitter = 1e-12 * maxDiag
@@ -153,7 +174,7 @@ func NewCholesky(v *tensor.Matrix) (*Cholesky, error) {
 			jitter *= 10
 		}
 	}
-	return nil, fmt.Errorf("dense: Cholesky failed even with jitter")
+	return fmt.Errorf("dense: Cholesky failed even with jitter")
 }
 
 // SolveVec solves V·x = b in place (b becomes x). len(b) must equal the
@@ -197,8 +218,20 @@ func (c *Cholesky) SolveRowsInPlace(m *tensor.Matrix) {
 // norms. Zero columns get norm 1 and are left untouched, which keeps the
 // ALS iteration well-defined when a factor column dies.
 func NormalizeColumns(a *tensor.Matrix) []float64 {
-	r := a.Cols
-	norms := make([]float64, r)
+	norms := make([]float64, a.Cols)
+	NormalizeColumnsInto(a, norms)
+	return norms
+}
+
+// NormalizeColumnsInto is NormalizeColumns writing the norms into a
+// caller-provided slice of length a.Cols.
+func NormalizeColumnsInto(a *tensor.Matrix, norms []float64) {
+	if len(norms) != a.Cols {
+		panic(fmt.Sprintf("dense: NormalizeColumnsInto norms length %d, want %d", len(norms), a.Cols))
+	}
+	for j := range norms {
+		norms[j] = 0
+	}
 	for i := 0; i < a.Rows; i++ {
 		row := a.Row(i)
 		for j, v := range row {
@@ -217,15 +250,26 @@ func NormalizeColumns(a *tensor.Matrix) []float64 {
 			row[j] /= norms[j]
 		}
 	}
-	return norms
 }
 
 // NormalizeColumnsMax scales each column by its max absolute value when that
 // value exceeds 1 (the SPLATT convention for iterations after the first,
 // which avoids shrinking factors toward zero). Returns the scaling factors.
 func NormalizeColumnsMax(a *tensor.Matrix) []float64 {
-	r := a.Cols
-	norms := make([]float64, r)
+	norms := make([]float64, a.Cols)
+	NormalizeColumnsMaxInto(a, norms)
+	return norms
+}
+
+// NormalizeColumnsMaxInto is NormalizeColumnsMax writing the scaling
+// factors into a caller-provided slice of length a.Cols.
+func NormalizeColumnsMaxInto(a *tensor.Matrix, norms []float64) {
+	if len(norms) != a.Cols {
+		panic(fmt.Sprintf("dense: NormalizeColumnsMaxInto norms length %d, want %d", len(norms), a.Cols))
+	}
+	for j := range norms {
+		norms[j] = 0
+	}
 	for i := 0; i < a.Rows; i++ {
 		row := a.Row(i)
 		for j, v := range row {
@@ -245,5 +289,4 @@ func NormalizeColumnsMax(a *tensor.Matrix) []float64 {
 			row[j] /= norms[j]
 		}
 	}
-	return norms
 }

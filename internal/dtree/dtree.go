@@ -13,6 +13,12 @@
 // their common root paths; nodes are recomputed lazily when a factor they
 // contracted has been updated (tracked with version counters), which
 // reproduces the dimension-tree reuse schedule without hard-coding it.
+//
+// Unlike the other engines, the dimension tree's cached partials ARE the
+// algorithm, so they live in the workspace: each workspace owns a private
+// tree whose node caches persist across Compute calls (that persistence is
+// the reuse schedule) and are dropped by Reset when a workspace is recycled
+// for an unrelated solve.
 package dtree
 
 import (
@@ -49,15 +55,44 @@ type node struct {
 
 func (nd *node) isLeaf() bool { return nd.left == nil }
 
-// engineState holds the tree plus factor version counters.
-type engineState struct {
+// dtreeEngine is the immutable engine: the tensor, rank and thread count.
+type dtreeEngine struct {
 	t       *tensor.Tensor
 	rank    int
 	threads int
-	root    *node
-	leaves  []*node // leaves[m] is the leaf for original mode m
-	ver     map[int]int64
-	calls   int
+	order   []int
+}
+
+// workspace owns one solve's dimension tree and factor version counters.
+type workspace struct {
+	e      *dtreeEngine
+	root   *node
+	leaves []*node // leaves[m] is the leaf for original mode m
+	ver    map[int]int64
+	calls  int
+}
+
+// Reset drops all cached partials (keeping node buffer capacity) and the
+// version counters, so a recycled workspace cannot serve stale contractions
+// to a solve with different factors.
+func (w *workspace) Reset() {
+	w.calls = 0
+	for m := range w.ver {
+		delete(w.ver, m)
+	}
+	var clear func(nd *node)
+	clear = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		nd.valid = false
+		for m := range nd.usedVer {
+			delete(nd.usedVer, m)
+		}
+		clear(nd.left)
+		clear(nd.right)
+	}
+	clear(w.root)
 }
 
 // build constructs the balanced tree over modes lo..hi-1.
@@ -75,8 +110,38 @@ func build(lo, hi int, parent *node) *node {
 	return nd
 }
 
+func (e *dtreeEngine) Name() string { return "dtree" }
+
+func (e *dtreeEngine) UpdateOrder() []int { return e.order }
+
+func (e *dtreeEngine) NewWorkspace() cpd.Workspace {
+	d := e.t.Order()
+	w := &workspace{e: e, ver: map[int]int64{}}
+	w.root = build(0, d, nil)
+	w.leaves = make([]*node, d)
+	var collect func(nd *node)
+	collect = func(nd *node) {
+		if nd.isLeaf() {
+			w.leaves[nd.modes[0]] = nd
+			return
+		}
+		collect(nd.left)
+		collect(nd.right)
+	}
+	collect(w.root)
+	return w
+}
+
+func (e *dtreeEngine) Compute(ws cpd.Workspace, pos int, factors []*tensor.Matrix, out *tensor.Matrix) {
+	w, ok := ws.(*workspace)
+	if !ok {
+		panic(fmt.Sprintf("dtree: Compute got workspace type %T", ws))
+	}
+	w.compute(pos, factors, out)
+}
+
 // NewEngine builds the dimension-tree MTTKRP engine.
-func NewEngine(t *tensor.Tensor, opts Options) (*cpd.Engine, error) {
+func NewEngine(t *tensor.Tensor, opts Options) (cpd.Engine, error) {
 	d := t.Order()
 	if d < 2 {
 		return nil, fmt.Errorf("dtree: order-%d tensor", d)
@@ -87,54 +152,34 @@ func NewEngine(t *tensor.Tensor, opts Options) (*cpd.Engine, error) {
 	if opts.Threads < 1 {
 		opts.Threads = 1
 	}
-	st := &engineState{t: t, rank: opts.Rank, threads: opts.Threads, ver: map[int]int64{}}
-	st.root = build(0, d, nil)
-	st.leaves = make([]*node, d)
-	var collect func(nd *node)
-	collect = func(nd *node) {
-		if nd.isLeaf() {
-			st.leaves[nd.modes[0]] = nd
-			return
-		}
-		collect(nd.left)
-		collect(nd.right)
-	}
-	collect(st.root)
-
 	order := make([]int, d)
 	for i := range order {
 		order[i] = i
 	}
-	return &cpd.Engine{
-		Name:        "dtree",
-		UpdateOrder: order,
-		Compute: func(pos int, factors []*tensor.Matrix, out *tensor.Matrix) {
-			st.compute(pos, factors, out)
-		},
-	}, nil
+	return &dtreeEngine{t: t, rank: opts.Rank, threads: opts.Threads, order: order}, nil
 }
 
 // compute produces the MTTKRP for update position pos.
-func (st *engineState) compute(pos int, factors []*tensor.Matrix, out *tensor.Matrix) {
-	d := st.t.Order()
+func (w *workspace) compute(pos int, factors []*tensor.Matrix, out *tensor.Matrix) {
+	d := w.e.t.Order()
 	// ALS semantics: when Compute(pos) runs, the factor updated most
 	// recently is the previous position's (or the last mode of the
 	// previous iteration for pos 0). Bump its version so dependent
 	// cached partials are recomputed on demand.
-	if st.calls > 0 {
+	if w.calls > 0 {
 		prev := pos - 1
 		if prev < 0 {
 			prev = d - 1
 		}
-		st.ver[prev]++
+		w.ver[prev]++
 	}
-	st.calls++
+	w.calls++
 
 	m := pos // UpdateOrder is the identity
-	leaf := st.leaves[m]
-	st.ensure(leaf, factors)
+	leaf := w.leaves[m]
+	w.ensure(leaf, factors)
 	out.Zero()
-	r := st.rank
+	r := w.e.rank
 	for i := 0; i < leaf.n; i++ {
 		copy(out.Row(int(leaf.coords[i])), leaf.vecs[i*r:(i+1)*r])
 	}
@@ -142,13 +187,13 @@ func (st *engineState) compute(pos int, factors []*tensor.Matrix, out *tensor.Ma
 
 // deps returns the modes contracted into nd's partial (everything outside
 // its subtree).
-func (st *engineState) deps(nd *node) []int {
+func (w *workspace) deps(nd *node) []int {
 	inSet := map[int]bool{}
 	for _, m := range nd.modes {
 		inSet[m] = true
 	}
 	var out []int
-	for m := 0; m < st.t.Order(); m++ {
+	for m := 0; m < w.e.t.Order(); m++ {
 		if !inSet[m] {
 			out = append(out, m)
 		}
@@ -157,14 +202,14 @@ func (st *engineState) deps(nd *node) []int {
 }
 
 // ensure (re)computes nd's partial if any contracted factor changed.
-func (st *engineState) ensure(nd *node, factors []*tensor.Matrix) {
-	if nd == st.root {
+func (w *workspace) ensure(nd *node, factors []*tensor.Matrix) {
+	if nd == w.root {
 		return // the root is the tensor itself
 	}
 	if nd.valid {
 		fresh := true
-		for _, m := range st.deps(nd) {
-			if nd.usedVer[m] != st.ver[m] {
+		for _, m := range w.deps(nd) {
+			if nd.usedVer[m] != w.ver[m] {
 				fresh = false
 				break
 			}
@@ -173,11 +218,11 @@ func (st *engineState) ensure(nd *node, factors []*tensor.Matrix) {
 			return
 		}
 	}
-	st.ensure(nd.parent, factors)
-	st.contractFromParent(nd, factors)
+	w.ensure(nd.parent, factors)
+	w.contractFromParent(nd, factors)
 	nd.valid = true
-	for _, m := range st.deps(nd) {
-		nd.usedVer[m] = st.ver[m]
+	for _, m := range w.deps(nd) {
+		nd.usedVer[m] = w.ver[m]
 	}
 }
 
@@ -185,10 +230,11 @@ func (st *engineState) ensure(nd *node, factors []*tensor.Matrix) {
 // raw tensor when the parent is the root): entries are projected onto nd's
 // modes, multiplied by the Hadamard product of the removed modes' factor
 // rows, and reduced by coordinate.
-func (st *engineState) contractFromParent(nd *node, factors []*tensor.Matrix) {
-	r := st.rank
+func (w *workspace) contractFromParent(nd *node, factors []*tensor.Matrix) {
+	t := w.e.t
+	r := w.e.rank
 	parent := nd.parent
-	fromTensor := parent == st.root
+	fromTensor := parent == w.root
 
 	var (
 		pn      int     // parent entry count
@@ -196,12 +242,12 @@ func (st *engineState) contractFromParent(nd *node, factors []*tensor.Matrix) {
 		pCoords []int32 // parent coordinates
 	)
 	if fromTensor {
-		pn = st.t.NNZ()
-		pModes = make([]int, st.t.Order())
+		pn = t.NNZ()
+		pModes = make([]int, t.Order())
 		for i := range pModes {
 			pModes[i] = i
 		}
-		pCoords = st.t.Inds
+		pCoords = t.Inds
 	} else {
 		pn = parent.n
 		pModes = parent.modes
@@ -223,11 +269,11 @@ func (st *engineState) contractFromParent(nd *node, factors []*tensor.Matrix) {
 	s := uint64(1)
 	for i := len(nd.modes) - 1; i >= 0; i-- {
 		strides[i] = s
-		s *= uint64(st.t.Dims[nd.modes[i]])
+		s *= uint64(t.Dims[nd.modes[i]])
 	}
 	pw := len(pModes)
 	keys := make([]uint64, pn)
-	par.Blocks(pn, st.threads, func(_, lo, hi int) {
+	par.Blocks(pn, w.e.threads, func(_, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			c := pCoords[j*pw : (j+1)*pw]
 			key := uint64(0)
@@ -252,7 +298,7 @@ func (st *engineState) contractFromParent(nd *node, factors []*tensor.Matrix) {
 	flush := func(key uint64) {
 		// Decode the key back into coordinates.
 		for i := range nd.modes {
-			nd.coords = append(nd.coords, int32(key/strides[i]%uint64(st.t.Dims[nd.modes[i]])))
+			nd.coords = append(nd.coords, int32(key/strides[i]%uint64(t.Dims[nd.modes[i]])))
 		}
 		nd.vecs = append(nd.vecs, vec...)
 		nd.n++
@@ -274,7 +320,7 @@ func (st *engineState) contractFromParent(nd *node, factors []*tensor.Matrix) {
 		}
 		c := pCoords[j*pw : (j+1)*pw]
 		if fromTensor {
-			v := st.t.Vals[j]
+			v := t.Vals[j]
 			if len(remPos) == 0 {
 				for i := 0; i < r; i++ {
 					vec[i] += v

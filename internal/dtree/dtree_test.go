@@ -24,10 +24,13 @@ func TestDTreeMatchesReferenceStatic(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			ws := eng.NewWorkspace()
+			ws.Reset()
+			order := eng.UpdateOrder()
 			for pos := 0; pos < tt.Order(); pos++ {
-				m := eng.UpdateOrder[pos]
+				m := order[pos]
 				got := tensor.NewMatrix(tt.Dims[m], rank)
-				eng.Compute(pos, factors, got)
+				eng.Compute(ws, pos, factors, got)
 				want := kernels.Reference(tt, factors, m)
 				if diff := got.MaxAbsDiff(want); diff > 1e-9*(1+want.NormFrobenius()) {
 					t.Errorf("dims=%v T=%d mode %d: diff %g", dims, threads, m, diff)
@@ -49,11 +52,14 @@ func TestDTreeWithFactorUpdates(t *testing.T) {
 		t.Fatal(err)
 	}
 	factors := tensor.RandomFactors(tt.Dims, rank, 99)
+	ws := eng.NewWorkspace()
+	ws.Reset()
+	order := eng.UpdateOrder()
 	for iter := 0; iter < 2; iter++ {
 		for pos := 0; pos < d; pos++ {
-			m := eng.UpdateOrder[pos]
+			m := order[pos]
 			got := tensor.NewMatrix(tt.Dims[m], rank)
-			eng.Compute(pos, factors, got)
+			eng.Compute(ws, pos, factors, got)
 			want := kernels.Reference(tt, factors, m)
 			if diff := got.MaxAbsDiff(want); diff > 1e-9*(1+want.NormFrobenius()) {
 				t.Fatalf("iter %d mode %d: diff %g (stale cached partial?)", iter, m, diff)
@@ -100,9 +106,11 @@ func TestDTreeReuseCount(t *testing.T) {
 	for m := range outs {
 		outs[m] = tensor.NewMatrix(tt.Dims[m], 3)
 	}
+	ws := eng.NewWorkspace()
+	ws.Reset()
 	// First sweep without factor updates...
 	for pos := 0; pos < 4; pos++ {
-		eng.Compute(pos, factors, outs[pos])
+		eng.Compute(ws, pos, factors, outs[pos])
 	}
 	first := make([]*tensor.Matrix, 4)
 	for m := range first {
@@ -110,7 +118,7 @@ func TestDTreeReuseCount(t *testing.T) {
 	}
 	// ...and a second sweep, still without updates: identical results.
 	for pos := 0; pos < 4; pos++ {
-		eng.Compute(pos, factors, outs[pos])
+		eng.Compute(ws, pos, factors, outs[pos])
 		if diff := outs[pos].MaxAbsDiff(first[pos]); diff != 0 {
 			t.Fatalf("pos %d changed across idempotent sweeps by %g", pos, diff)
 		}
@@ -136,6 +144,6 @@ func TestDTreeRejectsOrder1(t *testing.T) {
 func ExampleNewEngine() {
 	tt := tensor.Random([]int{5, 6, 7}, 50, nil, 1)
 	eng, _ := NewEngine(tt, Options{Rank: 3, Threads: 1})
-	fmt.Println(eng.Name, eng.UpdateOrder)
+	fmt.Println(eng.Name(), eng.UpdateOrder())
 	// Output: dtree [0 1 2]
 }

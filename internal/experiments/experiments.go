@@ -102,36 +102,36 @@ func (s *Suite) Tensor(name string) (*tensor.Tensor, error) {
 // EngineSpec names an engine construction.
 type EngineSpec struct {
 	Name  string
-	Build func(tt *tensor.Tensor, threads, rank int, cacheBytes int64) (*cpd.Engine, error)
+	Build func(tt *tensor.Tensor, threads, rank int, cacheBytes int64) (cpd.Engine, error)
 }
 
 // AllEngines returns the full engine roster in the paper's comparison
 // order: the five baselines, then STeF and STeF2.
 func AllEngines() []EngineSpec {
 	return []EngineSpec{
-		{"splatt-1", func(tt *tensor.Tensor, t, r int, _ int64) (*cpd.Engine, error) {
+		{"splatt-1", func(tt *tensor.Tensor, t, r int, _ int64) (cpd.Engine, error) {
 			return baselines.NewSplatt(tt, baselines.SplattOptions{Copies: 1, Threads: t, Rank: r}), nil
 		}},
-		{"splatt-2", func(tt *tensor.Tensor, t, r int, _ int64) (*cpd.Engine, error) {
+		{"splatt-2", func(tt *tensor.Tensor, t, r int, _ int64) (cpd.Engine, error) {
 			return baselines.NewSplatt(tt, baselines.SplattOptions{Copies: 2, Threads: t, Rank: r}), nil
 		}},
-		{"splatt-all", func(tt *tensor.Tensor, t, r int, _ int64) (*cpd.Engine, error) {
+		{"splatt-all", func(tt *tensor.Tensor, t, r int, _ int64) (cpd.Engine, error) {
 			return baselines.NewSplatt(tt, baselines.SplattOptions{Copies: -1, Threads: t, Rank: r}), nil
 		}},
-		{"adatm", func(tt *tensor.Tensor, t, r int, _ int64) (*cpd.Engine, error) {
+		{"adatm", func(tt *tensor.Tensor, t, r int, _ int64) (cpd.Engine, error) {
 			return baselines.NewAdaTM(tt, baselines.AdaTMOptions{Threads: t, Rank: r}), nil
 		}},
-		{"alto", func(tt *tensor.Tensor, t, r int, _ int64) (*cpd.Engine, error) {
+		{"alto", func(tt *tensor.Tensor, t, r int, _ int64) (cpd.Engine, error) {
 			return baselines.NewALTO(tt, baselines.ALTOOptions{Threads: t, Rank: r})
 		}},
-		{"taco", func(tt *tensor.Tensor, t, r int, _ int64) (*cpd.Engine, error) {
+		{"taco", func(tt *tensor.Tensor, t, r int, _ int64) (cpd.Engine, error) {
 			return baselines.NewTACO(tt, baselines.TACOOptions{Threads: t, Rank: r}), nil
 		}},
-		{"stef", func(tt *tensor.Tensor, t, r int, cache int64) (*cpd.Engine, error) {
+		{"stef", func(tt *tensor.Tensor, t, r int, cache int64) (cpd.Engine, error) {
 			eng, _, err := core.NewEngineFor(tt, core.Options{Rank: r, Threads: t, CacheBytes: cache})
 			return eng, err
 		}},
-		{"stef2", func(tt *tensor.Tensor, t, r int, cache int64) (*cpd.Engine, error) {
+		{"stef2", func(tt *tensor.Tensor, t, r int, cache int64) (cpd.Engine, error) {
 			eng, _, err := core.NewEngineFor(tt, core.Options{Rank: r, Threads: t, CacheBytes: cache, SecondCSF: true})
 			return eng, err
 		}},
@@ -142,10 +142,10 @@ func AllEngines() []EngineSpec {
 // only when named explicitly via Options.Engines).
 func ExtraEngines() []EngineSpec {
 	return []EngineSpec{
-		{"hicoo", func(tt *tensor.Tensor, t, r int, _ int64) (*cpd.Engine, error) {
+		{"hicoo", func(tt *tensor.Tensor, t, r int, _ int64) (cpd.Engine, error) {
 			return baselines.NewHiCOO(tt, baselines.HiCOOOptions{Threads: t, Rank: r})
 		}},
-		{"dtree", func(tt *tensor.Tensor, t, r int, _ int64) (*cpd.Engine, error) {
+		{"dtree", func(tt *tensor.Tensor, t, r int, _ int64) (cpd.Engine, error) {
 			return dtree.NewEngine(tt, dtree.Options{Threads: t, Rank: r})
 		}},
 	}
@@ -174,18 +174,23 @@ func (s *Suite) engines() []EngineSpec {
 // modes in the engine's update order) with fixed factor matrices,
 // returning the minimum over reps repetitions — the quantity the paper
 // reports per CPD iteration.
-func TimeIteration(eng *cpd.Engine, dims []int, rank, reps int) time.Duration {
+func TimeIteration(eng cpd.Engine, dims []int, rank, reps int) time.Duration {
 	d := len(dims)
 	factors := tensor.RandomFactors(dims, rank, 7)
+	order := eng.UpdateOrder()
 	outs := make([]*tensor.Matrix, d)
 	for pos := 0; pos < d; pos++ {
-		outs[pos] = tensor.NewMatrix(dims[eng.UpdateOrder[pos]], rank)
+		outs[pos] = tensor.NewMatrix(dims[order[pos]], rank)
 	}
+	// The workspace is created (and its buffers allocated) outside the
+	// timed region: steady-state MTTKRP cost is what the paper reports.
+	ws := eng.NewWorkspace()
+	ws.Reset()
 	best := time.Duration(1<<62 - 1)
 	for rep := 0; rep < reps; rep++ {
 		start := time.Now()
 		for pos := 0; pos < d; pos++ {
-			eng.Compute(pos, factors, outs[pos])
+			eng.Compute(ws, pos, factors, outs[pos])
 		}
 		if el := time.Since(start); el < best {
 			best = el

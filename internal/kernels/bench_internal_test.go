@@ -29,16 +29,17 @@ func BenchmarkSpecializedVsGeneric(b *testing.B) {
 		for u := 1; u < d; u++ {
 			src := partials.SourceLevel(u)
 			buf := NewOutBuf(tree.Dims[u], rank, 4, 0)
+			sc := NewScratch(d, rank, 4)
 			b.Run(fmt.Sprintf("d%d/mode%d/specialized", d, u), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					buf.Reset()
-					ModeMTTKRP(tree, lf, u, partials, buf, part)
+					ModeMTTKRPWith(tree, lf, u, partials, buf, part, sc)
 				}
 			})
 			b.Run(fmt.Sprintf("d%d/mode%d/generic", d, u), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					buf.Reset()
-					modeGeneric(tree, lf, u, src, partials, buf, part)
+					modeGeneric(tree, lf, u, src, partials, buf, part, sc)
 				}
 			})
 		}

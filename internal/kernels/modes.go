@@ -13,11 +13,20 @@ import (
 	"stef/internal/tensor"
 )
 
-// ModeMTTKRP computes the MTTKRP for CSF level u (0 < u <= d-1) into buf,
-// reading the deepest useful source: the memoized P^(src) when
+// ModeMTTKRP computes the non-root MTTKRP with a freshly allocated scratch;
+// see ModeMTTKRPWith. It is the convenient form for one-shot callers and
+// tests; engines on the repeated-solve path pass a pooled scratch instead.
+func ModeMTTKRP(tree *csf.Tree, factors []*tensor.Matrix, u int, partials *Partials, buf *OutBuf, part *sched.Partition) {
+	ModeMTTKRPWith(tree, factors, u, partials, buf, part, NewScratch(tree.Order(), factors[0].Cols, part.T))
+}
+
+// ModeMTTKRPWith computes the MTTKRP for CSF level u (0 < u <= d-1) into
+// buf, reading the deepest useful source: the memoized P^(src) when
 // src = partials.SourceLevel(u) < d-1, or the tensor leaves otherwise.
 // This is Algorithm 4/5 of the paper for u > 0, covering Algorithms 6
 // (src == u), 7 (u < src < d-1) and 8 (src == d-1) as special cases.
+// sc supplies the per-thread accumulators; it must satisfy
+// NewScratch(tree.Order(), R, part.T) or larger.
 //
 // The Khatri-Rao row k_{u-1} is built going down levels 0..u-1; below
 // level u, partial results t_l are accumulated upward from the source
@@ -26,32 +35,32 @@ import (
 // is duplicated; scattered output rows are combined through buf (private
 // copies or atomic adds). The caller must Reset buf beforehand and Reduce
 // it afterwards.
-func ModeMTTKRP(tree *csf.Tree, factors []*tensor.Matrix, u int, partials *Partials, buf *OutBuf, part *sched.Partition) {
+func ModeMTTKRPWith(tree *csf.Tree, factors []*tensor.Matrix, u int, partials *Partials, buf *OutBuf, part *sched.Partition, sc *Scratch) {
 	d := tree.Order()
 	if u <= 0 || u >= d {
 		panic(fmt.Sprintf("kernels: ModeMTTKRP mode %d out of range (order %d); use RootMTTKRP for mode 0", u, d))
 	}
+	sc.check(d, factors[0].Cols, part.T)
 	src := partials.SourceLevel(u)
 
 	// Dispatch to the unrolled specialisations for the common orders;
 	// the generic recursion below is the semantic reference and handles
 	// every other case.
 	switch {
-	case d == 3 && mode3Dispatch(tree, factors, u, src, partials, buf, part):
+	case d == 3 && mode3Dispatch(tree, factors, u, src, partials, buf, part, sc):
 		return
-	case d == 4 && mode4Dispatch(tree, factors, u, src, partials, buf, part):
+	case d == 4 && mode4Dispatch(tree, factors, u, src, partials, buf, part, sc):
 		return
-	case d == 5 && mode5Dispatch(tree, factors, u, src, partials, buf, part):
+	case d == 5 && mode5Dispatch(tree, factors, u, src, partials, buf, part, sc):
 		return
 	}
-	modeGeneric(tree, factors, u, src, partials, buf, part)
+	modeGeneric(tree, factors, u, src, partials, buf, part, sc)
 }
 
 // modeGeneric is the order-agnostic recursive kernel behind ModeMTTKRP; it
 // is kept callable directly so tests can cross-check the specialisations.
-func modeGeneric(tree *csf.Tree, factors []*tensor.Matrix, u, src int, partials *Partials, buf *OutBuf, part *sched.Partition) {
+func modeGeneric(tree *csf.Tree, factors []*tensor.Matrix, u, src int, partials *Partials, buf *OutBuf, part *sched.Partition, sc *Scratch) {
 	d := tree.Order()
-	r := factors[0].Cols
 	par.Do(part.T, func(th int) {
 		s := part.Start[th]
 		e := part.Own[th+1]
@@ -61,16 +70,15 @@ func modeGeneric(tree *csf.Tree, factors []*tensor.Matrix, u, src int, partials 
 		}
 		// kv[l] holds k_l for the current path (levels 1..u-1; k_0
 		// aliases a factor row). tmp[l] accumulates t_l for levels
-		// u..src-1.
+		// u..src-1. Both draw their rank vectors from the scratch; the
+		// slot ranges never overlap.
 		kv := make([][]float64, u)
 		for l := 1; l < u; l++ {
-			//gate:allow escape,bounds per-thread accumulator setup, once per kernel launch, not per-nnz
-			kv[l] = make([]float64, r) //lint:allow hotpath-alloc per-thread setup, once per kernel launch
+			kv[l] = sc.vec(th, l) //gate:allow bounds scratch slots are sized to the order
 		}
 		tmp := make([][]float64, src)
 		for l := u; l < src; l++ {
-			//gate:allow escape,bounds per-thread accumulator setup, once per kernel launch, not per-nnz
-			tmp[l] = make([]float64, r) //lint:allow hotpath-alloc per-thread setup, once per kernel launch
+			tmp[l] = sc.vec(th, l) //gate:allow bounds scratch slots are sized to the order
 		}
 
 		// down computes t_l for node n at level l (u <= l < src) by

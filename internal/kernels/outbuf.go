@@ -85,10 +85,22 @@ func (b *OutBuf) AddScaled(th, row int, s float64, src []float64) {
 }
 
 // Reduce sums the per-thread state into out, overwriting it. The reduction
-// itself runs with t goroutines over row blocks.
+// itself runs with t goroutines over row blocks; the single-threaded case
+// avoids constructing the par.Blocks closure entirely (a closure passed to
+// par escapes even when run inline), keeping pooled solves allocation-free.
 func (b *OutBuf) Reduce(out *tensor.Matrix) {
 	if out.Rows != b.rows || out.Cols != b.cols {
 		panic(fmt.Sprintf("kernels: Reduce into %dx%d, want %dx%d", out.Rows, out.Cols, b.rows, b.cols))
+	}
+	if b.t == 1 {
+		if b.priv != nil {
+			out.CopyFrom(b.priv[0])
+			return
+		}
+		for i := range b.shared {
+			out.Data[i] = math.Float64frombits(b.shared[i])
+		}
+		return
 	}
 	if b.priv != nil {
 		par.Blocks(b.rows, b.t, func(_, lo, hi int) {

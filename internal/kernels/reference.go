@@ -49,8 +49,18 @@ func Reference(t *tensor.Tensor, factors []*tensor.Matrix, m int) *tensor.Matrix
 // matrices.
 func LevelFactors(factors []*tensor.Matrix, perm []int) []*tensor.Matrix {
 	out := make([]*tensor.Matrix, len(perm))
-	for l, m := range perm {
-		out[l] = factors[m]
-	}
+	LevelFactorsInto(out, factors, perm)
 	return out
+}
+
+// LevelFactorsInto is LevelFactors writing into a caller-provided slice of
+// length len(perm), for workspaces that relevel factors on every Compute
+// call without allocating.
+func LevelFactorsInto(dst []*tensor.Matrix, factors []*tensor.Matrix, perm []int) {
+	if len(dst) != len(perm) {
+		panic(fmt.Sprintf("kernels: LevelFactorsInto dst length %d, want %d", len(dst), len(perm)))
+	}
+	for l, m := range perm {
+		dst[l] = factors[m]
+	}
 }

@@ -9,11 +9,20 @@ import (
 	"stef/internal/tensor"
 )
 
-// RootMTTKRP computes the mode-0 MTTKRP of the CSF tree (the mode stored at
-// the tree's root level) into out, memoizing P^(l) for every level with
-// partials.Save[l] set, in a single downward pass (Algorithm 4/5 with
-// u = 0). factors are indexed by CSF level, i.e. factors[l] corresponds to
-// tree level l, and out receives the result for the root level's mode.
+// RootMTTKRP computes the mode-0 MTTKRP with a freshly allocated scratch;
+// see RootMTTKRPWith. It is the convenient form for one-shot callers and
+// tests; engines on the repeated-solve path pass a pooled scratch instead.
+func RootMTTKRP(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition) {
+	RootMTTKRPWith(tree, factors, out, partials, part, NewScratch(tree.Order(), factors[0].Cols, part.T))
+}
+
+// RootMTTKRPWith computes the mode-0 MTTKRP of the CSF tree (the mode
+// stored at the tree's root level) into out, memoizing P^(l) for every
+// level with partials.Save[l] set, in a single downward pass (Algorithm 4/5
+// with u = 0). factors are indexed by CSF level, i.e. factors[l]
+// corresponds to tree level l, and out receives the result for the root
+// level's mode. sc supplies the per-thread accumulators and boundary rows;
+// it must satisfy NewScratch(tree.Order(), R, part.T) or larger.
 //
 // Parallelism follows the partition: each thread processes its leaf range;
 // fibers whose leaves span a thread boundary are accumulated into boundary
@@ -21,7 +30,7 @@ import (
 // privatization are needed (Section III-A). Orders 3 and 4 dispatch to
 // unrolled specialisations (root3.go); other orders use the generic
 // recursive kernel, which is the semantic reference.
-func RootMTTKRP(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition) {
+func RootMTTKRPWith(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, sc *Scratch) {
 	d := tree.Order()
 	if len(factors) != d {
 		panic(fmt.Sprintf("kernels: %d factors for order-%d tensor", len(factors), d))
@@ -30,36 +39,37 @@ func RootMTTKRP(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, pa
 	if out.Rows != tree.Dims[0] || out.Cols != r {
 		panic(fmt.Sprintf("kernels: output shape %dx%d, want %dx%d", out.Rows, out.Cols, tree.Dims[0], r))
 	}
-	t := part.T
+	sc.check(d, r, part.T)
 	out.Zero()
 
-	// Boundary replica rows: one per (thread, level). bound[l] is used
-	// both for saved partial levels and, at level 0, for the output.
-	bound := make([]*tensor.Matrix, d)
+	// Boundary replica rows: one per (thread, level), used both for saved
+	// partial levels and, at level 0, for the output. A pooled scratch
+	// carries stale rows from the previous launch; the merge below assumes
+	// unwritten rows are zero, so clear the levels it will read.
 	for l := 0; l < d-1; l++ {
 		if l == 0 || partials.Save[l] { //gate:allow bounds Save is sized to the order; l ranges over levels
-			bound[l] = tensor.NewMatrix(t, r)
+			sc.bound[l].Zero()
 		}
 	}
 
 	switch d {
 	case 3:
-		root3(tree, factors, out, partials, part, bound)
+		root3(tree, factors, out, partials, part, sc)
 	case 4:
-		root4(tree, factors, out, partials, part, bound)
+		root4(tree, factors, out, partials, part, sc)
 	case 5:
-		root5(tree, factors, out, partials, part, bound)
+		root5(tree, factors, out, partials, part, sc)
 	default:
-		rootGeneric(tree, factors, out, partials, part, bound)
+		rootGeneric(tree, factors, out, partials, part, sc)
 	}
 
-	mergeBoundaries(tree, out, partials, part, bound)
+	mergeBoundaries(tree, out, partials, part, sc.bound)
 }
 
 // rootGeneric is the order-agnostic recursive root kernel.
-func rootGeneric(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, bound []*tensor.Matrix) {
+func rootGeneric(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, sc *Scratch) {
 	d := tree.Order()
-	r := factors[0].Cols
+	bound := sc.bound
 	par.Do(part.T, func(th int) {
 		s := part.Start[th]
 		e := part.Own[th+1] // exclusive end of touched nodes per level
@@ -70,8 +80,7 @@ func rootGeneric(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, p
 		// One accumulator per level, reused depth-first.
 		tmp := make([][]float64, d-1)
 		for l := range tmp {
-			//gate:allow escape per-thread accumulator setup, once per kernel launch, not per-nnz
-			tmp[l] = make([]float64, r) //lint:allow hotpath-alloc per-thread setup, once per kernel launch
+			tmp[l] = sc.vec(th, l) //gate:allow bounds scratch slots are sized to the order
 		}
 		var rec func(l int, n int64)
 		rec = func(l int, n int64) {
@@ -112,12 +121,16 @@ func rootGeneric(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, p
 // mergeBoundaries folds the per-thread boundary replica rows into the
 // canonical rows. Only a thread's first touched node per level can be
 // non-owned, so each (thread, level) contributes at most one row; threads
-// with no leaves never write their replica row, which stays zero, so
-// merging unconditionally is safe.
+// with no leaves never write their replica row, which RootMTTKRPWith
+// zeroed, so merging unconditionally is safe. Levels with no saved partial
+// are skipped: their replica rows are never written (and never cleared).
 func mergeBoundaries(tree *csf.Tree, out *tensor.Matrix, partials *Partials, part *sched.Partition, bound []*tensor.Matrix) {
 	d := tree.Order()
 	for th := 1; th < part.T; th++ {
 		for l := 0; l < d-1; l++ {
+			if l > 0 && !partials.Save[l] {
+				continue
+			}
 			if bound[l] == nil || !part.SharedStart(th, l) {
 				continue
 			}

@@ -12,9 +12,16 @@ import (
 // are loop-for-loop identical to the generic recursive kernel (root.go)
 // with the recursion unrolled, which removes call overhead and lets the
 // compiler keep the accumulator rows in registers across the innermost
-// rank loop. RootMTTKRP dispatches to them automatically; the generic path
-// remains the reference for all other orders and is cross-checked against
-// these in the tests.
+// rank loop. RootMTTKRPWith dispatches to them automatically; the generic
+// path remains the reference for all other orders and is cross-checked
+// against these in the tests.
+//
+// Each kernel is split into a dispatcher and a top-level per-thread body
+// (root3Thread etc.). At T == 1 the dispatcher calls the body directly: a
+// closure passed to par.Do always escapes (escape analysis is not
+// path-sensitive about the goroutine branch), so constructing it only on
+// the multi-threaded branch keeps the single-threaded steady state free of
+// heap allocation.
 //
 // The CSF level arrays (Ptr, Fids, Vals) and the per-thread partition
 // bounds are hoisted into locals ahead of the loop nests: the slice
@@ -24,131 +31,147 @@ import (
 // the tensor itself (fiber ids, pointer ranges) — no compiler can prove
 // those, and they carry //gate:allow with that justification.
 
-// root3 is the order-3 specialisation of the balanced root-mode MTTKRP.
-func root3(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, bound []*tensor.Matrix) {
-	r := factors[0].Cols
+// root3 dispatches the order-3 specialisation of the balanced root-mode
+// MTTKRP.
+func root3(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, sc *Scratch) {
+	if part.T == 1 {
+		root3Thread(0, tree, factors, out, partials, part, sc)
+		return
+	}
+	par.Do(part.T, func(th int) { //gate:allow escape multi-threaded launch; the T==1 path above stays allocation-free
+		root3Thread(th, tree, factors, out, partials, part, sc)
+	})
+}
+
+// root3Thread is thread th's share of the order-3 root-mode MTTKRP.
+func root3Thread(th int, tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, sc *Scratch) {
 	f1, f2 := factors[1], factors[2]
 	save1 := partials.Save[1]
 	ptr0, ptr1 := tree.Ptr[0], tree.Ptr[1]
 	fids0, fids1, fids2 := tree.Fids[0], tree.Fids[1], tree.Fids[2]
 	vals := tree.Vals
 
-	run := func(th int) {
-		s := part.Start[th]
-		e := part.Own[th+1]
-		ownLo := part.Own[th]
-		if s[0] >= e[0] {
-			return
-		}
-		s1, s2 := s[1], s[2]
-		e1, e2 := e[1], e[2]
-		own0, own1 := ownLo[0], ownLo[1]
-		bnd0 := bound[0].Row(th)
-		var bnd1 []float64
-		if save1 {
-			bnd1 = bound[1].Row(th)
-		}
-		t0 := make([]float64, r)
-		t1 := make([]float64, r)
-		for n0 := s[0]; n0 < e[0]; n0++ {
-			zero(t0)
-			c1Lo := maxI64(ptr0[n0], s1)   //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
-			c1Hi := minI64(ptr0[n0+1], e1) //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
-			for n1 := c1Lo; n1 < c1Hi; n1++ {
-				zero(t1)
-				c2Lo := maxI64(ptr1[n1], s2)   //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
-				c2Hi := minI64(ptr1[n1+1], e2) //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
-				for k := c2Lo; k < c2Hi; k++ {
-					addScaled(t1, vals[k], f2.Row(int(fids2[k]))) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
-				}
-				if save1 {
-					if n1 >= own1 {
-						copy(partials.P[1].Row(int(n1)), t1) //gate:allow bounds memoized partial row addressed by node id, data-dependent
-					} else {
-						copy(bnd1, t1)
-					}
-				}
-				hadamardAccum(t0, t1, f1.Row(int(fids1[n1]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
+	s := part.Start[th]
+	e := part.Own[th+1]
+	ownLo := part.Own[th]
+	if s[0] >= e[0] {
+		return
+	}
+	s1, s2 := s[1], s[2]
+	e1, e2 := e[1], e[2]
+	own0, own1 := ownLo[0], ownLo[1]
+	bnd0 := sc.bound[0].Row(th)
+	var bnd1 []float64
+	if save1 {
+		bnd1 = sc.bound[1].Row(th)
+	}
+	t0 := sc.vec(th, 0)
+	t1 := sc.vec(th, 1)
+	for n0 := s[0]; n0 < e[0]; n0++ {
+		zero(t0)
+		c1Lo := maxI64(ptr0[n0], s1)   //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
+		c1Hi := minI64(ptr0[n0+1], e1) //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
+		for n1 := c1Lo; n1 < c1Hi; n1++ {
+			zero(t1)
+			c2Lo := maxI64(ptr1[n1], s2)   //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
+			c2Hi := minI64(ptr1[n1+1], e2) //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
+			for k := c2Lo; k < c2Hi; k++ {
+				addScaled(t1, vals[k], f2.Row(int(fids2[k]))) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
 			}
-			if n0 >= own0 {
-				copy(out.Row(int(fids0[n0])), t0) //gate:allow bounds output row addressed by stored fiber id, data-dependent
-			} else {
-				copy(bnd0, t0)
+			if save1 {
+				if n1 >= own1 {
+					copy(partials.P[1].Row(int(n1)), t1) //gate:allow bounds memoized partial row addressed by node id, data-dependent
+				} else {
+					copy(bnd1, t1)
+				}
 			}
+			hadamardAccum(t0, t1, f1.Row(int(fids1[n1]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
+		}
+		if n0 >= own0 {
+			copy(out.Row(int(fids0[n0])), t0) //gate:allow bounds output row addressed by stored fiber id, data-dependent
+		} else {
+			copy(bnd0, t0)
 		}
 	}
-	par.Do(part.T, run)
 }
 
-// root4 is the order-4 specialisation of the balanced root-mode MTTKRP.
-func root4(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, bound []*tensor.Matrix) {
-	r := factors[0].Cols
+// root4 dispatches the order-4 specialisation of the balanced root-mode
+// MTTKRP.
+func root4(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, sc *Scratch) {
+	if part.T == 1 {
+		root4Thread(0, tree, factors, out, partials, part, sc)
+		return
+	}
+	par.Do(part.T, func(th int) { //gate:allow escape multi-threaded launch; the T==1 path above stays allocation-free
+		root4Thread(th, tree, factors, out, partials, part, sc)
+	})
+}
+
+// root4Thread is thread th's share of the order-4 root-mode MTTKRP.
+func root4Thread(th int, tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, sc *Scratch) {
 	f1, f2, f3 := factors[1], factors[2], factors[3]
 	save1, save2 := partials.Save[1], partials.Save[2]
 	ptr0, ptr1, ptr2 := tree.Ptr[0], tree.Ptr[1], tree.Ptr[2]
 	fids0, fids1, fids2, fids3 := tree.Fids[0], tree.Fids[1], tree.Fids[2], tree.Fids[3]
 	vals := tree.Vals
 
-	run := func(th int) {
-		s := part.Start[th]
-		e := part.Own[th+1]
-		ownLo := part.Own[th]
-		if s[0] >= e[0] {
-			return
-		}
-		s1, s2, s3 := s[1], s[2], s[3]
-		e1, e2, e3 := e[1], e[2], e[3]
-		own0, own1, own2 := ownLo[0], ownLo[1], ownLo[2]
-		bnd0 := bound[0].Row(th)
-		var bnd1, bnd2 []float64
-		if save1 {
-			bnd1 = bound[1].Row(th)
-		}
-		if save2 {
-			bnd2 = bound[2].Row(th)
-		}
-		t0 := make([]float64, r)
-		t1 := make([]float64, r)
-		t2 := make([]float64, r)
-		for n0 := s[0]; n0 < e[0]; n0++ {
-			zero(t0)
-			c1Lo := maxI64(ptr0[n0], s1)   //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
-			c1Hi := minI64(ptr0[n0+1], e1) //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
-			for n1 := c1Lo; n1 < c1Hi; n1++ {
-				zero(t1)
-				c2Lo := maxI64(ptr1[n1], s2)   //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
-				c2Hi := minI64(ptr1[n1+1], e2) //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
-				for n2 := c2Lo; n2 < c2Hi; n2++ {
-					zero(t2)
-					c3Lo := maxI64(ptr2[n2], s3)   //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
-					c3Hi := minI64(ptr2[n2+1], e3) //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
-					for k := c3Lo; k < c3Hi; k++ {
-						addScaled(t2, vals[k], f3.Row(int(fids3[k]))) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
-					}
-					if save2 {
-						if n2 >= own2 {
-							copy(partials.P[2].Row(int(n2)), t2) //gate:allow bounds memoized partial row addressed by node id, data-dependent
-						} else {
-							copy(bnd2, t2)
-						}
-					}
-					hadamardAccum(t1, t2, f2.Row(int(fids2[n2]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
+	s := part.Start[th]
+	e := part.Own[th+1]
+	ownLo := part.Own[th]
+	if s[0] >= e[0] {
+		return
+	}
+	s1, s2, s3 := s[1], s[2], s[3]
+	e1, e2, e3 := e[1], e[2], e[3]
+	own0, own1, own2 := ownLo[0], ownLo[1], ownLo[2]
+	bnd0 := sc.bound[0].Row(th)
+	var bnd1, bnd2 []float64
+	if save1 {
+		bnd1 = sc.bound[1].Row(th)
+	}
+	if save2 {
+		bnd2 = sc.bound[2].Row(th)
+	}
+	t0 := sc.vec(th, 0)
+	t1 := sc.vec(th, 1)
+	t2 := sc.vec(th, 2)
+	for n0 := s[0]; n0 < e[0]; n0++ {
+		zero(t0)
+		c1Lo := maxI64(ptr0[n0], s1)   //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
+		c1Hi := minI64(ptr0[n0+1], e1) //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
+		for n1 := c1Lo; n1 < c1Hi; n1++ {
+			zero(t1)
+			c2Lo := maxI64(ptr1[n1], s2)   //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
+			c2Hi := minI64(ptr1[n1+1], e2) //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
+			for n2 := c2Lo; n2 < c2Hi; n2++ {
+				zero(t2)
+				c3Lo := maxI64(ptr2[n2], s3)   //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
+				c3Hi := minI64(ptr2[n2+1], e3) //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
+				for k := c3Lo; k < c3Hi; k++ {
+					addScaled(t2, vals[k], f3.Row(int(fids3[k]))) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
 				}
-				if save1 {
-					if n1 >= own1 {
-						copy(partials.P[1].Row(int(n1)), t1) //gate:allow bounds memoized partial row addressed by node id, data-dependent
+				if save2 {
+					if n2 >= own2 {
+						copy(partials.P[2].Row(int(n2)), t2) //gate:allow bounds memoized partial row addressed by node id, data-dependent
 					} else {
-						copy(bnd1, t1)
+						copy(bnd2, t2)
 					}
 				}
-				hadamardAccum(t0, t1, f1.Row(int(fids1[n1]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
+				hadamardAccum(t1, t2, f2.Row(int(fids2[n2]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 			}
-			if n0 >= own0 {
-				copy(out.Row(int(fids0[n0])), t0) //gate:allow bounds output row addressed by stored fiber id, data-dependent
-			} else {
-				copy(bnd0, t0)
+			if save1 {
+				if n1 >= own1 {
+					copy(partials.P[1].Row(int(n1)), t1) //gate:allow bounds memoized partial row addressed by node id, data-dependent
+				} else {
+					copy(bnd1, t1)
+				}
 			}
+			hadamardAccum(t0, t1, f1.Row(int(fids1[n1]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
+		}
+		if n0 >= own0 {
+			copy(out.Row(int(fids0[n0])), t0) //gate:allow bounds output row addressed by stored fiber id, data-dependent
+		} else {
+			copy(bnd0, t0)
 		}
 	}
-	par.Do(part.T, run)
 }

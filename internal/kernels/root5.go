@@ -7,81 +7,88 @@ import (
 	"stef/internal/tensor"
 )
 
-// root5 is the order-5 specialisation of the balanced root-mode MTTKRP
-// (see root3.go for the scheme, including the hoisted level slices). Three
-// of the sixteen benchmark tensors are 5-way, so the unrolled form pays
-// for itself.
-func root5(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, bound []*tensor.Matrix) {
-	r := factors[0].Cols
+// root5 dispatches the order-5 specialisation of the balanced root-mode
+// MTTKRP (see root3.go for the scheme, including the hoisted level slices
+// and the T==1 closure-free path). Three of the sixteen benchmark tensors
+// are 5-way, so the unrolled form pays for itself.
+func root5(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, sc *Scratch) {
+	if part.T == 1 {
+		root5Thread(0, tree, factors, out, partials, part, sc)
+		return
+	}
+	par.Do(part.T, func(th int) { //gate:allow escape multi-threaded launch; the T==1 path above stays allocation-free
+		root5Thread(th, tree, factors, out, partials, part, sc)
+	})
+}
+
+// root5Thread is thread th's share of the order-5 root-mode MTTKRP.
+func root5Thread(th int, tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, sc *Scratch) {
 	f1, f2, f3, f4 := factors[1], factors[2], factors[3], factors[4]
 	save1, save2, save3 := partials.Save[1], partials.Save[2], partials.Save[3]
 	ptr0, ptr1, ptr2, ptr3 := tree.Ptr[0], tree.Ptr[1], tree.Ptr[2], tree.Ptr[3]
 	fids0, fids1, fids2, fids3, fids4 := tree.Fids[0], tree.Fids[1], tree.Fids[2], tree.Fids[3], tree.Fids[4]
 	vals := tree.Vals
 
-	store := func(th int, level int, n int64, ownLo []int64, t []float64) {
+	store := func(level int, n int64, ownLo []int64, t []float64) {
 		if n >= ownLo[level] {
 			copy(partials.P[level].Row(int(n)), t)
 		} else {
-			copy(bound[level].Row(th), t)
+			copy(sc.bound[level].Row(th), t)
 		}
 	}
 
-	run := func(th int) {
-		s := part.Start[th]
-		e := part.Own[th+1]
-		ownLo := part.Own[th]
-		if s[0] >= e[0] {
-			return
+	s := part.Start[th]
+	e := part.Own[th+1]
+	ownLo := part.Own[th]
+	if s[0] >= e[0] {
+		return
+	}
+	s1, s2, s3, s4 := s[1], s[2], s[3], s[4]
+	e1, e2, e3, e4 := e[1], e[2], e[3], e[4]
+	own0 := ownLo[0]
+	bnd0 := sc.bound[0].Row(th)
+	t0 := sc.vec(th, 0)
+	t1 := sc.vec(th, 1)
+	t2 := sc.vec(th, 2)
+	t3 := sc.vec(th, 3)
+	for n0 := s[0]; n0 < e[0]; n0++ {
+		zero(t0)
+		c1Lo := maxI64(ptr0[n0], s1)   //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
+		c1Hi := minI64(ptr0[n0+1], e1) //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
+		for n1 := c1Lo; n1 < c1Hi; n1++ {
+			zero(t1)
+			c2Lo := maxI64(ptr1[n1], s2)   //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
+			c2Hi := minI64(ptr1[n1+1], e2) //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
+			for n2 := c2Lo; n2 < c2Hi; n2++ {
+				zero(t2)
+				c3Lo := maxI64(ptr2[n2], s3)   //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
+				c3Hi := minI64(ptr2[n2+1], e3) //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
+				for n3 := c3Lo; n3 < c3Hi; n3++ {
+					zero(t3)
+					c4Lo := maxI64(ptr3[n3], s4)   //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
+					c4Hi := minI64(ptr3[n3+1], e4) //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
+					for k := c4Lo; k < c4Hi; k++ {
+						addScaled(t3, vals[k], f4.Row(int(fids4[k]))) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
+					}
+					if save3 {
+						store(3, n3, ownLo, t3) //gate:allow bounds memo row vs boundary replica chosen by a data-dependent owner test
+					}
+					hadamardAccum(t2, t3, f3.Row(int(fids3[n3]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
+				}
+				if save2 {
+					store(2, n2, ownLo, t2) //gate:allow bounds memo row vs boundary replica chosen by a data-dependent owner test
+				}
+				hadamardAccum(t1, t2, f2.Row(int(fids2[n2]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
+			}
+			if save1 {
+				store(1, n1, ownLo, t1) //gate:allow bounds memo row vs boundary replica chosen by a data-dependent owner test
+			}
+			hadamardAccum(t0, t1, f1.Row(int(fids1[n1]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 		}
-		s1, s2, s3, s4 := s[1], s[2], s[3], s[4]
-		e1, e2, e3, e4 := e[1], e[2], e[3], e[4]
-		own0 := ownLo[0]
-		bnd0 := bound[0].Row(th)
-		t0 := make([]float64, r)
-		t1 := make([]float64, r)
-		t2 := make([]float64, r)
-		t3 := make([]float64, r)
-		for n0 := s[0]; n0 < e[0]; n0++ {
-			zero(t0)
-			c1Lo := maxI64(ptr0[n0], s1)   //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
-			c1Hi := minI64(ptr0[n0+1], e1) //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
-			for n1 := c1Lo; n1 < c1Hi; n1++ {
-				zero(t1)
-				c2Lo := maxI64(ptr1[n1], s2)   //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
-				c2Hi := minI64(ptr1[n1+1], e2) //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
-				for n2 := c2Lo; n2 < c2Hi; n2++ {
-					zero(t2)
-					c3Lo := maxI64(ptr2[n2], s3)   //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
-					c3Hi := minI64(ptr2[n2+1], e3) //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
-					for n3 := c3Lo; n3 < c3Hi; n3++ {
-						zero(t3)
-						c4Lo := maxI64(ptr3[n3], s4)   //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
-						c4Hi := minI64(ptr3[n3+1], e4) //gate:allow bounds fiber pointer indexed by a partition-clamped node id, data-dependent
-						for k := c4Lo; k < c4Hi; k++ {
-							addScaled(t3, vals[k], f4.Row(int(fids4[k]))) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
-						}
-						if save3 {
-							store(th, 3, n3, ownLo, t3)
-						}
-						hadamardAccum(t2, t3, f3.Row(int(fids3[n3]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
-					}
-					if save2 {
-						store(th, 2, n2, ownLo, t2)
-					}
-					hadamardAccum(t1, t2, f2.Row(int(fids2[n2]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
-				}
-				if save1 {
-					store(th, 1, n1, ownLo, t1)
-				}
-				hadamardAccum(t0, t1, f1.Row(int(fids1[n1]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
-			}
-			if n0 >= own0 {
-				copy(out.Row(int(fids0[n0])), t0) //gate:allow bounds output row addressed by stored fiber id, data-dependent
-			} else {
-				copy(bnd0, t0)
-			}
+		if n0 >= own0 {
+			copy(out.Row(int(fids0[n0])), t0) //gate:allow bounds output row addressed by stored fiber id, data-dependent
+		} else {
+			copy(bnd0, t0)
 		}
 	}
-	par.Do(part.T, run)
 }

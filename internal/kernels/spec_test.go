@@ -34,22 +34,22 @@ func TestSpecializedMatchesGeneric(t *testing.T) {
 
 				pGen := NewPartials(tree, 5, save)
 				outGen := tensor.NewMatrix(tree.Dims[0], 5)
-				boundGen := boundFor(tree, pGen, threads, 5)
-				rootGeneric(tree, lf, outGen, pGen, part, boundGen)
-				mergeBoundaries(tree, outGen, pGen, part, boundGen)
+				scGen := NewScratch(d, 5, threads)
+				rootGeneric(tree, lf, outGen, pGen, part, scGen)
+				mergeBoundaries(tree, outGen, pGen, part, scGen.bound)
 
 				pSpec := NewPartials(tree, 5, save)
 				outSpec := tensor.NewMatrix(tree.Dims[0], 5)
-				boundSpec := boundFor(tree, pSpec, threads, 5)
+				scSpec := NewScratch(d, 5, threads)
 				switch d {
 				case 3:
-					root3(tree, lf, outSpec, pSpec, part, boundSpec)
+					root3(tree, lf, outSpec, pSpec, part, scSpec)
 				case 4:
-					root4(tree, lf, outSpec, pSpec, part, boundSpec)
+					root4(tree, lf, outSpec, pSpec, part, scSpec)
 				case 5:
-					root5(tree, lf, outSpec, pSpec, part, boundSpec)
+					root5(tree, lf, outSpec, pSpec, part, scSpec)
 				}
-				mergeBoundaries(tree, outSpec, pSpec, part, boundSpec)
+				mergeBoundaries(tree, outSpec, pSpec, part, scSpec.bound)
 
 				if diff := outSpec.MaxAbsDiff(outGen); diff != 0 {
 					t.Fatalf("%s: output differs by %g", ctx, diff)
@@ -94,7 +94,7 @@ func TestModeSpecializedMatchesGeneric(t *testing.T) {
 
 					bufGen := NewOutBuf(tree.Dims[u], 5, threads, 1<<40)
 					bufGen.Reset()
-					modeGeneric(tree, lf, u, src, partials, bufGen, part)
+					modeGeneric(tree, lf, u, src, partials, bufGen, part, NewScratch(d, 5, threads))
 					gotGen := tensor.NewMatrix(tree.Dims[u], 5)
 					bufGen.Reduce(gotGen)
 
@@ -105,18 +105,6 @@ func TestModeSpecializedMatchesGeneric(t *testing.T) {
 			}
 		}
 	}
-}
-
-// boundFor allocates the boundary buffers the same way RootMTTKRP does.
-func boundFor(tree *csf.Tree, p *Partials, threads, rank int) []*tensor.Matrix {
-	d := tree.Order()
-	bound := make([]*tensor.Matrix, d)
-	for l := 0; l < d-1; l++ {
-		if l == 0 || p.Save[l] {
-			bound[l] = tensor.NewMatrix(threads, rank)
-		}
-	}
-	return bound
 }
 
 // TestDispatchUsesSpecialized pins the dispatch: orders 3 and 4 must not

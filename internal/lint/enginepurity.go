@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EnginePurity enforces the Plan/Workspace split that makes compiled engines
+// safe to share across concurrent solves: a Compute implementation may read
+// the engine (the immutable plan) and write only through its Workspace
+// argument and output parameters. Two shapes are flagged:
+//
+//   - a Compute method that stores through its receiver or a package-level
+//     variable — per-call state smuggled into the shared engine, a data race
+//     the moment two solves run on one compiled handle;
+//   - a function literal installed as a Compute field/hook that captures a
+//     slice- or map-typed variable from the enclosing scope — mutable state
+//     bound at construction instead of carried by the Workspace.
+var EnginePurity = &Analyzer{
+	Name:      "engine-purity",
+	Doc:       "flag Engine Compute implementations that mutate engine/global state or capture mutable slices/maps instead of using the Workspace",
+	NeedTypes: true,
+	Run:       runEnginePurity,
+}
+
+func runEnginePurity(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Recv != nil && fd.Name.Name == "Compute" && fd.Body != nil && firstParamIsWorkspace(pass, fd) {
+				checkComputeMethod(pass, fd)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, l := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					if sel, ok := ast.Unparen(l).(*ast.SelectorExpr); ok && sel.Sel.Name == "Compute" {
+						if lit, ok := ast.Unparen(n.Rhs[i]).(*ast.FuncLit); ok {
+							checkComputeLit(pass, lit)
+						}
+					}
+				}
+			case *ast.KeyValueExpr:
+				if id, ok := n.Key.(*ast.Ident); ok && id.Name == "Compute" {
+					if lit, ok := ast.Unparen(n.Value).(*ast.FuncLit); ok {
+						checkComputeLit(pass, lit)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// firstParamIsWorkspace reports whether fd's first parameter is of an
+// interface type named Workspace (cpd.Workspace or a package-local mirror),
+// i.e. whether fd implements the Engine Compute contract rather than being an
+// unrelated method that happens to share the name.
+func firstParamIsWorkspace(pass *Pass, fd *ast.FuncDecl) bool {
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	tv, ok := pass.Info.Types[params.List[0].Type]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Name() != "Workspace" {
+		return false
+	}
+	_, ok = named.Underlying().(*types.Interface)
+	return ok
+}
+
+// checkComputeMethod flags stores whose root is the method's receiver or a
+// package-level variable — anywhere in the body, including closures launched
+// from it.
+func checkComputeMethod(pass *Pass, fd *ast.FuncDecl) {
+	var recv types.Object
+	if names := fd.Recv.List[0].Names; len(names) > 0 {
+		recv = pass.Info.Defs[names[0]]
+	}
+	check := func(target ast.Expr) {
+		root, _ := storeRoot(target)
+		if root == nil {
+			return
+		}
+		obj := objOf(pass, root)
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return
+		}
+		switch {
+		case recv != nil && obj == recv:
+			pass.Reportf(target.Pos(), "Compute mutates engine state through receiver %q; engines are shared by concurrent solves — move this state into the Workspace", root.Name)
+		case pass.Pkg != nil && v.Parent() == pass.Pkg.Scope():
+			pass.Reportf(target.Pos(), "Compute mutates engine state via package-level %q; move this state into the Workspace", root.Name)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, l := range n.Lhs {
+				check(l)
+			}
+		case *ast.IncDecStmt:
+			check(n.X)
+		}
+		return true
+	})
+}
+
+// checkComputeLit flags slice- or map-typed variables a Compute function
+// literal captures from its enclosing scope, once per variable.
+func checkComputeLit(pass *Pass, lit *ast.FuncLit) {
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := objOf(pass, id).(*types.Var)
+		if !ok || v.IsField() || isLocal(lit, v) || seen[v] {
+			return true
+		}
+		var kind string
+		switch v.Type().Underlying().(type) {
+		case *types.Slice:
+			kind = "slice"
+		case *types.Map:
+			kind = "map"
+		default:
+			return true
+		}
+		seen[v] = true
+		pass.Reportf(id.Pos(), "Compute captures mutable %s %q from the enclosing scope; take it via the Workspace so concurrent solves do not share it", kind, v.Name())
+		return true
+	})
+}

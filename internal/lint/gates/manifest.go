@@ -57,14 +57,14 @@ func Default() *Manifest {
 			"stef/internal/dense",
 		},
 		Rules: []Rule{
-			{Func: "kernels.RootMTTKRP", Note: "root-mode dispatch wrapper (Alg. 4/5), runs once per iteration but owns the boundary-replica setup loop"},
+			{Func: "kernels.RootMTTKRPWith", Note: "root-mode dispatch (Alg. 4/5), runs once per iteration but owns the boundary-replica setup loop"},
 			{Func: "kernels.rootGeneric", Note: "order-agnostic recursive root kernel; the semantic reference per-nnz path"},
-			{Func: "kernels.root3", Note: "order-3 unrolled root kernel, dominant benchmark path"},
-			{Func: "kernels.root4", Note: "order-4 unrolled root kernel"},
-			{Func: "kernels.root5", Note: "order-5 unrolled root kernel"},
+			{Func: "kernels.root3Thread", Note: "order-3 unrolled root kernel (per-thread body), dominant benchmark path"},
+			{Func: "kernels.root4Thread", Note: "order-4 unrolled root kernel (per-thread body)"},
+			{Func: "kernels.root5Thread", Note: "order-5 unrolled root kernel (per-thread body)"},
 			{Func: "kernels.RootMTTKRPSubtrees", Note: "subtree-parallel root kernel (ablation path), per-nnz"},
 			{Func: "kernels.ModeMTTKRPSubtrees", Note: "subtree-parallel non-root kernel, per-nnz"},
-			{Func: "kernels.ModeMTTKRP", Note: "non-root dispatch (Alg. 6-8)"},
+			{Func: "kernels.ModeMTTKRPWith", Note: "non-root dispatch (Alg. 6-8)"},
 			{Func: "kernels.modeGeneric", Note: "order-agnostic recursive non-root kernel, per-nnz"},
 			{Func: "kernels.zero", Note: "rank-vector clear inside every fiber visit; must lower to memclr"},
 			{Func: "kernels.addScaled", Note: "leaf-level axpy, executed once per nonzero"},

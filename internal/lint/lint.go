@@ -317,7 +317,7 @@ func (idx *allowIndex) allows(f Finding) bool {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{HotPathAlloc, ParSafety, PanicPrefix, NoDeps, StaleAllow}
+	return []*Analyzer{HotPathAlloc, ParSafety, EnginePurity, PanicPrefix, NoDeps, StaleAllow}
 }
 
 // ByName resolves a comma-separated analyzer list; unknown names error.

@@ -147,6 +147,11 @@ func TestParSafetyFixture(t *testing.T) {
 	checkFixture(t, pkg, ParSafety)
 }
 
+func TestEnginePurityFixture(t *testing.T) {
+	pkg := loadFixture(t, "testdata/src/enginepurity/enginepurity.go", "stef/internal/enginefix", true)
+	checkFixture(t, pkg, EnginePurity)
+}
+
 func TestPanicPrefixFixture(t *testing.T) {
 	// badDynamic reproduces the internal/reorder/reorder.go:63 class of
 	// bug: panic(err.Error()) with no package prefix.

@@ -1,0 +1,62 @@
+// Package enginefix seeds engine-purity violations: Compute implementations
+// that keep per-call state on the shared engine (or in globals) instead of
+// the Workspace, and Compute hooks that capture mutable slices/maps at
+// construction time.
+package enginefix
+
+// Workspace mirrors cpd.Workspace.
+type Workspace interface{ Reset() }
+
+var hits []int
+
+type engine struct {
+	calls int
+	buf   []float64
+	dims  []int
+}
+
+type scratch struct{ vec []float64 }
+
+func (s *scratch) Reset() {}
+
+func (e *engine) Compute(ws Workspace, pos int) {
+	w := ws.(*scratch)
+	e.calls++                // want "mutates engine state"
+	e.buf[pos] = 1           // want "mutates engine state"
+	hits = append(hits, pos) // want "mutates engine state"
+	w.vec[pos] = float64(e.dims[pos])
+	local := 0
+	local++ // ok: call-local
+	_ = local
+}
+
+// Helper shares the method name but not the Engine contract; a receiver
+// store here is fine.
+type tally struct{ n int }
+
+func (t *tally) Compute(delta int) { t.n += delta }
+
+type funcEngine struct {
+	Compute func(ws Workspace, pos int)
+}
+
+func build(rows [][]float64, cache map[int][]float64, n int) *funcEngine {
+	fe := &funcEngine{}
+	total := 0
+	fe.Compute = func(ws Workspace, pos int) {
+		_ = rows[pos]  // want "captures mutable slice"
+		_ = cache[pos] // want "captures mutable map"
+		total += pos   // ok: rule B covers slices/maps; scalars race too but are par-safety's beat
+		_ = n
+	}
+	return fe
+}
+
+func buildLit(out []float64) funcEngine {
+	return funcEngine{
+		Compute: func(ws Workspace, pos int) {
+			out[pos] = 1 // want "captures mutable slice"
+			out[0] = 2   // ok: deduped, one finding per captured variable
+		},
+	}
+}

@@ -20,7 +20,7 @@ go run ./cmd/steflint -gates
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race (parallel packages)"
-go test -race ./internal/par/ ./internal/sched/ ./internal/kernels/ ./internal/cpd/
+echo "==> go test -race (parallel packages + shared-plan concurrency)"
+go test -race . ./internal/par/ ./internal/sched/ ./internal/kernels/ ./internal/cpd/ ./internal/core/
 
 echo "All checks passed."

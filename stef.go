@@ -11,6 +11,15 @@
 //	res, _ := stef.Decompose(t, stef.Options{Rank: 32, Threads: 8})
 //	fmt.Println(res.FinalFit())
 //
+// When the same tensor is factorised repeatedly — restarts, rank sweeps,
+// hyper-parameter searches — Compile splits the work: all preprocessing
+// (reordering, CSF construction, the data-movement model search) runs once,
+// and the returned handle solves many times, concurrently if desired, from
+// a pool of recycled workspaces:
+//
+//	c, _ := stef.Compile(t, stef.Options{Rank: 32, Threads: 8})
+//	best, _ := c.DecomposeBest(8) // 8 restarts, one plan
+//
 // Engines other than STeF (the baselines from the paper's evaluation) can
 // be selected by name, which makes head-to-head comparisons one flag away.
 package stef
@@ -23,6 +32,7 @@ import (
 	"stef/internal/cpd"
 	"stef/internal/dtree"
 	"stef/internal/frostt"
+	"stef/internal/par"
 	"stef/internal/reorder"
 	"stef/internal/tensor"
 )
@@ -46,6 +56,9 @@ type Options struct {
 	Engine string
 	// CacheBytes parameterises STeF's data-movement model (0 = default).
 	CacheBytes int64
+	// MaxPrivElems bounds per-thread output privatization in the MTTKRP
+	// buffers (0 = engine default).
+	MaxPrivElems int64
 	// Reorder optionally relabels tensor indices before decomposition to
 	// improve locality: "" (none), "lexi" (Lexi-Order) or "bfsmcs"
 	// (BFS-MCS), both from Li et al. (ICS'19). Factor matrices are
@@ -56,9 +69,24 @@ type Options struct {
 // Result re-exports the CPD result type.
 type Result = cpd.Result
 
-// Decompose factorises the sparse tensor with CPD-ALS using the selected
-// engine and returns the factor matrices, component weights and fit trace.
-func Decompose(t *tensor.Tensor, opts Options) (*Result, error) {
+// Compiled is a compile-once/solve-many handle: the immutable plan (index
+// reordering, CSF trees, partitions, memoization config) built once by
+// Compile, plus a pool of solve workspaces. All methods are safe to call
+// concurrently; simultaneous solves share the plan and draw distinct
+// workspaces from the pool.
+type Compiled struct {
+	opts   Options
+	dims   []int
+	normX  float64
+	perms  reorder.Perms
+	solver *cpd.Solver
+	plan   *core.Plan // nil unless the engine is stef/stef2
+}
+
+// Compile runs every per-tensor preprocessing step — optional index
+// reordering, CSF construction and the data-movement model search — and
+// returns a handle whose Decompose variants reuse that work across solves.
+func Compile(t *tensor.Tensor, opts Options) (*Compiled, error) {
 	var perms reorder.Perms
 	switch opts.Reorder {
 	case "":
@@ -72,44 +100,64 @@ func Decompose(t *tensor.Tensor, opts Options) (*Result, error) {
 	if perms != nil {
 		t = reorder.Apply(t, perms)
 	}
-	eng, err := NewEngine(t, opts)
+	eng, plan, err := buildEngine(t, opts)
 	if err != nil {
 		return nil, err
 	}
-	res, err := cpd.Run(t.Dims, t.NormFrobenius(), eng, cpd.Options{
-		Rank: opts.Rank, MaxIters: opts.MaxIters, Tol: opts.Tol, Seed: opts.Seed,
+	return &Compiled{
+		opts:   opts,
+		dims:   append([]int(nil), t.Dims...),
+		normX:  t.NormFrobenius(),
+		perms:  perms,
+		solver: cpd.NewSolver(eng),
+		plan:   plan,
+	}, nil
+}
+
+// Engine returns the compiled MTTKRP engine.
+func (c *Compiled) Engine() cpd.Engine { return c.solver.Engine() }
+
+// Plan returns STeF's planning diagnostics — the chosen layout and
+// memoization set, the full configuration search trace (AllConfigs), the
+// Table II byte accounting and preprocessing times. It is nil for engines
+// other than "stef" and "stef2", which do not plan.
+func (c *Compiled) Plan() *core.Plan { return c.plan }
+
+// Decompose runs one CPD-ALS solve with the compiled plan, seeded by
+// Options.Seed.
+func (c *Compiled) Decompose() (*Result, error) { return c.DecomposeSeed(c.opts.Seed) }
+
+// DecomposeSeed runs one CPD-ALS solve from the random initialisation of
+// the given seed. It is safe to call from many goroutines at once: the plan
+// is shared read-only and each call checks a workspace out of the pool.
+func (c *Compiled) DecomposeSeed(seed int64) (*Result, error) {
+	res, err := c.solver.Run(c.dims, c.normX, cpd.Options{
+		Rank: c.opts.Rank, MaxIters: c.opts.MaxIters, Tol: c.opts.Tol, Seed: seed,
 	})
-	if err != nil || perms == nil {
-		return res, err
+	if err != nil {
+		return nil, err
 	}
-	// Map factor rows back to the original index space: relabeled row
-	// perms[m][i] corresponds to original index i.
-	for m, f := range res.Factors {
-		orig := tensor.NewMatrix(f.Rows, f.Cols)
-		for i := 0; i < f.Rows; i++ {
-			copy(orig.Row(i), f.Row(int(perms[m][i])))
-		}
-		res.Factors[m] = orig
-	}
+	c.unpermute(res)
 	return res, nil
 }
 
-// DecomposeBest runs Decompose `restarts` times with different random
-// initialisations (seeds opts.Seed, opts.Seed+1, ...) and returns the
-// result with the best final fit. CPD-ALS converges to local optima, so a
-// handful of restarts is the standard way to stabilise the fit; on exactly
-// low-rank data one restart usually suffices.
-func DecomposeBest(t *tensor.Tensor, opts Options, restarts int) (*Result, error) {
+// DecomposeBest runs `restarts` solves with seeds Seed, Seed+1, ... in
+// parallel — they share the one compiled plan — and returns the result with
+// the best final fit. Ties (and the pick among equal fits) are resolved
+// deterministically in seed order.
+func (c *Compiled) DecomposeBest(restarts int) (*Result, error) {
 	if restarts < 1 {
 		restarts = 1
 	}
+	results := make([]*Result, restarts)
+	errs := make([]error, restarts)
+	par.Do(restarts, func(i int) {
+		results[i], errs[i] = c.DecomposeSeed(c.opts.Seed + int64(i))
+	})
 	var best *Result
-	for i := 0; i < restarts; i++ {
-		o := opts
-		o.Seed = opts.Seed + int64(i)
-		res, err := Decompose(t, o)
-		if err != nil {
-			return nil, err
+	for i, res := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
 		if best == nil || res.FinalFit() > best.FinalFit() {
 			best = res
@@ -118,9 +166,56 @@ func DecomposeBest(t *tensor.Tensor, opts Options, restarts int) (*Result, error
 	return best, nil
 }
 
+// unpermute maps factor rows back to the original index space when the
+// tensor was reordered: relabeled row perms[m][i] corresponds to original
+// index i.
+func (c *Compiled) unpermute(res *Result) {
+	if c.perms == nil {
+		return
+	}
+	for m, f := range res.Factors {
+		orig := tensor.NewMatrix(f.Rows, f.Cols)
+		for i := 0; i < f.Rows; i++ {
+			copy(orig.Row(i), f.Row(int(c.perms[m][i])))
+		}
+		res.Factors[m] = orig
+	}
+}
+
+// Decompose factorises the sparse tensor with CPD-ALS using the selected
+// engine and returns the factor matrices, component weights and fit trace.
+func Decompose(t *tensor.Tensor, opts Options) (*Result, error) {
+	c, err := Compile(t, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.Decompose()
+}
+
+// DecomposeBest compiles once, then runs `restarts` solves in parallel with
+// different random initialisations (seeds opts.Seed, opts.Seed+1, ...) and
+// returns the result with the best final fit. CPD-ALS converges to local
+// optima, so a handful of restarts is the standard way to stabilise the
+// fit; on exactly low-rank data one restart usually suffices. The
+// preprocessing (reordering, CSF build, model search) is shared across all
+// restarts.
+func DecomposeBest(t *tensor.Tensor, opts Options, restarts int) (*Result, error) {
+	c, err := Compile(t, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.DecomposeBest(restarts)
+}
+
 // NewEngine constructs the named MTTKRP engine for the tensor. The empty
 // name selects STeF.
-func NewEngine(t *tensor.Tensor, opts Options) (*cpd.Engine, error) {
+func NewEngine(t *tensor.Tensor, opts Options) (cpd.Engine, error) {
+	eng, _, err := buildEngine(t, opts)
+	return eng, err
+}
+
+// buildEngine constructs the named engine plus, for stef/stef2, its plan.
+func buildEngine(t *tensor.Tensor, opts Options) (cpd.Engine, *core.Plan, error) {
 	threads := opts.Threads
 	if threads < 1 {
 		threads = 1
@@ -131,31 +226,34 @@ func NewEngine(t *tensor.Tensor, opts Options) (*cpd.Engine, error) {
 	}
 	switch opts.Engine {
 	case "", "stef":
-		eng, _, err := core.NewEngineFor(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes})
-		return eng, err
+		eng, plan, err := core.NewEngineFor(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, MaxPrivElems: opts.MaxPrivElems})
+		return eng, plan, err
 	case "stef2":
-		eng, _, err := core.NewEngineFor(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, SecondCSF: true})
-		return eng, err
+		eng, plan, err := core.NewEngineFor(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, MaxPrivElems: opts.MaxPrivElems, SecondCSF: true})
+		return eng, plan, err
 	case "splatt-1":
-		return baselines.NewSplatt(t, baselines.SplattOptions{Copies: 1, Threads: threads, Rank: rank}), nil
+		return baselines.NewSplatt(t, baselines.SplattOptions{Copies: 1, Threads: threads, Rank: rank, MaxPrivElems: opts.MaxPrivElems}), nil, nil
 	case "splatt-2":
-		return baselines.NewSplatt(t, baselines.SplattOptions{Copies: 2, Threads: threads, Rank: rank}), nil
+		return baselines.NewSplatt(t, baselines.SplattOptions{Copies: 2, Threads: threads, Rank: rank, MaxPrivElems: opts.MaxPrivElems}), nil, nil
 	case "splatt-all":
-		return baselines.NewSplatt(t, baselines.SplattOptions{Copies: -1, Threads: threads, Rank: rank}), nil
+		return baselines.NewSplatt(t, baselines.SplattOptions{Copies: -1, Threads: threads, Rank: rank, MaxPrivElems: opts.MaxPrivElems}), nil, nil
 	case "adatm":
-		return baselines.NewAdaTM(t, baselines.AdaTMOptions{Threads: threads, Rank: rank}), nil
+		return baselines.NewAdaTM(t, baselines.AdaTMOptions{Threads: threads, Rank: rank, MaxPrivElems: opts.MaxPrivElems}), nil, nil
 	case "alto":
-		return baselines.NewALTO(t, baselines.ALTOOptions{Threads: threads, Rank: rank})
+		eng, err := baselines.NewALTO(t, baselines.ALTOOptions{Threads: threads, Rank: rank, MaxPrivElems: opts.MaxPrivElems})
+		return eng, nil, err
 	case "taco":
-		return baselines.NewTACO(t, baselines.TACOOptions{Threads: threads, Rank: rank}), nil
+		return baselines.NewTACO(t, baselines.TACOOptions{Threads: threads, Rank: rank}), nil, nil
 	case "hicoo":
-		return baselines.NewHiCOO(t, baselines.HiCOOOptions{Threads: threads, Rank: rank})
+		eng, err := baselines.NewHiCOO(t, baselines.HiCOOOptions{Threads: threads, Rank: rank, MaxPrivElems: opts.MaxPrivElems})
+		return eng, nil, err
 	case "dtree":
-		return dtree.NewEngine(t, dtree.Options{Rank: rank, Threads: threads})
+		eng, err := dtree.NewEngine(t, dtree.Options{Rank: rank, Threads: threads})
+		return eng, nil, err
 	case "naive":
-		return cpd.NaiveEngine(t), nil
+		return cpd.NaiveEngine(t), nil, nil
 	}
-	return nil, fmt.Errorf("stef: unknown engine %q", opts.Engine)
+	return nil, nil, fmt.Errorf("stef: unknown engine %q", opts.Engine)
 }
 
 // Plan exposes STeF's planning decisions (chosen layout, memoization set,
@@ -169,7 +267,7 @@ func Plan(t *tensor.Tensor, opts Options) (*core.Plan, error) {
 	if threads < 1 {
 		threads = 1
 	}
-	return core.NewPlan(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, SecondCSF: opts.Engine == "stef2"})
+	return core.NewPlan(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, MaxPrivElems: opts.MaxPrivElems, SecondCSF: opts.Engine == "stef2"})
 }
 
 // LoadTensor reads a FROSTT .tns file.
