@@ -1,11 +1,13 @@
 // Command steflint runs the repo-native static analyzers over the module:
 //
-//	hotpath-alloc  no allocations inside for loops of the hot packages
-//	par-safety     par.Blocks/par.Do callbacks write only thread-indexed state
-//	engine-purity  Engine Compute implementations mutate only their Workspace
-//	panic-prefix   panic messages in internal/... start with the package name
-//	no-deps        imports resolve to the stdlib or stef/... only
-//	stale-allow    //lint:allow and //gate:allow directives must suppress something
+//	hotpath-alloc   no allocations inside for loops of the hot packages
+//	write-disjoint  stores reachable from par.Do/par.Blocks callbacks are
+//	                provably thread-disjoint (interprocedural dataflow)
+//	engine-purity   Engine Compute implementations mutate only their Workspace
+//	panic-prefix    panic messages in internal/... start with the package name
+//	no-deps         imports resolve to the stdlib or stef/... only
+//	stale-allow     //lint:allow and //gate:allow directives must suppress
+//	                something and name real analyzer/gate kinds
 //
 // With -gates it instead runs the compiler-diagnostic performance gates
 // (internal/lint/gates): the hot packages are rebuilt with escape-analysis
@@ -15,19 +17,27 @@
 //
 // Usage:
 //
-//	steflint [-run a,b] [-list] [packages]
+//	steflint [-run a,b] [-list] [-json] [packages]
 //	steflint -gates [-write-baseline]
 //
 // With no arguments (or "./...") every package in the module is analyzed.
 // Arguments name package directories relative to the working directory.
-// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// With -json, findings are emitted to stdout as a JSON array of
+// {file, line, analyzer, message} objects with module-root-relative file
+// paths, for machine consumption (e.g. CI annotations).
+//
+// Exit status: 0 clean, 1 findings, 2 usage error, load failure, or a
+// package that failed to typecheck (reported as an analyzer="typecheck"
+// pseudo-finding so -json consumers see it too).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"stef/internal/lint"
 	"stef/internal/lint/gates"
@@ -41,6 +51,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("steflint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list available analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array of {file, line, analyzer, message}")
 	runNames := fs.String("run", "", "comma-separated analyzers to run (default: all)")
 	gatesMode := fs.Bool("gates", false, "run the compiler-diagnostic performance gates")
 	writeBaseline := fs.Bool("write-baseline", false, "with -gates: rewrite the committed baseline to the observed counts")
@@ -107,14 +118,73 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	findings := lint.Run(pkgs, analyzers)
+	if *jsonOut {
+		root, _, rootErr := gates.FindModuleRoot(cwd)
+		if rootErr != nil {
+			root = "" // fall back to the loader's absolute paths
+		}
+		if err := writeJSON(stdout, root, findings); err != nil {
+			fmt.Fprintln(stderr, "steflint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	typeErrs := 0
 	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+		if f.Analyzer == "typecheck" {
+			typeErrs++
+		}
+	}
+	if typeErrs > 0 {
+		fmt.Fprintf(stderr, "steflint: %d package(s) failed to typecheck\n", typeErrs)
+		return 2
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "steflint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the machine-readable finding shape emitted by -json.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits findings as a JSON array (always an array, [] when
+// clean) with file paths relative to the module root where possible.
+func writeJSON(stdout *os.File, root string, findings []lint.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:     relPath(root, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// relPath rewrites file as a slash-separated path relative to root when it
+// lies inside it; paths outside the module (or an empty root) pass through.
+func relPath(root, file string) string {
+	if root == "" || file == "" {
+		return file
+	}
+	r, err := filepath.Rel(root, file)
+	if err != nil || strings.HasPrefix(r, "..") {
+		return file
+	}
+	return filepath.ToSlash(r)
 }
 
 // runGates executes the compiler-diagnostic gates over the module

@@ -46,15 +46,15 @@ func ModeMTTKRPWith(tree *csf.Tree, factors []*tensor.Matrix, u int, partials *P
 	// Dispatch to the unrolled specialisations for the common orders;
 	// the generic recursion below is the semantic reference and handles
 	// every other case.
+	sc.shadow.begin(part)
 	switch {
 	case d == 3 && mode3Dispatch(tree, factors, u, src, partials, buf, part, sc):
-		return
 	case d == 4 && mode4Dispatch(tree, factors, u, src, partials, buf, part, sc):
-		return
 	case d == 5 && mode5Dispatch(tree, factors, u, src, partials, buf, part, sc):
-		return
+	default:
+		modeGeneric(tree, factors, u, src, partials, buf, part, sc)
 	}
-	modeGeneric(tree, factors, u, src, partials, buf, part, sc)
+	sc.shadow.end()
 }
 
 // modeGeneric is the order-agnostic recursive kernel behind ModeMTTKRP; it
@@ -98,10 +98,12 @@ func modeGeneric(tree *csf.Tree, factors []*tensor.Matrix, u, src int, partials 
 			switch {
 			case l+1 == src && src == d-1:
 				for k := cLo; k < cHi; k++ {
+					sc.shadow.own(th, d-1, k)
 					addScaled(tl, tree.Vals[k], factors[d-1].Row(int(tree.Fids[d-1][k]))) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
 				}
 			case l+1 == src:
 				for c := cLo; c < cHi; c++ {
+					sc.shadow.own(th, src, c)
 					hadamardAccum(tl, partials.P[src].Row(int(c)), factors[src].Row(int(tree.Fids[src][c]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 				}
 			default:
@@ -141,12 +143,14 @@ func modeGeneric(tree *csf.Tree, factors []*tensor.Matrix, u, src int, partials 
 				// Leaf mode: pure Khatri-Rao push-down; l+1 is
 				// the leaf level (src == d-1 here).
 				for k := cLo; k < cHi; k++ {
+					sc.shadow.own(th, d-1, k)
 					buf.AddScaled(th, int(tree.Fids[d-1][k]), tree.Vals[k], kcur) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
 				}
 			case u == src:
 				// Memoized at exactly level u: one MTTV per
 				// owned fiber (Algorithm 6).
 				for c := cLo; c < cHi; c++ {
+					sc.shadow.own(th, src, c)
 					buf.AddHadamard(th, int(tree.Fids[u][c]), kcur, partials.P[u].Row(int(c))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 				}
 			default:

@@ -52,6 +52,7 @@ func RootMTTKRPWith(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix
 		}
 	}
 
+	sc.shadow.begin(part)
 	switch d {
 	case 3:
 		root3(tree, factors, out, partials, part, sc)
@@ -64,6 +65,7 @@ func RootMTTKRPWith(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix
 	}
 
 	mergeBoundaries(tree, out, partials, part, sc.bound)
+	sc.shadow.end()
 }
 
 // rootGeneric is the order-agnostic recursive root kernel.
@@ -99,8 +101,10 @@ func rootGeneric(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, p
 				child := tmp[l+1]       //gate:allow bounds level arrays are indexed by the recursion depth, sized to the order
 				if partials.Save[l+1] { //gate:allow bounds level arrays are indexed by the recursion depth, sized to the order
 					if c >= ownLo[l+1] { //gate:allow bounds level arrays are indexed by the recursion depth, sized to the order
+						sc.shadow.own(th, l+1, c)
 						copy(partials.P[l+1].Row(int(c)), child) //gate:allow bounds memoized partial row addressed by node id, data-dependent
 					} else {
+						sc.shadow.boundary(th, l+1, c)
 						copy(bound[l+1].Row(th), child) //gate:allow bounds boundary replica row per level, sized to the order
 					}
 				}
@@ -110,8 +114,10 @@ func rootGeneric(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, p
 		for n := s[0]; n < e[0]; n++ {
 			rec(0, n)
 			if n >= ownLo[0] { //gate:allow bounds ownLo is sized to the order; constant level index
+				sc.shadow.own(th, 0, n)
 				copy(out.Row(int(tree.Fids[0][n])), tmp[0]) //gate:allow bounds output row addressed by stored fiber id, data-dependent
 			} else {
+				sc.shadow.boundary(th, 0, n)
 				copy(bound[0].Row(th), tmp[0]) //gate:allow bounds boundary replica row, one per thread
 			}
 		}

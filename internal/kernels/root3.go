@@ -80,16 +80,20 @@ func root3Thread(th int, tree *csf.Tree, factors []*tensor.Matrix, out *tensor.M
 			}
 			if save1 {
 				if n1 >= own1 {
+					sc.shadow.own(th, 1, n1)
 					copy(partials.P[1].Row(int(n1)), t1) //gate:allow bounds memoized partial row addressed by node id, data-dependent
 				} else {
+					sc.shadow.boundary(th, 1, n1)
 					copy(bnd1, t1)
 				}
 			}
 			hadamardAccum(t0, t1, f1.Row(int(fids1[n1]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 		}
 		if n0 >= own0 {
+			sc.shadow.own(th, 0, n0)
 			copy(out.Row(int(fids0[n0])), t0) //gate:allow bounds output row addressed by stored fiber id, data-dependent
 		} else {
+			sc.shadow.boundary(th, 0, n0)
 			copy(bnd0, t0)
 		}
 	}
@@ -152,8 +156,10 @@ func root4Thread(th int, tree *csf.Tree, factors []*tensor.Matrix, out *tensor.M
 				}
 				if save2 {
 					if n2 >= own2 {
+						sc.shadow.own(th, 2, n2)
 						copy(partials.P[2].Row(int(n2)), t2) //gate:allow bounds memoized partial row addressed by node id, data-dependent
 					} else {
+						sc.shadow.boundary(th, 2, n2)
 						copy(bnd2, t2)
 					}
 				}
@@ -161,16 +167,20 @@ func root4Thread(th int, tree *csf.Tree, factors []*tensor.Matrix, out *tensor.M
 			}
 			if save1 {
 				if n1 >= own1 {
+					sc.shadow.own(th, 1, n1)
 					copy(partials.P[1].Row(int(n1)), t1) //gate:allow bounds memoized partial row addressed by node id, data-dependent
 				} else {
+					sc.shadow.boundary(th, 1, n1)
 					copy(bnd1, t1)
 				}
 			}
 			hadamardAccum(t0, t1, f1.Row(int(fids1[n1]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 		}
 		if n0 >= own0 {
+			sc.shadow.own(th, 0, n0)
 			copy(out.Row(int(fids0[n0])), t0) //gate:allow bounds output row addressed by stored fiber id, data-dependent
 		} else {
+			sc.shadow.boundary(th, 0, n0)
 			copy(bnd0, t0)
 		}
 	}

@@ -31,8 +31,10 @@ func root5Thread(th int, tree *csf.Tree, factors []*tensor.Matrix, out *tensor.M
 
 	store := func(level int, n int64, ownLo []int64, t []float64) {
 		if n >= ownLo[level] {
+			sc.shadow.own(th, level, n)
 			copy(partials.P[level].Row(int(n)), t)
 		} else {
+			sc.shadow.boundary(th, level, n)
 			copy(sc.bound[level].Row(th), t)
 		}
 	}
@@ -86,8 +88,10 @@ func root5Thread(th int, tree *csf.Tree, factors []*tensor.Matrix, out *tensor.M
 			hadamardAccum(t0, t1, f1.Row(int(fids1[n1]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 		}
 		if n0 >= own0 {
+			sc.shadow.own(th, 0, n0)
 			copy(out.Row(int(fids0[n0])), t0) //gate:allow bounds output row addressed by stored fiber id, data-dependent
 		} else {
+			sc.shadow.boundary(th, 0, n0)
 			copy(bnd0, t0)
 		}
 	}

@@ -23,6 +23,9 @@ type Scratch struct {
 	// (level 0 stands in for the root output). Kernels must zero the rows
 	// they merge before writing: pooled reuse leaves stale data behind.
 	bound []*tensor.Matrix
+	// shadow is the write-disjointness oracle; a no-op unless built with
+	// -tags shadowtrace (see shadow_off.go / shadow_on.go).
+	shadow shadowState
 }
 
 // NewScratch sizes a scratch for order-d trees at the given rank and thread

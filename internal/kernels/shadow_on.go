@@ -1,0 +1,94 @@
+//go:build shadowtrace
+
+package kernels
+
+import (
+	"fmt"
+	"sync"
+
+	"stef/internal/sched"
+)
+
+// shadowState is the dynamic half of the write-disjointness verification:
+// while a kernel launch is active it records which thread claimed each
+// (level, node) store and panics the moment Algorithm 3's ownership
+// discipline is violated — two threads writing the same canonical row, a
+// boundary replica write for a node the partition never declared shared,
+// or a thread emitting more than one replica write per level. The static
+// write-disjoint analyzer proves stores are *indexed* disjointly; this
+// oracle checks the partition actually *delivers* disjoint indices, so the
+// two verifications cover each other's blind spot.
+//
+// The mutex serialises claims, which deliberately destroys kernel
+// performance; this build tag exists only for tests (-tags shadowtrace).
+type shadowState struct {
+	mu      sync.Mutex
+	part    *sched.Partition
+	owner   map[shadowKey]int  // (level, node) -> claiming thread
+	replica map[[2]int]int64   // (thread, level) -> node of its replica write
+}
+
+type shadowKey struct {
+	level int
+	id    int64
+}
+
+// begin arms the oracle for one kernel launch over the given partition.
+func (s *shadowState) begin(p *sched.Partition) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.part = p
+	if s.owner == nil {
+		s.owner = make(map[shadowKey]int)
+		s.replica = make(map[[2]int]int64)
+	}
+	clear(s.owner)
+	clear(s.replica)
+}
+
+// end disarms the oracle.
+func (s *shadowState) end() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.part = nil
+}
+
+// own records a canonical (owned) store of level-l node id by thread th.
+func (s *shadowState) own(th, level int, id int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.part == nil {
+		return // kernel invoked outside begin/end (direct *Thread call in tests)
+	}
+	key := shadowKey{level, id}
+	if prev, claimed := s.owner[key]; claimed && prev != th {
+		panic(fmt.Sprintf("kernels: shadow: level %d node %d written by thread %d and thread %d outside the boundary set",
+			level, id, prev, th))
+	}
+	s.owner[key] = th
+}
+
+// boundary records a store of level-l node id through thread th's boundary
+// replica row and checks it against the partition's declaration.
+func (s *shadowState) boundary(th, l int, id int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.part == nil {
+		return
+	}
+	declared, ok := s.part.DeclaredBoundary(th, l)
+	if !ok {
+		panic(fmt.Sprintf("kernels: shadow: thread %d wrote a boundary replica at level %d, but the partition declares no shared start there",
+			th, l))
+	}
+	if id != declared {
+		panic(fmt.Sprintf("kernels: shadow: thread %d replica write at level %d hit node %d, declared boundary is node %d",
+			th, l, id, declared))
+	}
+	rk := [2]int{th, l}
+	if prev, seen := s.replica[rk]; seen && prev != id {
+		panic(fmt.Sprintf("kernels: shadow: thread %d emitted replica writes for nodes %d and %d at level %d; Algorithm 3 admits one",
+			th, prev, id, l))
+	}
+	s.replica[rk] = id
+}

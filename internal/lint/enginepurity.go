@@ -146,3 +146,44 @@ func checkComputeLit(pass *Pass, lit *ast.FuncLit) {
 		return true
 	})
 }
+
+// storeRoot unwraps an assignment target to its root identifier and
+// collects the index expressions along the chain (a[i].f[j] -> a, [i, j]).
+func storeRoot(e ast.Expr) (*ast.Ident, []ast.Expr) {
+	var indices []ast.Expr
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return t, indices
+		case *ast.IndexExpr:
+			indices = append(indices, t.Index)
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// objOf resolves an identifier to its object (use or definition).
+func objOf(pass *Pass, id *ast.Ident) types.Object {
+	if id == nil {
+		return nil
+	}
+	if obj := pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[id]
+}
+
+// isLocal reports whether obj is declared inside the function literal
+// (parameters included); such variables are private to one callback
+// invocation.
+func isLocal(lit *ast.FuncLit, obj types.Object) bool {
+	return obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+}

@@ -1,0 +1,411 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analysis is the per-function abstract interpreter. The same walker runs
+// in two modes: entry mode (checking a parallel callback, emitting
+// findings) and summary mode (computing a callee summary, emitting
+// storeRecs relative to the parameters). Each mode runs the statement
+// walker to a fixpoint on the abstract environment first, then once more
+// with checking set to actually record stores — so stores are judged
+// against the final (most derived) environment, not a partial one.
+type analysis struct {
+	prog  *Program
+	pkg   *Package
+	info  *types.Info
+	owner ast.Node // the FuncLit or FuncDecl being analyzed
+	entry *Entry   // entry mode only
+
+	summaryMode bool
+	checking    bool
+	depth       int
+	fname       string // summarized function name, for via chains
+
+	env map[types.Object]value
+	// elem tracks the joined element value of locally allocated
+	// containers assigned through an identifier (tmp[l] = sc.vec(th, l)),
+	// so later loads of tmp[l] recover the disjoint view.
+	elem map[types.Object]value
+	// lits binds local closure variables to their function literals;
+	// litRets accumulates each literal's joined return values.
+	lits    map[types.Object]*ast.FuncLit
+	litRets map[*ast.FuncLit][]value
+	walked  map[*ast.FuncLit]bool // literals walked this pass
+	retSink *ast.FuncLit          // non-nil while walking a closure body
+
+	changed   bool
+	stores    []storeRec
+	retVals   []value
+	sawOpaque bool
+	findings  []Finding
+}
+
+func (a *analysis) init() {
+	a.env = make(map[types.Object]value)
+	a.elem = make(map[types.Object]value)
+	a.lits = make(map[types.Object]*ast.FuncLit)
+	a.litRets = make(map[*ast.FuncLit][]value)
+}
+
+func (a *analysis) setEnv(obj types.Object, v value) {
+	old, ok := a.env[obj]
+	nv := old.join(v)
+	if !ok || nv != old {
+		a.env[obj] = nv
+		a.changed = true
+	}
+}
+
+func (a *analysis) setElem(obj types.Object, v value) {
+	old, ok := a.elem[obj]
+	nv := old.join(v)
+	if !ok || nv != old {
+		a.elem[obj] = nv
+		a.changed = true
+	}
+}
+
+// isLocal reports whether obj is declared inside the function being
+// analyzed (including closure parameters and locals). Everything else —
+// captured variables, package-level state — is shared from the callback's
+// point of view.
+func (a *analysis) isLocal(obj types.Object) bool {
+	return obj != nil && a.owner.Pos() <= obj.Pos() && obj.Pos() < a.owner.End()
+}
+
+const maxFixpointIters = 50
+
+func (a *analysis) fixpoint(body *ast.BlockStmt) {
+	for i := 0; i < maxFixpointIters; i++ {
+		a.changed = false
+		a.walked = make(map[*ast.FuncLit]bool)
+		a.block(body)
+		if !a.changed {
+			break
+		}
+	}
+	a.walked = make(map[*ast.FuncLit]bool)
+}
+
+func (a *analysis) block(b *ast.BlockStmt) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.List {
+		a.stmt(s)
+	}
+}
+
+func (a *analysis) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		a.assignStmt(s)
+	case *ast.IncDecStmt:
+		a.assign(s.X, a.eval(s.X))
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				obj := a.info.Defs[name]
+				if obj == nil || name.Name == "_" {
+					continue
+				}
+				var v value
+				switch {
+				case i < len(vs.Values):
+					v = a.evalBind(obj, vs.Values[i])
+				case pointerLike(obj.Type()):
+					// Zero value: nil slices/maps reference nothing.
+					v = value{reg: region{kind: regFresh}}
+				}
+				a.setEnv(obj, v)
+			}
+		}
+	case *ast.ExprStmt:
+		a.eval(s.X)
+	case *ast.SendStmt:
+		a.eval(s.Chan)
+		a.eval(s.Value)
+	case *ast.GoStmt:
+		a.eval(s.Call)
+	case *ast.DeferStmt:
+		a.eval(s.Call)
+	case *ast.ReturnStmt:
+		vals := make([]value, len(s.Results))
+		for i, r := range s.Results {
+			vals[i] = a.eval(r)
+		}
+		if a.retSink != nil {
+			a.joinRets(&a.litRets, a.retSink, vals)
+		} else {
+			a.joinTopRets(vals)
+		}
+	case *ast.BlockStmt:
+		a.block(s)
+	case *ast.IfStmt:
+		a.stmtOpt(s.Init)
+		a.eval(s.Cond)
+		a.block(s.Body)
+		a.stmtOpt(s.Else)
+	case *ast.ForStmt:
+		a.stmtOpt(s.Init)
+		if s.Cond != nil {
+			a.eval(s.Cond)
+		}
+		a.block(s.Body)
+		a.stmtOpt(s.Post)
+	case *ast.RangeStmt:
+		cv := a.eval(s.X)
+		bind := func(e ast.Expr, v value) {
+			if e == nil {
+				return
+			}
+			if s.Tok == token.DEFINE {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := a.info.Defs[id]; obj != nil && id.Name != "_" {
+						a.setEnv(obj, v)
+					}
+					return
+				}
+			}
+			a.assign(e, v)
+		}
+		// Range keys/indices are the same for every thread; they inherit
+		// only the container's scalar derivation, never its window offset
+		// (iterating a disjoint window still yields indices 0..n shared
+		// by all threads — safe only because the window itself is).
+		bind(s.Key, value{deriv: cv.deriv, deps: cv.deps})
+		bind(s.Value, a.loadElem(cv, value{}))
+		a.block(s.Body)
+	case *ast.SwitchStmt:
+		a.stmtOpt(s.Init)
+		if s.Tag != nil {
+			a.eval(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				a.eval(e)
+			}
+			for _, st := range cc.Body {
+				a.stmt(st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		a.stmtOpt(s.Init)
+		var subject value
+		switch as := s.Assign.(type) {
+		case *ast.ExprStmt:
+			subject = a.eval(as.X)
+		case *ast.AssignStmt:
+			if len(as.Rhs) == 1 {
+				subject = a.eval(as.Rhs[0])
+			}
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if obj := a.info.Implicits[cc]; obj != nil {
+				a.setEnv(obj, subject)
+			}
+			for _, st := range cc.Body {
+				a.stmt(st)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			a.stmtOpt(cc.Comm)
+			for _, st := range cc.Body {
+				a.stmt(st)
+			}
+		}
+	case *ast.LabeledStmt:
+		a.stmt(s.Stmt)
+	}
+}
+
+func (a *analysis) stmtOpt(s ast.Stmt) {
+	if s != nil {
+		a.stmt(s)
+	}
+}
+
+func (a *analysis) assignStmt(s *ast.AssignStmt) {
+	var vals []value
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		vals = a.evalMulti(s.Rhs[0], len(s.Lhs))
+	} else {
+		vals = make([]value, len(s.Rhs))
+		for i, r := range s.Rhs {
+			var obj types.Object
+			if i < len(s.Lhs) {
+				if id, ok := s.Lhs[i].(*ast.Ident); ok {
+					if s.Tok == token.DEFINE {
+						obj = a.info.Defs[id]
+					} else {
+						obj = a.info.Uses[id]
+					}
+				}
+			}
+			vals[i] = a.evalBind(obj, r)
+		}
+	}
+	for i, lhs := range s.Lhs {
+		var v value
+		if i < len(vals) {
+			v = vals[i]
+		}
+		if s.Tok == token.DEFINE {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := a.info.Defs[id]; obj != nil && id.Name != "_" {
+					a.setEnv(obj, v)
+				}
+				continue
+			}
+		}
+		a.assign(lhs, v)
+	}
+}
+
+// evalBind evaluates an rvalue that is about to be bound to obj,
+// registering function literals so later calls through the variable
+// resolve to the closure body.
+func (a *analysis) evalBind(obj types.Object, e ast.Expr) value {
+	if lit, ok := ast.Unparen(e).(*ast.FuncLit); ok && obj != nil {
+		a.lits[obj] = lit
+		a.walkLit(lit)
+		return value{}
+	}
+	return a.eval(e)
+}
+
+// assign performs `lhs = v` for a non-define assignment: either an
+// environment update (the store stays within a local variable's own cell,
+// possibly through struct/array embedding) or a store into referenced
+// memory, which is judged.
+func (a *analysis) assign(lhs ast.Expr, v value) {
+	tgt := a.lvalue(lhs)
+	if tgt.skip {
+		return
+	}
+	if tgt.local != nil {
+		a.setEnv(tgt.local, v)
+		if tgt.elemOf != nil {
+			a.setElem(tgt.elemOf, v)
+		}
+		return
+	}
+	if tgt.elemOf != nil {
+		a.setElem(tgt.elemOf, v)
+	}
+	a.store(lhs.Pos(), tgt.reg, tgt.idx, tgt.isMap, tgt.bare)
+}
+
+// store judges one physical store against the derivation lattice.
+func (a *analysis) store(pos token.Pos, reg region, idx value, isMap, bare bool) {
+	if !a.checking {
+		return
+	}
+	switch reg.kind {
+	case regNone, regFresh, regUnknown:
+		return
+	}
+	d := reg.offDeriv
+	deps := reg.offDeps
+	if !isMap && !bare {
+		// An indexed store into shared memory is fine when the index is
+		// thread-derived; map keys and whole-cell stores have no such out.
+		d |= idx.scalarDeriv()
+		deps |= idx.scalarDeps()
+	}
+	if d.derived() {
+		return
+	}
+	if a.summaryMode {
+		global := reg.global || reg.kind == regShared
+		if reg.base == 0 && !global {
+			return
+		}
+		a.stores = append(a.stores, storeRec{
+			pos: pos, targets: reg.base, global: global,
+			deriv: d, deps: deps, isMap: isMap, bare: bare,
+		})
+		return
+	}
+	a.reportStore(pos, isMap, bare, "")
+}
+
+func (a *analysis) reportStore(pos token.Pos, isMap, bare bool, via string) {
+	var msg string
+	switch {
+	case isMap:
+		msg = "store to shared map inside parallel callback"
+	case bare:
+		msg = "store to shared memory inside parallel callback"
+	default:
+		msg = "store to shared memory with index not derived from thread id or partition bounds"
+	}
+	a.findings = append(a.findings, Finding{Pos: pos, Message: msg + viaSuffix(via)})
+}
+
+func (a *analysis) joinTopRets(vals []value) {
+	for len(a.retVals) < len(vals) {
+		a.retVals = append(a.retVals, value{})
+	}
+	for i, v := range vals {
+		nv := a.retVals[i].join(v)
+		if nv != a.retVals[i] {
+			a.retVals[i] = nv
+			a.changed = true
+		}
+	}
+}
+
+func (a *analysis) joinRets(m *map[*ast.FuncLit][]value, lit *ast.FuncLit, vals []value) {
+	cur := (*m)[lit]
+	for len(cur) < len(vals) {
+		cur = append(cur, value{})
+	}
+	for i, v := range vals {
+		nv := cur[i].join(v)
+		if nv != cur[i] {
+			cur[i] = nv
+			a.changed = true
+		}
+	}
+	(*m)[lit] = cur
+}
+
+// walkLit analyzes a closure body in the enclosing environment, once per
+// pass. Parameter values are joined in from call sites (previous fixpoint
+// iterations); on the first pass they are simply unknown.
+func (a *analysis) walkLit(lit *ast.FuncLit) {
+	if a.walked[lit] {
+		return
+	}
+	a.walked[lit] = true
+	saved := a.retSink
+	a.retSink = lit
+	a.block(lit.Body)
+	a.retSink = saved
+}

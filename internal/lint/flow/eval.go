@@ -1,0 +1,373 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// assignTarget is the resolved left-hand side of an assignment.
+type assignTarget struct {
+	skip   bool         // blank identifier
+	local  types.Object // store lands in this local variable's own cell
+	elemOf types.Object // container ident whose element value to track
+	reg    region       // otherwise: the referenced memory being stored to
+	idx    value        // index of an indexed store
+	isMap  bool
+	bare   bool // whole-cell store (no index): *p = v, x.f = v, captured = v
+}
+
+// lvalue resolves a store destination. Stores that never leave a local
+// variable's cell — plain locals, fields of local struct values, elements
+// of local array values — update the environment; everything else is a
+// store into referenced memory and is judged by store().
+func (a *analysis) lvalue(lhs ast.Expr) assignTarget {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return assignTarget{skip: true}
+		}
+		obj := a.info.Uses[e]
+		if obj == nil {
+			obj = a.info.Defs[e]
+		}
+		if obj == nil {
+			return assignTarget{skip: true}
+		}
+		if a.isLocal(obj) {
+			return assignTarget{local: obj}
+		}
+		// Assignment to a captured or package-level variable.
+		return assignTarget{reg: sharedRegion, bare: true}
+	case *ast.IndexExpr:
+		xt := a.exprType(e.X)
+		if _, isArr := xt.Underlying().(*types.Array); isArr {
+			// Indexing an array *value* stays within its cell.
+			inner := a.lvalue(e.X)
+			a.eval(e.Index)
+			return inner
+		}
+		cv := a.eval(e.X)
+		idx := a.eval(e.Index)
+		_, isMap := xt.Underlying().(*types.Map)
+		tgt := assignTarget{reg: a.derefRegion(cv.reg), idx: idx, isMap: isMap}
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && !isMap {
+			if obj := a.info.Uses[id]; obj != nil && a.isLocal(obj) && cv.reg.kind == regFresh {
+				tgt.elemOf = obj
+			}
+		}
+		return tgt
+	case *ast.SelectorExpr:
+		xt := a.exprType(e.X)
+		if _, isPtr := xt.Underlying().(*types.Pointer); !isPtr {
+			if _, isStruct := xt.Underlying().(*types.Struct); isStruct {
+				// Field of a struct value: the store stays within the
+				// base's cell (local copy) or its region (shared cell).
+				inner := a.lvalue(e.X)
+				inner.bare, inner.isMap, inner.idx = true, false, value{}
+				return inner
+			}
+			// Qualified package-level variable (pkg.Var = x).
+			if obj := a.info.Uses[e.Sel]; obj != nil {
+				if _, isVar := obj.(*types.Var); isVar && !a.isLocal(obj) {
+					return assignTarget{reg: sharedRegion, bare: true}
+				}
+			}
+		}
+		bv := a.eval(e.X)
+		return assignTarget{reg: a.derefRegion(bv.reg), bare: true}
+	case *ast.StarExpr:
+		pv := a.eval(e.X)
+		return assignTarget{reg: a.derefRegion(pv.reg), bare: true}
+	}
+	// Anything else (index into call result, etc.): evaluate for effects
+	// and treat the target as unknown — the analysis cannot tie it to
+	// shared memory.
+	a.eval(lhs)
+	return assignTarget{reg: region{kind: regUnknown}}
+}
+
+// derefRegion maps a container/pointer value's region to the region of the
+// memory a store through it hits. regNone means the value carried no
+// region information at all (e.g. an opaque scalar path) — err toward
+// unknown rather than shared.
+func (a *analysis) derefRegion(r region) region {
+	if r.kind == regNone {
+		return region{kind: regUnknown}
+	}
+	return r
+}
+
+func (a *analysis) exprType(e ast.Expr) types.Type {
+	if tv, ok := a.info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+// eval computes the abstract value of an expression.
+func (a *analysis) eval(e ast.Expr) value {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return a.eval(e.X)
+	case *ast.Ident:
+		return a.evalIdent(e)
+	case *ast.BasicLit:
+		return value{}
+	case *ast.SelectorExpr:
+		return a.evalSelector(e)
+	case *ast.IndexExpr:
+		return a.evalIndex(e)
+	case *ast.SliceExpr:
+		return a.evalSlice(e)
+	case *ast.StarExpr:
+		pv := a.eval(e.X)
+		return value{
+			deriv: pv.reg.offDeriv, deps: pv.reg.offDeps,
+			reg: a.elemRegion(pv.reg, a.exprType(e)),
+		}
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			return value{reg: a.addrRegion(e.X)}
+		}
+		v := a.eval(e.X)
+		return value{deriv: v.scalarDeriv(), deps: v.scalarDeps()}
+	case *ast.BinaryExpr:
+		l, r := a.eval(e.X), a.eval(e.Y)
+		return value{
+			deriv: l.scalarDeriv() | r.scalarDeriv(),
+			deps:  l.scalarDeps() | r.scalarDeps(),
+		}
+	case *ast.CallExpr:
+		vs := a.evalCall(e, 1)
+		if len(vs) > 0 {
+			return vs[0]
+		}
+		return value{}
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				a.eval(kv.Value)
+			} else {
+				a.eval(el)
+			}
+		}
+		return value{reg: region{kind: regFresh}}
+	case *ast.FuncLit:
+		// A literal not bound to a variable or callback position (e.g.
+		// passed to an opaque call): analyze its body with unknown
+		// parameters so stores inside are still judged.
+		a.walkLit(e)
+		return value{}
+	case *ast.TypeAssertExpr:
+		v := a.eval(e.X)
+		return value{reg: v.reg}
+	case *ast.IndexListExpr:
+		return a.eval(e.X)
+	}
+	return value{}
+}
+
+func (a *analysis) evalIdent(e *ast.Ident) value {
+	if e.Name == "_" {
+		return value{}
+	}
+	obj := a.info.Uses[e]
+	if obj == nil {
+		obj = a.info.Defs[e]
+	}
+	switch obj := obj.(type) {
+	case *types.Var:
+		if v, ok := a.env[obj]; ok {
+			return v
+		}
+		if a.isLocal(obj) {
+			// Declared inside but not yet assigned on this pass.
+			return value{}
+		}
+		if pointerLike(obj.Type()) {
+			return value{reg: sharedRegion}
+		}
+		return value{} // captured scalar: visible to all threads, underived
+	case *types.Const, *types.Nil:
+		return value{}
+	}
+	return value{}
+}
+
+func (a *analysis) evalSelector(e *ast.SelectorExpr) value {
+	// Qualified identifier (pkg.Var) or method value.
+	if obj := a.info.Uses[e.Sel]; obj != nil {
+		if _, isFunc := obj.(*types.Func); isFunc {
+			return value{}
+		}
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if _, isPkg := a.info.Uses[id].(*types.PkgName); isPkg {
+				if pointerLike(obj.Type()) {
+					return value{reg: sharedRegion}
+				}
+				return value{}
+			}
+		}
+	}
+	base := a.eval(e.X)
+	// Fields live at a fixed offset inside the base's memory: they keep
+	// its region (including any disjoint-window derivation). Scalar
+	// fields of a thread-disjoint cell are thread-derived data.
+	fieldReg := a.elemRegion(base.reg, a.exprType(e))
+	return value{deriv: base.reg.offDeriv, deps: base.reg.offDeps, reg: fieldReg}
+}
+
+// elemRegion is the region of a field/element/deref of memory with region
+// r, for a result of type t.
+func (a *analysis) elemRegion(r region, t types.Type) region {
+	if !pointerLike(t) {
+		return region{}
+	}
+	switch r.kind {
+	case regShared:
+		return sharedRegion
+	case regView:
+		return r
+	case regFresh:
+		// Elements of untracked fresh containers: contents unknown.
+		return region{kind: regUnknown}
+	case regUnknown:
+		return region{kind: regUnknown}
+	}
+	return region{}
+}
+
+func (a *analysis) evalIndex(e *ast.IndexExpr) value {
+	// Generic instantiation (F[T]) parses as IndexExpr too.
+	if tv, ok := a.info.Types[e.Index]; ok && tv.IsType() {
+		return a.eval(e.X)
+	}
+	if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+		if obj := a.info.Uses[id]; obj != nil && a.isLocal(obj) {
+			if ev, tracked := a.elem[obj]; tracked {
+				if cv, ok := a.env[obj]; ok && cv.reg.kind == regFresh {
+					a.eval(e.Index)
+					return ev
+				}
+			}
+		}
+	}
+	cv := a.eval(e.X)
+	idx := a.eval(e.Index)
+	return a.loadElem(cv, idx)
+}
+
+// loadElem is the value of container[idx]. Loading through a disjoint
+// window yields thread-private data; loading shared[th] with a derived
+// index yields a partition-derived scalar — that is exactly how the
+// kernels obtain sched.Partition bounds.
+func (a *analysis) loadElem(cv value, idx value) value {
+	d := cv.reg.offDeriv
+	deps := cv.reg.offDeps
+	if idx.scalarDeriv().derived() {
+		d |= DerivPartition
+	}
+	deps |= idx.scalarDeps()
+	out := value{deriv: d, deps: deps}
+	switch cv.reg.kind {
+	case regShared, regView:
+		// An element picked out of shared memory by a derived index is
+		// itself a disjoint window (distinct threads pick distinct
+		// elements).
+		out.reg = region{
+			kind: regView, base: cv.reg.base,
+			global:   cv.reg.global || cv.reg.kind == regShared,
+			offDeriv: d, offDeps: deps,
+		}
+	case regFresh, regUnknown:
+		// Contents of untracked fresh containers are unknown.
+		out.reg = region{kind: regUnknown}
+	}
+	return out
+}
+
+func (a *analysis) evalSlice(e *ast.SliceExpr) value {
+	cv := a.eval(e.X)
+	evalBound := func(b ast.Expr) (value, bool) {
+		if b == nil {
+			return value{}, false
+		}
+		return a.eval(b), true
+	}
+	lo, hasLo := evalBound(e.Low)
+	hi, hasHi := evalBound(e.High)
+	if e.Max != nil {
+		a.eval(e.Max)
+	}
+	out := cv
+	out.deriv, out.deps = 0, 0
+	if out.reg.kind == regShared {
+		out.reg = region{kind: regView, global: true}
+	}
+	if out.reg.kind != regView {
+		return out
+	}
+	// data[lo:hi] with both bounds thread-derived is a disjoint window
+	// (the par.Blocks pattern). A reslice with underived or missing
+	// bounds keeps whatever derivation the base window already had.
+	loOK := hasLo && (lo.scalarDeriv().derived() || lo.scalarDeps() != 0)
+	hiOK := hasHi && (hi.scalarDeriv().derived() || hi.scalarDeps() != 0)
+	if loOK && hiOK {
+		out.reg.offDeriv |= lo.scalarDeriv() | hi.scalarDeriv()
+		out.reg.offDeps |= lo.scalarDeps() | hi.scalarDeps()
+	}
+	return out
+}
+
+// addrRegion is the region of &x: the cell x occupies.
+func (a *analysis) addrRegion(x ast.Expr) region {
+	switch e := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		obj := a.info.Uses[e]
+		if obj == nil {
+			obj = a.info.Defs[e]
+		}
+		if a.isLocal(obj) {
+			return region{kind: regFresh}
+		}
+		return sharedRegion
+	case *ast.CompositeLit:
+		a.eval(e)
+		return region{kind: regFresh}
+	case *ast.IndexExpr:
+		cv := a.eval(e.X)
+		idx := a.eval(e.Index)
+		r := a.derefRegion(cv.reg)
+		if r.kind == regShared || r.kind == regView {
+			return region{
+				kind: regView, base: cv.reg.base,
+				global:   cv.reg.global || cv.reg.kind == regShared,
+				offDeriv: cv.reg.offDeriv | idx.scalarDeriv(),
+				offDeps:  cv.reg.offDeps | idx.scalarDeps(),
+			}
+		}
+		return r
+	case *ast.SelectorExpr:
+		tgt := a.lvalue(e)
+		if tgt.local != nil {
+			return region{kind: regFresh}
+		}
+		return a.derefRegion(tgt.reg)
+	case *ast.StarExpr:
+		return a.eval(e.X).reg
+	}
+	return a.eval(x).reg
+}
+
+func (a *analysis) evalMulti(e ast.Expr, n int) []value {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		vs := a.evalCall(call, n)
+		for len(vs) < n {
+			vs = append(vs, value{})
+		}
+		return vs
+	}
+	out := make([]value, n)
+	out[0] = a.eval(e)
+	return out
+}

@@ -1,0 +1,126 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// storeRec is one store a function performs, expressed relative to its own
+// parameters so callers can substitute argument facts.
+type storeRec struct {
+	pos token.Pos
+	// targets names the parameters whose referenced memory the store may
+	// hit; global marks stores that may hit captured or package-level
+	// memory regardless of the arguments.
+	targets paramMask
+	global  bool
+	// deriv/deps describe the store index (or, for a store through a
+	// view, the window offset): the index is derived at a call site when
+	// deriv is non-empty or any parameter in deps is derived there.
+	deriv Deriv
+	deps  paramMask
+	// isMap marks map stores: never disjoint by index, always reported
+	// when the map is shared.
+	isMap bool
+	// bare marks stores with no index at all (plain assignment through a
+	// pointer/captured variable): unconditionally unsafe on shared
+	// targets.
+	bare bool
+	// via is the human-readable callee chain from the summarized function
+	// down to the physical store, for diagnostics.
+	via string
+}
+
+// summary is the analysis result for one module-local function.
+type summary struct {
+	stores []storeRec
+	ret    []value
+	// truncated marks summaries computed at the depth bound with opaque
+	// callees inside; they are not memoized so a shallower chain can
+	// still see the full picture.
+	truncated bool
+}
+
+// opaqueSummary is what callers see past the depth bound or for functions
+// without source: no stores, unknown results.
+func opaqueSummary(fn *types.Func) *summary {
+	sig, _ := fn.Type().(*types.Signature)
+	n := 0
+	if sig != nil {
+		n = sig.Results().Len()
+	}
+	s := &summary{truncated: true}
+	for i := 0; i < n; i++ {
+		v := value{}
+		if sig != nil && pointerLike(sig.Results().At(i).Type()) {
+			v.reg = region{kind: regUnknown}
+		}
+		s.ret = append(s.ret, v)
+	}
+	return s
+}
+
+// summarize computes (and memoizes, when complete) the summary of a
+// module-local function. depth is the current chain length; at
+// cfg.MaxCallDepth the function is treated as opaque.
+func (p *Program) summarize(fn *types.Func, depth int) *summary {
+	if s, ok := p.sums[fn]; ok {
+		return s
+	}
+	src := p.decls[fn]
+	if src == nil || depth > p.cfg.MaxCallDepth || p.inProgress[fn] {
+		return opaqueSummary(fn)
+	}
+	p.inProgress[fn] = true
+	defer delete(p.inProgress, fn)
+
+	a := &analysis{
+		prog:        p,
+		pkg:         src.pkg,
+		info:        src.pkg.Info,
+		owner:       src.decl,
+		summaryMode: true,
+		depth:       depth,
+		fname:       fn.Name(),
+	}
+	a.init()
+	seedParam := func(name *ast.Ident, i int) {
+		obj := a.info.Defs[name]
+		if obj == nil {
+			return
+		}
+		v := value{deps: pbit(i)}
+		if pointerLike(obj.Type()) {
+			v.reg = region{kind: regView, base: pbit(i), offDeps: pbit(i)}
+		}
+		a.setEnv(obj, v)
+	}
+	i := 0
+	if src.decl.Recv != nil {
+		for _, field := range src.decl.Recv.List {
+			for _, name := range field.Names {
+				seedParam(name, i)
+			}
+		}
+		i = 1
+	}
+	for _, field := range src.decl.Type.Params.List {
+		for _, name := range field.Names {
+			seedParam(name, i)
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	a.fixpoint(src.decl.Body)
+	a.checking = true
+	a.block(src.decl.Body)
+
+	s := &summary{stores: a.stores, ret: a.retVals, truncated: a.sawOpaque}
+	if !s.truncated {
+		p.sums[fn] = s
+	}
+	return s
+}

@@ -1,0 +1,162 @@
+package flow
+
+import "go/types"
+
+// Deriv is the derivation lattice of the write-disjointness analysis,
+// tracked as a bitmask: a value is *derived* (safe to use as a store index
+// inside a parallel callback) when any bit is set. The two bits record how
+// the derivation was obtained; the empty mask covers both Shared (read from
+// memory visible to every thread at a thread-independent location) and
+// Unknown (constants, opaque call results) — neither makes a store index
+// thread-unique, so the checker treats them alike and the split exists only
+// for diagnostics.
+type Deriv uint8
+
+const (
+	// DerivThread marks values computed from the callback's own
+	// parameters: the thread id and the block bounds.
+	DerivThread Deriv = 1 << iota
+	// DerivPartition marks values read through a thread-indexed window of
+	// shared state — partition bounds like sched.Partition.Start[th] and
+	// everything computed from them.
+	DerivPartition
+)
+
+func (d Deriv) derived() bool { return d != 0 }
+
+// paramMask is a set of parameter indices (receiver first for methods).
+// Functions with more than 32 parameters fall off the precise path; the
+// high parameters are simply never seen as derivation sources, which only
+// errs toward reporting.
+type paramMask uint32
+
+func pbit(i int) paramMask {
+	if i < 0 || i >= 32 {
+		return 0
+	}
+	return 1 << uint(i)
+}
+
+func (m paramMask) has(i int) bool { return m&pbit(i) != 0 }
+
+// regionKind classifies the memory a value references (for pointers,
+// slices and maps: the pointed-to memory; scalars carry regNone).
+type regionKind uint8
+
+const (
+	// regNone: no referenced memory (scalars).
+	regNone regionKind = iota
+	// regUnknown: result of an opaque call; stores through it are not
+	// judged (the analysis cannot tie them to shared state).
+	regUnknown
+	// regFresh: locally allocated (make/new/composite literal) — private
+	// to one callback invocation, stores are always safe.
+	regFresh
+	// regView: a window into other memory, described by base/global plus
+	// the derivation of the window offset. A view whose offset is derived
+	// is *disjoint*: each thread's window is distinct, so any store inside
+	// it is safe (boundary replica rows, Scratch accumulators, out.Row(i)
+	// with a derived i).
+	regView
+	// regShared: captured or package-level memory reached at a
+	// thread-independent location; stores need a derived index.
+	regShared
+)
+
+// region describes referenced memory. base/offDeps are only meaningful
+// while summarizing a function (they name its parameters); global marks
+// memory that may alias captured or package-level state.
+type region struct {
+	kind     regionKind
+	base     paramMask // view: parameters whose memory it may alias
+	global   bool      // view/shared: may alias captured or package-level memory
+	offDeriv Deriv     // derivation of the view offset, context-independent part
+	offDeps  paramMask // view offset is derived if any of these params is derived at the call site
+}
+
+// disjoint reports whether storing anywhere inside the region is safe in
+// the current context (entry analysis, where deps have been resolved).
+func (r region) disjoint() bool { return r.kind == regView && r.offDeriv.derived() }
+
+// unsafeTarget reports whether the region references memory a parallel
+// store must justify: shared state, or a view of it whose offset is not
+// (yet) known to be derived.
+func (r region) unsafeTarget() bool {
+	switch r.kind {
+	case regShared:
+		return true
+	case regView:
+		return !r.offDeriv.derived()
+	}
+	return false
+}
+
+// value is the abstract value of an expression: scalar derivation plus
+// referenced region. deps names parameters whose derivation at the call
+// site transfers to this value (summary mode only).
+type value struct {
+	deriv Deriv
+	deps  paramMask
+	reg   region
+}
+
+// scalarDeriv folds the region's offset derivation into the scalar bits:
+// a value loaded through a derived window is itself derived (the taint
+// rule the old syntactic par-safety analyzer used).
+func (v value) scalarDeriv() Deriv { return v.deriv | v.reg.offDeriv }
+
+func (v value) scalarDeps() paramMask { return v.deps | v.reg.offDeps }
+
+// join is the lattice join. Derivation bits and dependency sets union —
+// a value that is derived on any path counts as derived, matching the
+// monotone taint of the old analyzer — while region kinds resolve toward
+// the least safe alternative so a variable that may alias shared state is
+// always checked.
+func (v value) join(o value) value {
+	return value{
+		deriv: v.deriv | o.deriv,
+		deps:  v.deps | o.deps,
+		reg:   v.reg.join(o.reg),
+	}
+}
+
+func (r region) join(o region) region {
+	if r.kind < o.kind {
+		r, o = o, r
+	}
+	// r.kind >= o.kind: shared > view > fresh > unknown > none. Merging a
+	// view with a weaker kind keeps the view; merging two views unions
+	// their descriptions.
+	out := r
+	out.base |= o.base
+	out.global = out.global || o.global
+	out.offDeriv |= o.offDeriv
+	out.offDeps |= o.offDeps
+	return out
+}
+
+var sharedRegion = region{kind: regShared, global: true}
+
+// pointerLike reports whether values of type t reference memory (directly
+// or through a field/element), so that a region is worth tracking for them.
+func pointerLike(t types.Type) bool { return pointerLikeSeen(t, make(map[types.Type]bool)) }
+
+func pointerLikeSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Array:
+		return pointerLikeSeen(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if pointerLikeSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -54,6 +54,14 @@ const (
 	KindBounds Kind = "bounds"
 )
 
+// ValidKind reports whether s names a diagnostic kind a //gate:allow
+// directive can suppress. The lint stale-allow analyzer uses it to flag
+// misspelled kind lists, which this package's parser would otherwise
+// silently read as reason text (widening the directive to all kinds).
+func ValidKind(s string) bool {
+	return s == string(KindEscape) || s == string(KindBounds)
+}
+
 // Diag is one parsed compiler diagnostic.
 type Diag struct {
 	// File is the source path relative to the module root, slash-separated.
@@ -441,7 +449,7 @@ func parseGateAllow(text string) (map[Kind]bool, bool) {
 	}
 	kinds := make(map[Kind]bool)
 	for _, k := range strings.Split(fields[0], ",") {
-		if k == string(KindEscape) || k == string(KindBounds) {
+		if ValidKind(k) {
 			kinds[Kind(k)] = true
 		} else {
 			return nil, true // first word is reason text, not a kind list

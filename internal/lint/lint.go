@@ -70,6 +70,12 @@ type Pass struct {
 	// Pkg and Info are nil when typechecking failed or was skipped.
 	Pkg  *types.Package
 	Info *types.Info
+	// All holds every package of the Run invocation, so whole-program
+	// analyzers (write-disjoint) can resolve calls across packages.
+	All []*Package
+	// Cache is shared by all passes of one Run invocation; whole-program
+	// analyzers stash their cross-package index here to build it once.
+	Cache map[string]interface{}
 
 	findings []Finding
 }
@@ -106,6 +112,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 			staleEnabled = true
 		}
 	}
+	cache := make(map[string]interface{})
 	var all []Finding
 	for _, pkg := range pkgs {
 		allow := buildAllowIndex(pkg.Fset, pkg.Files, pkg.TestFiles)
@@ -128,6 +135,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				PkgPath:   pkg.Path,
 				Pkg:       pkg.Types,
 				Info:      pkg.Info,
+				All:       pkgs,
+				Cache:     cache,
 			}
 			a.Run(pass)
 			for _, f := range pass.findings {
@@ -181,6 +190,10 @@ type allowRecord struct {
 type gateDirective struct {
 	pos    token.Position
 	inTest bool
+	// body is the directive text after "gate:allow", trimmed; stale-allow
+	// checks its kind list for typos the gates parser would silently
+	// swallow as reason text.
+	body string
 }
 
 // allowIndex records where escape comments permit findings: individual
@@ -267,8 +280,8 @@ func (idx *allowIndex) addFiles(files []*ast.File, isTest bool) {
 		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if isGateAllow(c.Text) {
-					idx.gates = append(idx.gates, gateDirective{pos: fset.Position(c.Slash), inTest: isTest})
+				if body, ok := gateAllowBody(c.Text); ok {
+					idx.gates = append(idx.gates, gateDirective{pos: fset.Position(c.Slash), inTest: isTest, body: body})
 					continue
 				}
 				if inDoc[c] {
@@ -317,7 +330,7 @@ func (idx *allowIndex) allows(f Finding) bool {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{HotPathAlloc, ParSafety, EnginePurity, PanicPrefix, NoDeps, StaleAllow}
+	return []*Analyzer{HotPathAlloc, WriteDisjoint, EnginePurity, PanicPrefix, NoDeps, StaleAllow}
 }
 
 // ByName resolves a comma-separated analyzer list; unknown names error.

@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -198,6 +200,9 @@ func (l *Loader) load(path string) (*Package, error) {
 		if perr != nil {
 			return nil, perr
 		}
+		if !buildTagsSatisfied(f) {
+			continue
+		}
 		if strings.HasSuffix(name, "_test.go") {
 			pkg.TestFiles = append(pkg.TestFiles, f)
 		} else {
@@ -219,6 +224,33 @@ func (l *Loader) load(path string) (*Package, error) {
 	}
 	l.cache[path] = pkg
 	return pkg, nil
+}
+
+// buildTagsSatisfied evaluates a file's //go:build constraint under the
+// default build configuration: the host GOOS/GOARCH and every go1.* release
+// tag are true, custom tags (e.g. shadowtrace) are false. Without this, a
+// pair of build-tagged variant files (shadow_on.go/shadow_off.go) would
+// both reach the typechecker and collide on their shared declarations.
+func buildTagsSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH ||
+					tag == "unix" || strings.HasPrefix(tag, "go1")
+			})
+		}
+	}
+	return true
 }
 
 // importPkg resolves an import during typechecking: module-local packages

@@ -20,7 +20,11 @@ import (
 //     in a _test.go file, where the gates harness (internal/lint/gates) can
 //     never see it. Staleness of well-placed //gate:allow directives is
 //     checked by `steflint -gates` itself, which knows the compiler's
-//     actual diagnostics.
+//     actual diagnostics;
+//   - a //gate:allow whose kind list misspells a kind ("escape,bonds"):
+//     the gates parser reads any first word that is not a pure kind list
+//     as reason text, so the typo silently widens the directive to all
+//     kinds.
 //
 // The analyzer runs as a framework post-pass: it needs to observe which
 // findings the other selected analyzers produced, so directives naming
@@ -34,11 +38,39 @@ var StaleAllow = &Analyzer{
 	Run: func(*Pass) {},
 }
 
-// isGateAllow reports whether a comment is a //gate:allow directive. The
-// syntax is owned by internal/lint/gates; this mirrors its prefix rule.
-func isGateAllow(text string) bool {
+// gateAllowBody reports whether a comment is a //gate:allow directive and
+// returns its trimmed body. The syntax is owned by internal/lint/gates;
+// this mirrors its prefix rule.
+func gateAllowBody(text string) (string, bool) {
 	body, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "gate:allow")
-	return ok && (body == "" || body[0] == ' ' || body[0] == '\t')
+	if !ok || (body != "" && body[0] != ' ' && body[0] != '\t') {
+		return "", false
+	}
+	return strings.TrimSpace(body), true
+}
+
+// gateKindTypo inspects a //gate:allow body's first word and returns the
+// misspelled kind, if any. A comma-joined first word is unambiguously
+// meant as a kind list, so every part must be valid; a plain word is only
+// suspect when it is the entire body (a one-word "reason" is no reason).
+func gateKindTypo(body string) (string, bool) {
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return "", false
+	}
+	first := fields[0]
+	if strings.Contains(first, ",") {
+		for _, k := range strings.Split(first, ",") {
+			if !gates.ValidKind(k) {
+				return k, true
+			}
+		}
+		return "", false
+	}
+	if len(fields) == 1 && !gates.ValidKind(first) {
+		return first, true
+	}
+	return "", false
 }
 
 // staleAllowFindings is the post-pass behind StaleAllow. ran holds the
@@ -66,6 +98,10 @@ func staleAllowFindings(idx *allowIndex, ran map[string]bool, pkg *Package) []Fi
 			out = append(out, report(g.pos, "//gate:allow in a _test.go file; the gates harness only compiles non-test files, so it can never take effect"))
 		case !gates.IsGatedPackage(pkg.Path):
 			out = append(out, report(g.pos, "//gate:allow in package %s, which the gates manifest does not compile; it can never take effect", pkg.Path))
+		default:
+			if k, bad := gateKindTypo(g.body); bad {
+				out = append(out, report(g.pos, "//gate:allow names unknown gate kind %q (kinds: %s, %s)", k, gates.KindEscape, gates.KindBounds))
+			}
 		}
 	}
 	return out

@@ -46,7 +46,7 @@ func build(rows [][]float64, cache map[int][]float64, n int) *funcEngine {
 	fe.Compute = func(ws Workspace, pos int) {
 		_ = rows[pos]  // want "captures mutable slice"
 		_ = cache[pos] // want "captures mutable map"
-		total += pos   // ok: rule B covers slices/maps; scalars race too but are par-safety's beat
+		total += pos   // ok: rule B covers slices/maps; scalars race too but are write-disjoint's beat
 		_ = n
 	}
 	return fe

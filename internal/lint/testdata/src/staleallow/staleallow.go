@@ -39,3 +39,19 @@ func gated(dst []float64, idx []int) {
 		dst[idx[i]]++ //gate:allow bounds data-dependent index
 	}
 }
+
+// kindList is fine: a comma-joined first word naming only real kinds.
+func kindList(dst []float64, idx []int) {
+	for i := range idx {
+		dst[idx[i]]++ //gate:allow escape,bounds data-dependent index
+	}
+}
+
+// kindTypo misspells "bounds" in its kind list. The gates parser reads the
+// whole first word as reason text, silently widening the directive to all
+// kinds, so stale-allow must catch the typo.
+func kindTypo(dst []float64, idx []int) {
+	for i := range idx {
+		dst[idx[i]]++ //gate:allow escape,bonds data-dependent index // want "unknown gate kind"
+	}
+}

@@ -111,6 +111,23 @@ func (p *Partition) SharedStart(th, l int) bool {
 	return p.Own[th][l] != p.Start[th][l]
 }
 
+// DeclaredBoundary returns the node id at level l that thread th is
+// allowed to accumulate through its boundary replica row, and whether such
+// a node exists. Algorithm 3 admits at most one: the thread's first
+// touched node, exactly when it is shared with an earlier thread
+// (SharedStart). Thread 0 starts every level at node 0 and never shares.
+// The shadowtrace oracle in internal/kernels checks every replica write
+// against this declaration.
+func (p *Partition) DeclaredBoundary(th, l int) (int64, bool) {
+	if th <= 0 || th >= p.T || l < 0 || l >= len(p.Start[th]) { //gate:allow bounds cold oracle helper, called once per replica write under shadowtrace only
+		return 0, false
+	}
+	if !p.SharedStart(th, l) { //gate:allow bounds cold oracle helper, called once per replica write under shadowtrace only
+		return 0, false
+	}
+	return p.Start[th][l], true
+}
+
 // OwnedRange returns the half-open node range [lo, hi) at level l owned by
 // thread th. Every node is owned by exactly one thread.
 func (p *Partition) OwnedRange(th, l int) (lo, hi int64) {

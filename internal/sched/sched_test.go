@@ -101,6 +101,35 @@ func TestSharedStartConsistency(t *testing.T) {
 	}
 }
 
+func TestDeclaredBoundary(t *testing.T) {
+	tree := buildTree(t, []int{3, 100, 40}, 800, 4, []float64{3, 0, 0})
+	p := NewPartition(tree, 6)
+	var declared int
+	for th := 1; th < p.T; th++ {
+		for l := 0; l < tree.Order(); l++ {
+			nd, ok := p.DeclaredBoundary(th, l)
+			if ok != p.SharedStart(th, l) {
+				t.Errorf("th=%d l=%d: DeclaredBoundary ok=%v, SharedStart=%v", th, l, ok, p.SharedStart(th, l))
+			}
+			if ok {
+				declared++
+				if nd != p.Start[th][l] {
+					t.Errorf("th=%d l=%d: declared node %d, Start is %d", th, l, nd, p.Start[th][l])
+				}
+			}
+		}
+	}
+	if declared == 0 {
+		t.Fatal("fixture partition declares no boundaries; test exercises nothing")
+	}
+	// Thread 0 and out-of-range coordinates never declare a boundary.
+	for _, c := range [][2]int{{0, 0}, {p.T, 0}, {-1, 0}, {2, -1}, {2, tree.Order()}} {
+		if _, ok := p.DeclaredBoundary(c[0], c[1]); ok {
+			t.Errorf("DeclaredBoundary(%d, %d) ok, want none", c[0], c[1])
+		}
+	}
+}
+
 func TestSlicePartitionEqual(t *testing.T) {
 	tree := buildTree(t, []int{9, 20, 30}, 400, 5, nil)
 	sp := NewSlicePartitionEqual(tree, 4)

@@ -23,4 +23,7 @@ go test ./...
 echo "==> go test -race (parallel packages + shared-plan concurrency)"
 go test -race . ./internal/par/ ./internal/sched/ ./internal/kernels/ ./internal/cpd/ ./internal/core/
 
+echo "==> go test -race -tags shadowtrace (dynamic write-disjointness oracle)"
+go test -race -tags shadowtrace ./internal/kernels/ ./internal/cpd/
+
 echo "All checks passed."
