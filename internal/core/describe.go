@@ -41,6 +41,16 @@ func (p *Plan) Describe(w io.Writer) {
 		sched = "slice-granular (baseline)"
 	}
 	fmt.Fprintf(w, "  work distribution: %s\n", sched)
+	if len(p.Accum) > 0 {
+		fmt.Fprintf(w, "  output accumulation:")
+		for u := 1; u < d; u++ {
+			if u >= len(p.Accum) || p.Accum[u] == nil {
+				continue
+			}
+			fmt.Fprintf(w, " L%d=%v", u, p.Accum[u])
+		}
+		fmt.Fprintln(w)
+	}
 	if p.Tree2 != nil {
 		fmt.Fprintf(w, "  STeF2 auxiliary CSF rooted at original mode %d\n", p.Tree2.Perm[0])
 	}

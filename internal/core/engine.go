@@ -64,7 +64,17 @@ func (e *Engine) NewWorkspace() cpd.Workspace {
 		scratch:  kernels.NewScratch(d, r, t),
 	}
 	for u := 1; u < d; u++ {
-		w.bufs[u] = kernels.NewOutBuf(tree.Dims[u], r, t, plan.Opts.MaxPrivElems)
+		var ap *kernels.AccumPlan
+		if u < len(plan.Accum) {
+			ap = plan.Accum[u]
+		}
+		if ap != nil {
+			w.bufs[u] = kernels.NewOutBufPlanned(ap)
+		} else if !(u == d-1 && plan.Tree2 != nil) {
+			// Plans predating buildAccum (tests constructing Plan by hand)
+			// fall back to the legacy footprint rule.
+			w.bufs[u] = kernels.NewOutBuf(tree.Dims[u], r, t, plan.Opts.MaxPrivElems)
+		}
 	}
 	if plan.Tree2 != nil {
 		w.partials2 = kernels.NoPartials(d)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"stef/internal/csf"
+	"stef/internal/kernels"
 	"stef/internal/model"
 	"stef/internal/sched"
 	"stef/internal/tensor"
@@ -44,6 +45,21 @@ const (
 	SwapOpposite
 )
 
+// AccumRule selects how non-root MTTKRP outputs are accumulated.
+type AccumRule int
+
+const (
+	// AccumModel uses the data-movement model's per-mode choice among
+	// {priv, hybrid, atomic} (STeF default).
+	AccumModel AccumRule = iota
+	// AccumPriv forces full per-thread privatization on every mode.
+	AccumPriv
+	// AccumHybrid forces the hybrid hot-row strategy on every mode.
+	AccumHybrid
+	// AccumAtomic forces the shared CAS buffer on every mode.
+	AccumAtomic
+)
+
 // Options configures the planner and engine.
 type Options struct {
 	// Rank is the decomposition rank R.
@@ -66,6 +82,9 @@ type Options struct {
 	SecondCSF bool
 	// MaxPrivElems bounds output privatization (see kernels.OutBuf).
 	MaxPrivElems int64
+	// AccumRule overrides the model's accumulation-strategy choice for
+	// ablations and the bench's -accum forcing flag.
+	AccumRule AccumRule
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +126,15 @@ type Plan struct {
 	BuildTime time.Duration
 	// MemoBytes, CSFBytes and FactorBytes give Table II's accounting.
 	MemoBytes, CSFBytes, FactorBytes int64
+	// Params is the model parameterisation of the chosen layout with
+	// row-write stats attached, so AccumCost is callable on it
+	// (diagnostics, model-accuracy checks).
+	Params model.Params
+	// Accum[u] is the accumulation plan for the level-u MTTKRP output.
+	// Accum[0] is always nil (the root accumulates through boundary
+	// replicas), as is Accum[d-1] under STeF2 (the auxiliary CSF handles
+	// the leaf mode as a root).
+	Accum []*kernels.AccumPlan
 }
 
 // Ratio returns Table II's ratio: memoized partial-result storage relative
@@ -134,13 +162,16 @@ func NewPlan(t *tensor.Tensor, opts Options) (*Plan, error) {
 	baseTree := csf.Build(t, basePerm)
 	p.BuildTime = time.Since(buildStart)
 
-	// Preprocessing (Fig. 5): Algorithm 9 + exhaustive model search.
+	// Preprocessing (Fig. 5): Algorithm 9, the row-write census for the
+	// accumulation-cost term, and the exhaustive model search.
 	preStart := time.Now()
 	baseParams := model.ParamsForCache(baseTree.Dims, baseTree.FiberCounts(), opts.Rank, opts.CacheBytes)
+	baseParams.AttachAccum(levelRowStats(baseTree), opts.Threads, opts.MaxPrivElems)
 	var swappedParams model.Params
 	if opts.SwapRule != SwapNever {
 		swappedFibers := baseTree.CountSwappedFibers(opts.Threads)
 		swappedParams = model.SwappedParams(baseParams, swappedFibers)
+		swappedParams.AttachAccum(swappedRowStats(baseTree, baseParams.Accum, opts.Threads), opts.Threads, opts.MaxPrivElems)
 	}
 	best, all := model.Search(baseParams, swappedParams)
 	p.AllConfigs = all
@@ -164,7 +195,7 @@ func NewPlan(t *tensor.Tensor, opts Options) (*Plan, error) {
 			chosenParams = swappedParams
 		}
 		bestForLayout := bestSaveFor(chosenParams)
-		p.Config = model.Config{Swap: swap, Save: bestForLayout, Cost: chosenParams.IterationCost(bestForLayout)}
+		p.Config = model.Config{Swap: swap, Save: bestForLayout, Cost: chosenParams.IterationCost(bestForLayout), Accum: chosenParams.AccumChoices()}
 	} else if swap {
 		chosenParams = swappedParams
 	}
@@ -208,10 +239,16 @@ func NewPlan(t *tensor.Tensor, opts Options) (*Plan, error) {
 		p.BuildTime += time.Since(start)
 	}
 
+	// Resolve the accumulation plans for the final layout and partition:
+	// the write census walks the same clamped spans as the kernels, so its
+	// single-writer proofs hold for exactly this execution. Part of the
+	// Fig. 5 preprocessing cost.
+	accumStart := time.Now()
+	p.buildAccum()
+	p.PreprocessTime += time.Since(accumStart)
+
 	// Table II accounting.
-	fibers := p.Tree.FiberCounts()
-	params := model.ParamsForCache(p.Tree.Dims, fibers, opts.Rank, opts.CacheBytes)
-	p.MemoBytes = params.MemoBytes(p.Config.Save)
+	p.MemoBytes = p.Params.MemoBytes(p.Config.Save)
 	p.CSFBytes = p.Tree.Bytes()
 	if p.Tree2 != nil {
 		p.CSFBytes += p.Tree2.Bytes()
@@ -220,6 +257,87 @@ func NewPlan(t *tensor.Tensor, opts Options) (*Plan, error) {
 		p.FactorBytes += int64(n) * int64(opts.Rank) * 8
 	}
 	return p, nil
+}
+
+// levelRowStats condenses every level's row-write histogram for the
+// model's accumulation-cost term.
+func levelRowStats(tree *csf.Tree) []model.RowStats {
+	d := tree.Order()
+	stats := make([]model.RowStats, d)
+	for u := 1; u < d; u++ {
+		stats[u] = model.NewRowStats(tree.LevelRowCounts(u))
+	}
+	return stats
+}
+
+// swappedRowStats derives the swapped layout's row stats without building
+// the swapped tree: levels 1..d-3 are unchanged, the last two come from
+// the extended Algorithm 9 scan (csf.SwappedRowCounts).
+func swappedRowStats(baseTree *csf.Tree, baseStats []model.RowStats, threads int) []model.RowStats {
+	d := baseTree.Order()
+	stats := make([]model.RowStats, d)
+	copy(stats[:d-2], baseStats[:d-2])
+	d2, leaf := baseTree.SwappedRowCounts(threads)
+	stats[d-2] = model.NewRowStats(d2)
+	stats[d-1] = model.NewRowStats(leaf)
+	return stats
+}
+
+// buildAccum fixes the accumulation plan for every non-root mode. The
+// exact row-write census over the final tree and partition runs first; its
+// counts and single/multi-writer classification replace the search-time
+// histogram estimates before the strategy choice is re-resolved, so the
+// executed choice reflects the partition actually used. The census-backed
+// Params are stored on the plan for diagnostics.
+func (p *Plan) buildAccum() {
+	opts := p.Opts
+	d := p.Tree.Order()
+	params := model.ParamsForCache(p.Tree.Dims, p.Tree.FiberCounts(), opts.Rank, opts.CacheBytes)
+	stats := levelRowStats(p.Tree)
+	rws := make([]*kernels.RowWrites, d)
+	for u := 1; u < d; u++ {
+		if u == d-1 && p.Tree2 != nil {
+			continue // STeF2 runs the leaf mode as the auxiliary CSF's root
+		}
+		src := model.SourceLevel(p.Config.Save, u)
+		rws[u] = kernels.CountRowWrites(p.Tree, p.Part, u, src)
+		st := model.NewRowStats(rws[u].Counts)
+		st.MultiMass = rws[u].MultiWriterMass()
+		st.MultiExact = true
+		stats[u] = st
+	}
+	params.AttachAccum(stats, opts.Threads, opts.MaxPrivElems)
+	p.Params = params
+	p.Config.Accum = params.AccumChoices()
+	p.Accum = make([]*kernels.AccumPlan, d)
+	hotBudget := (opts.CacheBytes / 8) / 2
+	for u := 1; u < d; u++ {
+		if rws[u] == nil {
+			continue
+		}
+		strat := kernelStrategy(params.AccumChoice(u))
+		switch opts.AccumRule {
+		case AccumPriv:
+			strat = kernels.AccumPriv
+		case AccumHybrid:
+			strat = kernels.AccumHybrid
+		case AccumAtomic:
+			strat = kernels.AccumAtomic
+		}
+		p.Accum[u] = kernels.PlanAccum(rws[u], opts.Rank, opts.Threads, strat, hotBudget)
+	}
+}
+
+// kernelStrategy maps the model's strategy enum onto the executable one.
+func kernelStrategy(s model.AccumStrategy) kernels.AccumStrategy {
+	switch s {
+	case model.AccumHybrid:
+		return kernels.AccumHybrid
+	case model.AccumAtomic:
+		return kernels.AccumAtomic
+	default:
+		return kernels.AccumPriv
+	}
 }
 
 // bestSaveFor returns the cheapest memoization vector for a fixed layout.

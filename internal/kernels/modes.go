@@ -68,6 +68,9 @@ func modeGeneric(tree *csf.Tree, factors []*tensor.Matrix, u, src int, partials 
 		if oLo >= oHi {
 			return
 		}
+		// Resolve the output handle once: the per-thread hot slab / remap /
+		// replica indirection stays out of the emission loops.
+		ob := buf.Thread(th)
 		// kv[l] holds k_l for the current path (levels 1..u-1; k_0
 		// aliases a factor row). tmp[l] accumulates t_l for levels
 		// u..src-1. Both draw their rank vectors from the scratch; the
@@ -144,20 +147,20 @@ func modeGeneric(tree *csf.Tree, factors []*tensor.Matrix, u, src int, partials 
 				// the leaf level (src == d-1 here).
 				for k := cLo; k < cHi; k++ {
 					sc.shadow.own(th, d-1, k)
-					buf.AddScaled(th, int(tree.Fids[d-1][k]), tree.Vals[k], kcur) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
+					ob.AddScaled(int(tree.Fids[d-1][k]), tree.Vals[k], kcur) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
 				}
 			case u == src:
 				// Memoized at exactly level u: one MTTV per
 				// owned fiber (Algorithm 6).
 				for c := cLo; c < cHi; c++ {
 					sc.shadow.own(th, src, c)
-					buf.AddHadamard(th, int(tree.Fids[u][c]), kcur, partials.P[u].Row(int(c))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
+					ob.AddHadamard(int(tree.Fids[u][c]), kcur, partials.P[u].Row(int(c))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 				}
 			default:
 				// Recompute t_u below level u from the source
 				// (Algorithms 7 and 8).
 				for c := cLo; c < cHi; c++ {
-					buf.AddHadamard(th, int(tree.Fids[u][c]), kcur, down(u, c)) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
+					ob.AddHadamard(int(tree.Fids[u][c]), kcur, down(u, c)) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 				}
 			}
 		}

@@ -16,3 +16,13 @@ func (*shadowState) begin(*sched.Partition)       {}
 func (*shadowState) end()                         {}
 func (*shadowState) own(th, level int, id int64)  {}
 func (*shadowState) boundary(th, l int, id int64) {}
+
+// outbufShadow is the disabled form of the accumulation-plan oracle: in
+// normal builds the OutBuf hooks below inline to nothing. With
+// -tags shadowtrace the recording implementation checks every hot-replica
+// and cold-direct store against the plan's census (shadow_on.go).
+type outbufShadow struct{}
+
+func (b *OutBuf) shadowReset()                       {}
+func (b *OutBuf) shadowHot(th, row int, slot int32)  {}
+func (b *OutBuf) shadowDirect(th, row int)           {}

@@ -92,3 +92,73 @@ func (s *shadowState) boundary(th, l int, id int64) {
 	}
 	s.replica[rk] = id
 }
+
+// outbufShadow is the dynamic oracle for planned accumulation buffers: it
+// checks every hot-replica and cold-direct store against the plan's write
+// census, panicking when a store uses a slot the remap does not declare for
+// its row, or when a second thread direct-writes a row the census proved
+// single-writer. Armed by Reset (planned buffers only); like shadowState,
+// the mutex deliberately serialises claims — shadowtrace builds exist only
+// for tests.
+type outbufShadow struct {
+	mu     sync.Mutex
+	armed  bool
+	direct map[int]int // row -> thread that direct-wrote it this launch
+}
+
+// shadowReset arms the oracle for the next kernel launch and forgets the
+// previous launch's direct-write claims.
+func (b *OutBuf) shadowReset() {
+	s := &b.shadow
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.armed = b.plan != nil
+	if s.direct == nil {
+		s.direct = make(map[int]int)
+	}
+	clear(s.direct)
+}
+
+// shadowHot records a hot-replica store of `row` through `slot` by thread
+// th and checks it against the plan's remap.
+func (b *OutBuf) shadowHot(th, row int, slot int32) {
+	s := &b.shadow
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.armed {
+		return
+	}
+	ap := b.plan
+	if ap.Strategy != AccumHybrid {
+		panic(fmt.Sprintf("kernels: shadow: hot-replica write on a %v buffer", ap.Strategy))
+	}
+	if row < 0 || row >= len(ap.Remap) {
+		panic(fmt.Sprintf("kernels: shadow: thread %d hot-replica write for out-of-range row %d", th, row))
+	}
+	if ap.Remap[row] != slot {
+		panic(fmt.Sprintf("kernels: shadow: thread %d hot-replica write for row %d through slot %d; the plan's remap declares %d",
+			th, row, slot, ap.Remap[row]))
+	}
+}
+
+// shadowDirect records a plain (non-atomic) shared-buffer store of `row` by
+// thread th; a second thread storing the same row this launch means the
+// single-writer proof was wrong and the store races.
+func (b *OutBuf) shadowDirect(th, row int) {
+	s := &b.shadow
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.armed {
+		return
+	}
+	ap := b.plan
+	if row < 0 || row >= len(ap.Remap) || ap.Remap[row] != RemapColdDirect {
+		panic(fmt.Sprintf("kernels: shadow: thread %d plain store to row %d, which the plan's remap does not declare cold-direct",
+			th, row))
+	}
+	if prev, seen := s.direct[row]; seen && prev != th {
+		panic(fmt.Sprintf("kernels: shadow: row %d direct-written by thread %d and thread %d; the census declared a single writer",
+			row, prev, th))
+	}
+	s.direct[row] = th
+}

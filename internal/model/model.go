@@ -41,6 +41,17 @@ type Params struct {
 	// Fibers[l] is the fiber (node) count at CSF level l; Fibers[d-1]
 	// is the non-zero count.
 	Fibers []int64
+
+	// T, Accum and PrivCap arm the accumulation-cost extension (see
+	// AttachAccum in accum.go); zero values leave the base Section IV
+	// model unchanged.
+	T       int
+	Accum   []RowStats
+	PrivCap int64
+
+	// Memoized per-level strategy resolution; nil until AttachAccum.
+	accumStrat []AccumStrategy
+	accumCost  []Cost
 }
 
 // ParamsForCache builds Params from level dims and fiber counts with a
@@ -81,6 +92,11 @@ func (p Params) dmFactor(l int, x int64) int64 {
 	}
 	return vol
 }
+
+// SourceLevel returns the level mode u reads from under save: the smallest
+// saved level >= u, or d-1. Planners use it to parameterise the write
+// census with the same source the kernels will read.
+func SourceLevel(save []bool, u int) int { return sourceLevel(save, u) }
 
 // sourceLevel returns the level mode u reads from under save: the smallest
 // saved level >= u, or d-1.
@@ -143,8 +159,14 @@ func (p Params) ModeCost(save []bool, u int) Cost {
 	if src < d-1 {
 		c.Reads += p.Fibers[src] * int64(p.R)
 	}
-	// Output writes.
-	c.Writes += p.dmFactor(u, p.Fibers[u])
+	// Output accumulation: the flat DM_factor write approximation, or —
+	// when row-write stats are attached — the resolved strategy's
+	// scatter + Reset/Reduce term (see accum.go).
+	if p.accumCost != nil && u < len(p.accumCost) {
+		c = c.Add(p.accumCost[u])
+	} else {
+		c.Writes += p.dmFactor(u, p.Fibers[u])
+	}
 	return c
 }
 

@@ -59,6 +59,10 @@ type Options struct {
 	// MaxPrivElems bounds per-thread output privatization in the MTTKRP
 	// buffers (0 = engine default).
 	MaxPrivElems int64
+	// Accum forces the non-root output accumulation strategy for the
+	// stef/stef2 engines: "" or "auto" (model choice), "priv", "hybrid"
+	// or "atomic".
+	Accum string
 	// Reorder optionally relabels tensor indices before decomposition to
 	// improve locality: "" (none), "lexi" (Lexi-Order) or "bfsmcs"
 	// (BFS-MCS), both from Li et al. (ICS'19). Factor matrices are
@@ -224,12 +228,16 @@ func buildEngine(t *tensor.Tensor, opts Options) (cpd.Engine, *core.Plan, error)
 	if rank <= 0 {
 		rank = 16
 	}
+	accum, err := accumRule(opts.Accum)
+	if err != nil {
+		return nil, nil, err
+	}
 	switch opts.Engine {
 	case "", "stef":
-		eng, plan, err := core.NewEngineFor(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, MaxPrivElems: opts.MaxPrivElems})
+		eng, plan, err := core.NewEngineFor(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, MaxPrivElems: opts.MaxPrivElems, AccumRule: accum})
 		return eng, plan, err
 	case "stef2":
-		eng, plan, err := core.NewEngineFor(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, MaxPrivElems: opts.MaxPrivElems, SecondCSF: true})
+		eng, plan, err := core.NewEngineFor(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, MaxPrivElems: opts.MaxPrivElems, AccumRule: accum, SecondCSF: true})
 		return eng, plan, err
 	case "splatt-1":
 		return baselines.NewSplatt(t, baselines.SplattOptions{Copies: 1, Threads: threads, Rank: rank, MaxPrivElems: opts.MaxPrivElems}), nil, nil
@@ -267,7 +275,26 @@ func Plan(t *tensor.Tensor, opts Options) (*core.Plan, error) {
 	if threads < 1 {
 		threads = 1
 	}
-	return core.NewPlan(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, MaxPrivElems: opts.MaxPrivElems, SecondCSF: opts.Engine == "stef2"})
+	accum, err := accumRule(opts.Accum)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewPlan(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, MaxPrivElems: opts.MaxPrivElems, AccumRule: accum, SecondCSF: opts.Engine == "stef2"})
+}
+
+// accumRule parses Options.Accum.
+func accumRule(s string) (core.AccumRule, error) {
+	switch s {
+	case "", "auto":
+		return core.AccumModel, nil
+	case "priv":
+		return core.AccumPriv, nil
+	case "hybrid":
+		return core.AccumHybrid, nil
+	case "atomic":
+		return core.AccumAtomic, nil
+	}
+	return core.AccumModel, fmt.Errorf("stef: unknown accumulation strategy %q (want auto, priv, hybrid or atomic)", s)
 }
 
 // LoadTensor reads a FROSTT .tns file.
