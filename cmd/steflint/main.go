@@ -10,10 +10,13 @@
 //	                something and name real analyzer/gate kinds
 //
 // With -gates it instead runs the compiler-diagnostic performance gates
-// (internal/lint/gates): the hot packages are rebuilt with escape-analysis
-// and bounds-check diagnostics enabled, and the manifest's hot functions
-// must stay free of in-loop escapes and bounds checks, with everything
-// else ratcheted against the committed baseline.
+// (internal/lint/gates): the hot packages are rebuilt with escape-analysis,
+// bounds-check and assembly (-S) diagnostics enabled in one compile; the
+// manifest's hot functions must stay free of in-loop escapes and bounds
+// checks, the manifest's shape assertions certify the emitted machine code
+// (call/bounds/FP-multiply/frame-reload budgets per function), and
+// everything else is ratcheted against the committed baseline, which
+// carries a toolchain stamp so counts are never compared across compilers.
 //
 // Usage:
 //
@@ -201,7 +204,7 @@ func runGates(writeBaseline bool, stdout, stderr *os.File) int {
 		return 2
 	}
 	basePath := filepath.Join(root, filepath.FromSlash(gates.BaselineFile))
-	baseline := make(map[string]int)
+	var baseline *gates.Baseline
 	if !writeBaseline {
 		baseline, err = gates.LoadBaseline(basePath)
 		if err != nil {
@@ -215,17 +218,29 @@ func runGates(writeBaseline bool, stdout, stderr *os.File) int {
 		return 2
 	}
 	if writeBaseline {
-		if err := os.WriteFile(basePath, gates.FormatBaseline(res.Counts), 0o644); err != nil {
+		if err := os.WriteFile(basePath, gates.FormatBaseline(res.Toolchain, res.Counts), 0o644); err != nil {
 			fmt.Fprintln(stderr, "steflint:", err)
 			return 2
 		}
-		fmt.Fprintf(stdout, "steflint: wrote %s (%d baseline entries)\n", gates.BaselineFile, len(res.Counts))
+		fmt.Fprintf(stdout, "steflint: wrote %s (%d baseline entries, toolchain %s)\n", gates.BaselineFile, len(res.Counts), res.Toolchain)
 	}
 	for _, v := range res.Violations {
 		fmt.Fprintln(stdout, v)
 	}
+	for _, v := range res.ShapeViolations {
+		fmt.Fprintln(stdout, v)
+	}
 	for _, s := range res.Stale {
 		fmt.Fprintln(stdout, s)
+	}
+	toolchainStale := !writeBaseline && res.ToolchainStale()
+	if toolchainStale {
+		was := res.BaselineToolchain
+		if was == "" {
+			was = "unstamped"
+		}
+		fmt.Fprintf(stdout, "baseline stale: toolchain changed (baseline %s, current %s); diagnostic counts are incomparable across compilers — review and run `steflint -gates -write-baseline`\n",
+			was, res.Toolchain)
 	}
 	if !writeBaseline {
 		for _, d := range res.Regressions {
@@ -235,13 +250,16 @@ func runGates(writeBaseline bool, stdout, stderr *os.File) int {
 			fmt.Fprintf(stdout, "improvement vs baseline: %s (tighten with -gates -write-baseline)\n", d)
 		}
 	}
-	nfail := len(res.Violations) + len(res.Stale)
+	nfail := len(res.Violations) + len(res.ShapeViolations) + len(res.Stale)
 	if !writeBaseline {
 		nfail += len(res.Regressions)
 	}
+	if toolchainStale {
+		nfail++
+	}
 	if nfail > 0 {
-		fmt.Fprintf(stderr, "steflint: gates failed: %d violation(s), %d stale allow(s), %d regression(s)\n",
-			len(res.Violations), len(res.Stale), len(res.Regressions))
+		fmt.Fprintf(stderr, "steflint: gates failed: %d violation(s), %d shape violation(s), %d stale allow(s), %d regression(s), toolchain stale: %v\n",
+			len(res.Violations), len(res.ShapeViolations), len(res.Stale), len(res.Regressions), toolchainStale)
 		return 1
 	}
 	return 0

@@ -33,6 +33,7 @@ type benchReport struct {
 	CPDCheck     []experiments.CPDCheckRow      `json:"cpdcheck,omitempty"`
 	SolveBench   []SolveBenchRow                `json:"solvebench,omitempty"`
 	AccumBench   []AccumBenchRow                `json:"accumbench,omitempty"`
+	VecBench     []VecBenchRow                  `json:"vecbench,omitempty"`
 }
 
 type fig6Group struct {
@@ -59,6 +60,7 @@ func RunBench(args []string, stdout, stderr io.Writer) int {
 		scaling = fs.Bool("scaling", false, "modeled strong-scaling study (extension)")
 		sbench  = fs.Bool("solvebench", false, "compile-once/solve-many vs per-call planning throughput")
 		abench  = fs.Bool("accumbench", false, "output-accumulation strategy sweep (auto/priv/hybrid/atomic)")
+		vbench  = fs.Bool("vecbench", false, "generic vs R-blocked rank-primitive sweep")
 		jsonOut = fs.Bool("json", false, "emit machine-readable JSON results on stdout (tables go to stderr)")
 		ranks   = fs.String("ranks", "32,64", "comma-separated ranks")
 		tensors = fs.String("tensors", "", "comma-separated tensor names (default: all)")
@@ -69,12 +71,12 @@ func RunBench(args []string, stdout, stderr io.Writer) int {
 		solves  = fs.Int("solves", 6, "with -solvebench: ALS restarts timed per path")
 		iters   = fs.Int("iters", 10, "with -solvebench: ALS iterations per solve")
 		accum   = fs.String("accum", "auto", "output accumulation strategy for stef engines: auto, priv, hybrid or atomic")
-		athr    = fs.String("accumthreads", "1,2,4,8", "with -accumbench: comma-separated thread counts to sweep")
+		athr    = fs.String("accumthreads", "1,2,4,8", "with -accumbench/-vecbench: comma-separated thread counts to sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if !(*all || *table1 || *table2 || *fig3 || *fig4 || *fig5 || *fig6 || *wd || *mcheck || *ccheck || *scaling || *sbench || *abench) {
+	if !(*all || *table1 || *table2 || *fig3 || *fig4 || *fig5 || *fig6 || *wd || *mcheck || *ccheck || *scaling || *sbench || *abench || *vbench) {
 		fs.Usage()
 		return 2
 	}
@@ -198,6 +200,17 @@ func RunBench(args []string, stdout, stderr io.Writer) int {
 			}
 			r, err := accumBench(s, rankList, threadList, s.Opts.Reps, s.Opts.Out)
 			report.AccumBench = r
+			return err
+		}})
+	}
+	if *vbench {
+		steps = append(steps, step{true, "vecbench", func() error {
+			threadList, err := parseIntList(*athr)
+			if err != nil {
+				return err
+			}
+			r, err := vecBench(s, rankList, threadList, s.Opts.Reps, s.Opts.Out)
+			report.VecBench = r
 			return err
 		}})
 	}

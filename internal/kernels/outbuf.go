@@ -79,6 +79,7 @@ type OutBuf struct {
 	shared     []uint64         // float64 bit patterns: atomic + hybrid cold rows
 	hot        []float64        // AccumHybrid: T contiguous k×cols replicas
 	hotK       int              // hot rows per replica
+	ops        vecOps           // rank-vector primitives, R-specialized when cols matches
 	shadow     outbufShadow     // write-ownership oracle (-tags shadowtrace)
 }
 
@@ -93,7 +94,7 @@ func NewOutBuf(rows, cols, t int, maxPrivElems int64) *OutBuf {
 	if rows < 0 || cols < 0 || t < 1 {
 		panic(fmt.Sprintf("kernels: NewOutBuf(rows=%d, cols=%d, t=%d)", rows, cols, t))
 	}
-	b := &OutBuf{rows: rows, cols: cols, t: t}
+	b := &OutBuf{rows: rows, cols: cols, t: t, ops: opsFor(cols)}
 	elems := int64(rows) * int64(cols)
 	if t == 1 || elems*int64(t) <= maxPrivElems {
 		b.priv = make([]*tensor.Matrix, t)
@@ -110,7 +111,7 @@ func NewOutBuf(rows, cols, t int, maxPrivElems int64) *OutBuf {
 // The plan is shared, read-only; the buffer holds the mutable slabs, so one
 // plan serves any number of concurrent workspaces.
 func NewOutBufPlanned(ap *AccumPlan) *OutBuf {
-	b := &OutBuf{rows: ap.Rows, cols: ap.Cols, t: ap.T, plan: ap}
+	b := &OutBuf{rows: ap.Rows, cols: ap.Cols, t: ap.T, plan: ap, ops: opsFor(ap.Cols)}
 	switch ap.Strategy {
 	case AccumPriv:
 		b.priv = make([]*tensor.Matrix, ap.T)
@@ -167,6 +168,7 @@ type OutBufThread struct {
 	b      *OutBuf
 	th     int
 	cols   int
+	ops    vecOps    // R-specialized primitives, resolved at construction
 	priv   []float64 // private replica backing (AccumPriv / legacy)
 	hot    []float64 // thread's hot-row slab (AccumHybrid; may be empty)
 	remap  []int32   // row classification (AccumHybrid only)
@@ -175,7 +177,7 @@ type OutBufThread struct {
 
 // Thread returns the write handle for thread th.
 func (b *OutBuf) Thread(th int) OutBufThread {
-	o := OutBufThread{b: b, th: th, cols: b.cols, shared: b.shared}
+	o := OutBufThread{b: b, th: th, cols: b.cols, ops: b.ops, shared: b.shared}
 	if b.priv != nil {
 		o.priv = b.priv[th].Data
 		return o
@@ -194,7 +196,7 @@ func (b *OutBuf) Thread(th int) OutBufThread {
 func (o *OutBufThread) AddScaled(row int, s float64, src []float64) {
 	if o.priv != nil {
 		base := row * o.cols
-		addScaled(o.priv[base:base+o.cols], s, src) //gate:allow bounds row index is a stored fiber id, data-dependent
+		o.ops.addScaled(o.priv[base:base+o.cols], s, src) //gate:allow bounds row index is a stored fiber id, data-dependent
 		return
 	}
 	if o.remap != nil {
@@ -202,7 +204,7 @@ func (o *OutBufThread) AddScaled(row int, s float64, src []float64) {
 		if slot >= 0 {
 			o.b.shadowHot(o.th, row, slot)
 			base := int(slot) * o.cols
-			addScaled(o.hot[base:base+o.cols], s, src) //gate:allow bounds hot slot from the remap, bounded by the plan's hot count
+			o.ops.addScaled(o.hot[base:base+o.cols], s, src) //gate:allow bounds hot slot from the remap, bounded by the plan's hot count
 			return
 		}
 		if slot == RemapColdDirect {
@@ -220,7 +222,7 @@ func (o *OutBufThread) AddScaled(row int, s float64, src []float64) {
 func (o *OutBufThread) AddHadamard(row int, a, bv []float64) {
 	if o.priv != nil {
 		base := row * o.cols
-		hadamardAccum(o.priv[base:base+o.cols], a, bv) //gate:allow bounds row index is a stored fiber id, data-dependent
+		o.ops.hadamardAccum(o.priv[base:base+o.cols], a, bv) //gate:allow bounds row index is a stored fiber id, data-dependent
 		return
 	}
 	if o.remap != nil {
@@ -228,7 +230,7 @@ func (o *OutBufThread) AddHadamard(row int, a, bv []float64) {
 		if slot >= 0 {
 			o.b.shadowHot(o.th, row, slot)
 			base := int(slot) * o.cols
-			hadamardAccum(o.hot[base:base+o.cols], a, bv) //gate:allow bounds hot slot from the remap, bounded by the plan's hot count
+			o.ops.hadamardAccum(o.hot[base:base+o.cols], a, bv) //gate:allow bounds hot slot from the remap, bounded by the plan's hot count
 			return
 		}
 		if slot == RemapColdDirect {
@@ -410,7 +412,7 @@ func (b *OutBuf) reducePrivRows(out *tensor.Matrix, lo, hi int) {
 		default:
 			copy(dst, b.priv[0].Row(r)) //gate:allow bounds replica row addressed within the block
 			for th := 1; th < b.t; th++ {
-				addScaled(dst, 1, b.priv[th].Row(r)) //gate:allow bounds replica index bounded by the thread loop
+				b.ops.addScaled(dst, 1, b.priv[th].Row(r)) //gate:allow bounds replica index bounded by the thread loop
 			}
 		}
 	}
@@ -472,7 +474,7 @@ func (b *OutBuf) reduceLegacy(out *tensor.Matrix) {
 				dst := out.Row(i)
 				copy(dst, b.priv[0].Row(i))
 				for th := 1; th < b.t; th++ {
-					addScaled(dst, 1, b.priv[th].Row(i))
+					b.ops.addScaled(dst, 1, b.priv[th].Row(i))
 				}
 			}
 		})

@@ -1,0 +1,224 @@
+package gates
+
+// Assembly-listing parser behind the code-shape gate. The gates compile
+// already runs with -S, so the compiler's stderr interleaves the escape/BCE
+// diagnostics with a per-function instruction listing:
+//
+//	stef/internal/kernels.addScaled STEXT nosplit size=302 args=0x38 ...
+//		0x0000 00000 (/root/repo/internal/kernels/vec.go:40)	TEXT	...
+//		0x0025 00037 (/root/repo/internal/kernels/vec.go:47)	MOVSD	(DI)(CX*8), X1
+//		0x00e5 00229 (/root/repo/internal/kernels/vec.go:45)	JLS	37
+//
+// This file turns that listing into per-function instruction streams with
+// just enough structure for shape assertions: loop spans (backward
+// branches), CALL classification (real call / runtime.panic* bounds block /
+// runtime.morestack* prologue), floating-point multiply counts, and named
+// stack-frame loads (a re-loaded slice header or spilled base pointer).
+// shape.go evaluates the manifest's ShapeRules against it.
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Insn is one decoded machine instruction from a -S listing.
+type Insn struct {
+	// Off is the decimal instruction offset -S prints (branch operands
+	// reference these, not byte addresses).
+	Off  int
+	File string
+	Line int
+	Op   string
+	Args string
+}
+
+// insnSpan is an [From, To] offset range of instructions.
+type insnSpan struct{ From, To int }
+
+// AsmFunc is one compiled function's instruction stream.
+type AsmFunc struct {
+	// Sym is the full link symbol, e.g. "stef/internal/kernels.addScaled16".
+	Sym string
+	// Name is the manifest-style qualified short name the symbol maps to,
+	// e.g. "kernels.addScaled16" or "kernels.OutBufThread.AddScaled".
+	Name  string
+	Insns []Insn
+	loops []insnSpan
+}
+
+// asmHeader matches a function header line: "<sym> STEXT ...".
+var asmHeader = regexp.MustCompile(`^(\S+)\s+STEXT\b`)
+
+// asmInsn matches an instruction line: "\t0x00e5 00229 (file:line)\tOP\targs".
+var asmInsn = regexp.MustCompile(`^\s+0x[0-9a-f]+\s+(\d+)\s+\((.*):(\d+)\)\s+(\S+)\s*(.*)$`)
+
+// pseudoOps are assembler directives carrying no machine instruction.
+var pseudoOps = map[string]bool{
+	"TEXT": true, "FUNCDATA": true, "PCDATA": true, "NOP": true,
+}
+
+// ParseAsm extracts every function's instruction stream from compiler
+// output produced with -S. Lines that are not part of a listing (escape
+// and BCE diagnostics, the trailing hex dumps) are ignored, so the same
+// stderr capture feeds ParseDiagnostics and ParseAsm.
+func ParseAsm(out []byte) map[string]*AsmFunc {
+	funcs := make(map[string]*AsmFunc)
+	var cur *AsmFunc
+	for _, line := range strings.Split(string(out), "\n") {
+		if m := asmHeader.FindStringSubmatch(line); m != nil {
+			cur = &AsmFunc{Sym: m[1], Name: shortSymName(m[1])}
+			// The compiler re-lists a function once per build unit; keep the
+			// first listing (they are identical).
+			if _, dup := funcs[cur.Name]; !dup {
+				funcs[cur.Name] = cur
+			} else {
+				cur = nil
+			}
+			continue
+		}
+		if cur == nil {
+			continue
+		}
+		m := asmInsn.FindStringSubmatch(line)
+		if m == nil {
+			// Hex dump or unrelated diagnostic: a blank line or a new header
+			// ends the listing, anything else inside it is skipped.
+			if strings.TrimSpace(line) == "" {
+				cur = nil
+			}
+			continue
+		}
+		off, err1 := strconv.Atoi(m[1])
+		ln, err2 := strconv.Atoi(m[3])
+		if err1 != nil || err2 != nil || pseudoOps[m[4]] {
+			continue
+		}
+		cur.Insns = append(cur.Insns, Insn{Off: off, File: m[2], Line: ln, Op: m[4], Args: strings.TrimSpace(m[5])})
+	}
+	for _, f := range funcs {
+		f.computeLoops()
+	}
+	return funcs
+}
+
+// shortSymName maps a link symbol to the manifest's qualified short form:
+// the import path is dropped and pointer-receiver decoration removed, so
+// "stef/internal/kernels.(*OutBuf).Reduce" becomes "kernels.OutBuf.Reduce".
+func shortSymName(sym string) string {
+	s := sym
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		s = s[i+1:]
+	}
+	s = strings.ReplaceAll(s, "(*", "")
+	s = strings.ReplaceAll(s, ")", "")
+	return s
+}
+
+// computeLoops records the [target, branch] span of every backward branch.
+// The stack-growth epilogue ends in an unconditional jump back to offset 0
+// right after its CALL runtime.morestack*; that retreat is not a loop and
+// is excluded, as is everything inside the epilogue itself.
+func (f *AsmFunc) computeLoops() {
+	for i, in := range f.Insns {
+		tgt, ok := branchTarget(in)
+		if !ok || tgt > in.Off {
+			continue
+		}
+		if i > 0 && isMorestackCall(f.Insns[i-1]) {
+			continue
+		}
+		f.loops = append(f.loops, insnSpan{From: tgt, To: in.Off})
+	}
+}
+
+// branchTarget decodes a branch instruction's numeric target offset. Both
+// amd64 (JMP/Jcc) and arm64 (JMP/Bcc/CBZ/TBZ) spellings are recognised;
+// branches to symbols (tail calls) report false.
+func branchTarget(in Insn) (int, bool) {
+	op := in.Op
+	if !strings.HasPrefix(op, "J") && !strings.HasPrefix(op, "B") &&
+		!strings.HasPrefix(op, "CB") && !strings.HasPrefix(op, "TB") {
+		return 0, false
+	}
+	arg := in.Args
+	if i := strings.LastIndexAny(arg, ", "); i >= 0 {
+		arg = arg[i+1:]
+	}
+	n, err := strconv.Atoi(arg)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// inLoop reports whether the instruction offset lies inside a loop body.
+func (f *AsmFunc) inLoop(off int) bool {
+	for _, sp := range f.loops {
+		if sp.From <= off && off <= sp.To {
+			return true
+		}
+	}
+	return false
+}
+
+func isMorestackCall(in Insn) bool {
+	return in.Op == "CALL" && strings.Contains(in.Args, "runtime.morestack")
+}
+
+// isPanicCall reports a call into a runtime panic helper — the target block
+// of a bounds/slice check, not steady-state code.
+func isPanicCall(in Insn) bool {
+	return in.Op == "CALL" &&
+		(strings.Contains(in.Args, "runtime.panic") || strings.Contains(in.Args, "runtime.goPanic"))
+}
+
+// isRealCall reports a CALL that executes on the non-panicking path.
+func isRealCall(in Insn) bool {
+	return in.Op == "CALL" && !isMorestackCall(in) && !isPanicCall(in)
+}
+
+// isFPMul reports a floating-point multiply or fused multiply-add — the
+// instruction the rank-vector inner blocks must be made of. Covers the
+// scalar, packed, and fused spellings on amd64 (MULSD/VMUL*/VFMADD*) and
+// arm64 (FMUL*/FMADD*/FNMADD*), so the assertion survives both a toolchain
+// that emits SSE scalars and one that vectorises or fuses.
+func isFPMul(op string) bool {
+	return strings.HasPrefix(op, "MULS") ||
+		strings.HasPrefix(op, "VMUL") ||
+		strings.HasPrefix(op, "VFMADD") || strings.HasPrefix(op, "VFNMADD") ||
+		strings.HasPrefix(op, "FMUL") ||
+		strings.HasPrefix(op, "FMADD") || strings.HasPrefix(op, "FNMADD")
+}
+
+// isNamedFrameLoad reports a MOV-family instruction whose source operand is
+// a *named* stack-frame slot — sym+off(SP) or sym(FP) — i.e. a re-loaded
+// slice header, argument, or spilled base. Unnamed scratch spills like
+// "16(SP)" do not count: only named slots correspond to Go-level values the
+// kernel was supposed to keep hoisted in registers.
+func isNamedFrameLoad(in Insn) bool {
+	if !strings.HasPrefix(in.Op, "MOV") {
+		return false
+	}
+	src, _, ok := strings.Cut(in.Args, ",")
+	if !ok {
+		return false
+	}
+	src = strings.TrimSpace(src)
+	var base string
+	switch {
+	case strings.HasSuffix(src, "(SP)"):
+		base = strings.TrimSuffix(src, "(SP)")
+	case strings.HasSuffix(src, "(FP)"):
+		base = strings.TrimSuffix(src, "(FP)")
+	default:
+		return false
+	}
+	for _, r := range base {
+		if unicode.IsLetter(r) {
+			return true
+		}
+	}
+	return false
+}

@@ -52,6 +52,10 @@ const (
 	KindEscape Kind = "escape"
 	// KindBounds covers "Found IsInBounds" / "Found IsSliceInBounds".
 	KindBounds Kind = "bounds"
+	// KindShape covers code-shape assertion failures (shape.go). Unlike the
+	// other kinds it is only suppressible by a directive explicitly naming
+	// it on the function declaration, never by a blanket reason-only allow.
+	KindShape Kind = "shape"
 )
 
 // ValidKind reports whether s names a diagnostic kind a //gate:allow
@@ -59,7 +63,20 @@ const (
 // misspelled kind lists, which this package's parser would otherwise
 // silently read as reason text (widening the directive to all kinds).
 func ValidKind(s string) bool {
-	return s == string(KindEscape) || s == string(KindBounds)
+	for _, k := range AllKinds() {
+		if s == string(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllKinds lists every suppressible diagnostic kind. The stale-allow
+// analyzer uses it both to render error messages and to catch near-miss
+// misspellings ("shap") that the directive parser would read as reason
+// text.
+func AllKinds() []Kind {
+	return []Kind{KindEscape, KindBounds, KindShape}
 }
 
 // Diag is one parsed compiler diagnostic.
@@ -124,6 +141,13 @@ type Result struct {
 	Improvements []Delta
 	// Stale lists //gate:allow directives that suppressed nothing.
 	Stale []StaleAllow
+	// ShapeViolations are failed code-shape assertions (shape.go).
+	ShapeViolations []ShapeViolation
+	// Toolchain is the observed compiler version (`go env GOVERSION`).
+	Toolchain string
+	// BaselineToolchain is the stamp read from the baseline file ("" when
+	// the baseline carries no stamp).
+	BaselineToolchain string
 	// Counts holds the observed baseline-tracked counts (the content a
 	// -write-baseline run would commit).
 	Counts map[string]int
@@ -132,21 +156,40 @@ type Result struct {
 	Diags []Diag
 }
 
-// OK reports whether the gate passes: no violations, no regressions, no
-// stale allows. Improvements do not fail the gate.
+// ToolchainStale reports whether the baseline was written by a different
+// Go toolchain than the one that just compiled. Diagnostic and instruction
+// counts are compiler-version artifacts, so on drift the ratchet deltas are
+// suppressed (they would be noise) and this single distinct finding asks
+// for a reviewed `steflint -gates -write-baseline` instead.
+func (r *Result) ToolchainStale() bool {
+	return r.BaselineToolchain != r.Toolchain
+}
+
+// OK reports whether the gate passes: no violations, no shape violations,
+// no regressions, no stale allows, and a baseline stamped by the current
+// toolchain. Improvements do not fail the gate.
 func (r *Result) OK() bool {
-	return len(r.Violations) == 0 && len(r.Regressions) == 0 && len(r.Stale) == 0
+	return len(r.Violations) == 0 && len(r.Regressions) == 0 && len(r.Stale) == 0 &&
+		len(r.ShapeViolations) == 0 && !r.ToolchainStale()
 }
 
 func posOf(d Diag) string { return fmt.Sprintf("%s:%d:%d", d.File, d.Line, d.Col) }
 
 // Check runs the compiler over the manifest's packages in the module
-// rooted at root and evaluates the diagnostics against the manifest and
-// the baseline (a map from "<func>\t<kind>" to the permitted count).
-func Check(root string, m *Manifest, baseline map[string]int) (*Result, error) {
+// rooted at root and evaluates the diagnostics and assembly against the
+// manifest and the baseline. A nil baseline means "empty counts, current
+// toolchain" (no drift), which is what fixture tests want.
+func Check(root string, m *Manifest, baseline *Baseline) (*Result, error) {
 	out, err := runCompiler(root, m.Packages)
 	if err != nil {
 		return nil, err
+	}
+	toolchain, err := CurrentToolchain(root)
+	if err != nil {
+		return nil, err
+	}
+	if baseline == nil {
+		baseline = &Baseline{Toolchain: toolchain}
 	}
 	diags := ParseDiagnostics(out)
 	idx, err := buildIndex(root, m)
@@ -154,7 +197,16 @@ func Check(root string, m *Manifest, baseline map[string]int) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{Counts: make(map[string]int), Diags: diags}
+	res := &Result{
+		Counts:            make(map[string]int),
+		Diags:             diags,
+		Toolchain:         toolchain,
+		BaselineToolchain: baseline.Toolchain,
+	}
+	// Shape rules see the raw diagnostic stream (allowed bounds checks
+	// still count toward MaxBounds) and may mark shape directives used, so
+	// they run before the stale sweep.
+	res.ShapeViolations = checkShapes(m, ParseAsm(out), diags, idx)
 	for _, d := range diags {
 		if idx.allow(d) {
 			continue
@@ -171,8 +223,13 @@ func Check(root string, m *Manifest, baseline map[string]int) (*Result, error) {
 	}
 
 	res.Stale = idx.stale()
+	if res.ToolchainStale() {
+		// Counts from a different compiler are incomparable; skip the
+		// ratchet rather than reporting version skew as regressions.
+		return res, nil
+	}
 	for key, got := range res.Counts {
-		base := baseline[key]
+		base := baseline.Counts[key]
 		switch {
 		case got > base:
 			res.Regressions = append(res.Regressions, Delta{Key: key, Got: got, Base: base})
@@ -180,7 +237,7 @@ func Check(root string, m *Manifest, baseline map[string]int) (*Result, error) {
 			res.Improvements = append(res.Improvements, Delta{Key: key, Got: got, Base: base})
 		}
 	}
-	for key, base := range baseline {
+	for key, base := range baseline.Counts {
 		if _, ok := res.Counts[key]; !ok && base > 0 {
 			res.Improvements = append(res.Improvements, Delta{Key: key, Got: 0, Base: base})
 		}
@@ -194,15 +251,16 @@ func sortDeltas(ds []Delta) {
 	sort.Slice(ds, func(i, j int) bool { return ds[i].Key < ds[j].Key })
 }
 
-// runCompiler builds the gated packages with diagnostics enabled and
-// returns the compiler's stderr. The flags are applied per package (not
-// all=) so dependency diagnostics don't drown the gated ones; the build
-// cache replays stderr, so repeated runs stay fast and still see the
-// diagnostics.
+// runCompiler builds the gated packages with diagnostics and the assembly
+// listing enabled and returns the compiler's stderr: one compile feeds
+// both ParseDiagnostics and ParseAsm. The flags are applied per package
+// (not all=) so dependency output doesn't drown the gated packages'; the
+// build cache replays stderr, so repeated runs stay fast and still see
+// the diagnostics.
 func runCompiler(root string, pkgs []string) ([]byte, error) {
 	args := []string{"build"}
 	for _, p := range pkgs {
-		args = append(args, "-gcflags", p+"=-m=1 -d=ssa/check_bce")
+		args = append(args, "-gcflags", p+"=-m=1 -d=ssa/check_bce -S")
 	}
 	args = append(args, pkgs...)
 	cmd := exec.Command("go", args...)
@@ -514,20 +572,57 @@ func (idx *index) stale() []StaleAllow {
 // BaselineFile is the committed baseline path, relative to the module root.
 const BaselineFile = "internal/lint/gates/baseline.txt"
 
-// LoadBaseline reads a baseline file: one "<func>\t<kind>\t<count>" entry
-// per line, with #-comments and blank lines ignored.
-func LoadBaseline(path string) (map[string]int, error) {
+// toolchainKey is the baseline directive line carrying the stamp of the
+// compiler that produced the counts; "!" cannot start a function name, so
+// the line is unambiguous against count entries.
+const toolchainKey = "!toolchain"
+
+// Baseline is the committed gate state: the ratcheted per-(func, kind)
+// diagnostic counts plus the toolchain that produced them.
+type Baseline struct {
+	// Toolchain is the `go env GOVERSION` stamp ("" for a pre-stamp file).
+	Toolchain string
+	// Counts maps "<func>\t<kind>" to the permitted diagnostic count.
+	Counts map[string]int
+}
+
+// CurrentToolchain reports the Go toolchain version that `go build` in dir
+// resolves to. This deliberately asks the go command rather than using
+// runtime.Version(): the binary running the gate may have been built by a
+// different toolchain than the one on PATH that compiles the packages.
+func CurrentToolchain(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOVERSION")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("gates: go env GOVERSION: %v", err)
+	}
+	v := strings.TrimSpace(string(out))
+	if v == "" {
+		return "", fmt.Errorf("gates: go env GOVERSION returned nothing")
+	}
+	return v, nil
+}
+
+// LoadBaseline reads a baseline file: an optional "!toolchain\t<version>"
+// stamp plus one "<func>\t<kind>\t<count>" entry per line, with #-comments
+// and blank lines ignored.
+func LoadBaseline(path string) (*Baseline, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	base := make(map[string]int)
+	base := &Baseline{Counts: make(map[string]int)}
 	for i, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		parts := strings.Split(line, "\t")
+		if len(parts) == 2 && parts[0] == toolchainKey {
+			base.Toolchain = parts[1]
+			continue
+		}
 		if len(parts) != 3 {
 			return nil, fmt.Errorf("gates: %s:%d: want \"func\\tkind\\tcount\", got %q", path, i+1, line)
 		}
@@ -535,14 +630,14 @@ func LoadBaseline(path string) (map[string]int, error) {
 		if err != nil {
 			return nil, fmt.Errorf("gates: %s:%d: bad count %q", path, i+1, parts[2])
 		}
-		base[parts[0]+"\t"+parts[1]] = n
+		base.Counts[parts[0]+"\t"+parts[1]] = n
 	}
 	return base, nil
 }
 
-// FormatBaseline renders counts in the committed baseline format, sorted
-// for stable diffs.
-func FormatBaseline(counts map[string]int) []byte {
+// FormatBaseline renders a baseline in the committed format, sorted for
+// stable diffs, with the toolchain stamp first.
+func FormatBaseline(toolchain string, counts map[string]int) []byte {
 	keys := make([]string, 0, len(counts))
 	for k := range counts {
 		keys = append(keys, k)
@@ -552,6 +647,10 @@ func FormatBaseline(counts map[string]int) []byte {
 	b.WriteString("# Baseline for `steflint -gates`: permitted compiler-diagnostic counts\n")
 	b.WriteString("# outside the manifest's forbidden zones, keyed by function and kind.\n")
 	b.WriteString("# Counts may only decrease; regenerate with `steflint -gates -write-baseline`.\n")
+	b.WriteString("# The !toolchain stamp records the compiler that produced the counts;\n")
+	b.WriteString("# on mismatch the gate reports \"baseline stale: toolchain changed\"\n")
+	b.WriteString("# instead of meaningless ratchet deltas.\n")
+	fmt.Fprintf(&b, "%s\t%s\n", toolchainKey, toolchain)
 	for _, k := range keys {
 		fmt.Fprintf(&b, "%s\t%d\n", k, counts[k])
 	}

@@ -98,20 +98,43 @@ func TestBaselineRoundTrip(t *testing.T) {
 		"sched.NewPartition\tescape":  1,
 	}
 	path := filepath.Join(t.TempDir(), "baseline.txt")
-	if err := os.WriteFile(path, FormatBaseline(counts), 0o644); err != nil {
+	if err := os.WriteFile(path, FormatBaseline("go1.99.9", counts), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	got, err := LoadBaseline(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != len(counts) {
-		t.Fatalf("round trip lost entries: %v vs %v", got, counts)
+	if got.Toolchain != "go1.99.9" {
+		t.Errorf("toolchain stamp %q did not round-trip", got.Toolchain)
+	}
+	if len(got.Counts) != len(counts) {
+		t.Fatalf("round trip lost entries: %v vs %v", got.Counts, counts)
 	}
 	for k, v := range counts {
-		if got[k] != v {
-			t.Errorf("key %q: got %d, want %d", k, got[k], v)
+		if got.Counts[k] != v {
+			t.Errorf("key %q: got %d, want %d", k, got.Counts[k], v)
 		}
+	}
+}
+
+// TestBaselineUnstampedLoads keeps pre-stamp baselines loadable: the stamp
+// stays empty, which Check reports as toolchain-stale rather than a parse
+// error.
+func TestBaselineUnstampedLoads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.txt")
+	if err := os.WriteFile(path, []byte("# old format\nkernels.f\tbounds\t2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Toolchain != "" {
+		t.Errorf("unstamped baseline reports toolchain %q, want empty", got.Toolchain)
+	}
+	if got.Counts["kernels.f\tbounds"] != 2 {
+		t.Errorf("counts lost: %v", got.Counts)
 	}
 }
 
@@ -202,7 +225,7 @@ func TestCheckFixtureBaselineRatchet(t *testing.T) {
 	if len(first.Regressions) == 0 {
 		t.Error("non-empty counts against an empty baseline must regress")
 	}
-	second, err := Check(root, fixtureManifest(), first.Counts)
+	second, err := Check(root, fixtureManifest(), &Baseline{Toolchain: first.Toolchain, Counts: first.Counts})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,6 +234,30 @@ func TestCheckFixtureBaselineRatchet(t *testing.T) {
 	}
 	if len(second.Improvements) != 0 {
 		t.Errorf("counts == baseline must not improve: %v", second.Improvements)
+	}
+}
+
+// TestCheckToolchainStale pins the drift behaviour: a baseline stamped by
+// another compiler must flag staleness, suppress the ratchet deltas (the
+// counts are incomparable), and fail OK().
+func TestCheckToolchainStale(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "gatesfix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Check(root, fixtureManifest(), &Baseline{Toolchain: "go0.0.0", Counts: map[string]int{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ToolchainStale() {
+		t.Fatalf("baseline stamped go0.0.0 vs current %s must be stale", res.Toolchain)
+	}
+	if len(res.Regressions) != 0 || len(res.Improvements) != 0 {
+		t.Errorf("stale toolchain must suppress ratchet deltas, got %d regressions, %d improvements",
+			len(res.Regressions), len(res.Improvements))
+	}
+	if res.OK() {
+		t.Error("toolchain-stale result must not pass OK()")
 	}
 }
 
@@ -242,11 +289,18 @@ func TestRepoGatesClean(t *testing.T) {
 	for _, v := range res.Violations {
 		t.Errorf("violation: %v", v)
 	}
+	for _, v := range res.ShapeViolations {
+		t.Errorf("shape violation: %v", v)
+	}
 	for _, s := range res.Stale {
 		t.Errorf("stale allow: %v", s)
 	}
 	for _, d := range res.Regressions {
 		t.Errorf("regression vs baseline: %v", d)
+	}
+	if res.ToolchainStale() {
+		t.Errorf("baseline toolchain %q does not match current %q; run `steflint -gates -write-baseline`",
+			res.BaselineToolchain, res.Toolchain)
 	}
 	if !res.OK() {
 		t.Error("repository does not pass its own gates")

@@ -11,6 +11,9 @@ type Manifest struct {
 	// Rules lists the hot functions by qualified short name
 	// ("pkgname.Func" or "pkgname.Type.Method").
 	Rules []Rule
+	// Shapes lists per-function machine-code assertions checked against
+	// the -S listing (shape.go).
+	Shapes []ShapeRule
 }
 
 // Rule marks one function as hot.
@@ -82,5 +85,23 @@ func Default() *Manifest {
 			{Func: "par.Do", Note: "thread launcher wrapping every parallel kernel"},
 			{Func: "sched.NewPartition", Note: "nnz-balanced partition walk (Alg. 3), O(nnz) leaf scan at build time"},
 		},
+		// Hand-written shape rules for the variable-length scalar
+		// primitives; vecShapeRules() adds one per generated R-blocked
+		// specialization (internal/kernels/vec_gen.go), so every emitted
+		// kernel is born certified.
+		Shapes: append([]ShapeRule{
+			{
+				Func: "kernels.addScaled", Note: "8-wide unrolled axpy: call-free, >=8 FP muls per iteration",
+				MaxCalls: 0, MaxLoopCalls: 0, MaxBounds: Unchecked, MinFPMul: 8, MaxLoopFrameLoads: 0,
+			},
+			{
+				Func: "kernels.hadamardAccum", Note: "8-wide unrolled fused multiply-accumulate fold",
+				MaxCalls: 0, MaxLoopCalls: 0, MaxBounds: Unchecked, MinFPMul: 8, MaxLoopFrameLoads: 0,
+			},
+			{
+				Func: "kernels.hadamardInto", Note: "8-wide unrolled elementwise product",
+				MaxCalls: 0, MaxLoopCalls: 0, MaxBounds: Unchecked, MinFPMul: 8, MaxLoopFrameLoads: 0,
+			},
+		}, vecShapeRules()...),
 	}
 }

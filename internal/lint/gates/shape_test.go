@@ -1,0 +1,173 @@
+package gates
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// synthetic -S listing: one looping function with a panic block, a
+// morestack epilogue, FP multiplies, and a named frame reload, plus a
+// pointer-receiver method.
+const asmFixture = `
+p/kernels.addScaledX STEXT nosplit size=64 args=0x38 locals=0x10
+	0x0000 00000 (vec.go:10)	TEXT	p/kernels.addScaledX(SB), NOSPLIT|ABIInternal, $16-56
+	0x0004 00004 (vec.go:10)	FUNCDATA	$0, gclocals·x(SB)
+	0x0008 00008 (vec.go:11)	XORL	CX, CX
+	0x000a 00010 (vec.go:12)	JMP	40
+	0x000c 00012 (vec.go:13)	MOVSD	(DI)(CX*8), X1
+	0x0011 00017 (vec.go:13)	MULSD	X0, X1
+	0x0015 00021 (vec.go:13)	MULSD	X0, X1
+	0x0019 00025 (vec.go:14)	MOVQ	p/kernels.dst+32(FP), AX
+	0x001e 00030 (vec.go:14)	CALL	p/kernels.helper(SB)
+	0x0023 00035 (vec.go:15)	INCQ	CX
+	0x0026 00038 (vec.go:12)	JLT	12
+	0x0028 00040 (vec.go:16)	RET
+	0x0029 00041 (vec.go:13)	CALL	runtime.panicIndex(SB)
+	0x002e 00046 (vec.go:10)	CALL	runtime.morestack_noctxt(SB)
+	0x0033 00051 (vec.go:10)	JMP	0
+	0x0000 49 c7 c1 00 00 00 00 0f 57 c9 eb 1a f2 0f 10 0c	I.......W.......
+
+p/kernels.(*OutBufThread).AddScaledX STEXT size=16 args=0x20 locals=0x0
+	0x0000 00000 (outbuf.go:5)	TEXT	p/kernels.(*OutBufThread).AddScaledX(SB), ABIInternal, $0-32
+	0x0004 00004 (outbuf.go:6)	MOVUPS	8(SP), X0
+	0x0009 00009 (outbuf.go:7)	RET
+`
+
+func TestParseAsm(t *testing.T) {
+	funcs := ParseAsm([]byte(asmFixture))
+	f, ok := funcs["kernels.addScaledX"]
+	if !ok {
+		t.Fatalf("addScaledX not parsed; got %v", keys(funcs))
+	}
+	m, ok := funcs["kernels.OutBufThread.AddScaledX"]
+	if !ok {
+		t.Fatalf("pointer-receiver method name not normalized; got %v", keys(funcs))
+	}
+	// Pseudo-ops and hex dumps are dropped.
+	for _, in := range f.Insns {
+		if in.Op == "TEXT" || in.Op == "FUNCDATA" {
+			t.Errorf("pseudo-op %s leaked into the instruction stream", in.Op)
+		}
+	}
+	// The backward JLT 12 is a loop; the morestack JMP 0 is not.
+	if len(f.loops) != 1 {
+		t.Fatalf("got %d loop spans, want 1 (morestack retreat excluded): %v", len(f.loops), f.loops)
+	}
+	if f.loops[0].From != 12 || f.loops[0].To != 38 {
+		t.Errorf("loop span [%d,%d], want [12,38]", f.loops[0].From, f.loops[0].To)
+	}
+	if !f.inLoop(30) || f.inLoop(40) {
+		t.Error("inLoop misclassifies offsets 30 (body) / 40 (after)")
+	}
+	// Call classification: one real call in the loop, the panic and
+	// morestack calls excluded.
+	var real, loop int
+	for _, in := range f.Insns {
+		if isRealCall(in) {
+			real++
+			if f.inLoop(in.Off) {
+				loop++
+			}
+		}
+	}
+	if real != 1 || loop != 1 {
+		t.Errorf("real calls %d (in-loop %d), want 1/1", real, loop)
+	}
+	// FP multiplies and named frame loads.
+	var muls, frame int
+	for _, in := range f.Insns {
+		if isFPMul(in.Op) {
+			muls++
+		}
+		if isNamedFrameLoad(in) && f.inLoop(in.Off) {
+			frame++
+		}
+	}
+	if muls != 2 {
+		t.Errorf("FP multiply count %d, want 2", muls)
+	}
+	if frame != 1 {
+		t.Errorf("named in-loop frame loads %d, want 1 (the dst+32(FP) reload)", frame)
+	}
+	// The unnamed 8(SP) load in the method must not count.
+	for _, in := range m.Insns {
+		if isNamedFrameLoad(in) {
+			t.Errorf("unnamed frame slot counted as named: %v", in)
+		}
+	}
+}
+
+func keys(m map[string]*AsmFunc) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// shapeFixtureManifest points one rule at each seeded violation in the
+// shapefix module, plus a rule for a function that does not exist and one
+// for the allowed function.
+func shapeFixtureManifest() *Manifest {
+	return &Manifest{
+		Packages: []string{"shapefix"},
+		Shapes: []ShapeRule{
+			{Func: "shapefix.CallLoop", Note: "seeded in-loop call",
+				MaxCalls: 0, MaxLoopCalls: 0, MaxBounds: Unchecked, MinFPMul: 0, MaxLoopFrameLoads: Unchecked},
+			{Func: "shapefix.Reload", Note: "seeded frame reload",
+				MaxCalls: Unchecked, MaxLoopCalls: Unchecked, MaxBounds: Unchecked, MinFPMul: 0, MaxLoopFrameLoads: 0},
+			{Func: "shapefix.Gather", Note: "seeded bounds checks",
+				MaxCalls: Unchecked, MaxLoopCalls: Unchecked, MaxBounds: 0, MinFPMul: 0, MaxLoopFrameLoads: Unchecked},
+			{Func: "shapefix.AddOnly", Note: "seeded missing unroll",
+				MaxCalls: Unchecked, MaxLoopCalls: Unchecked, MaxBounds: Unchecked, MinFPMul: 8, MaxLoopFrameLoads: Unchecked},
+			{Func: "shapefix.DoesNotExist", Note: "seeded missing function",
+				MaxCalls: Unchecked, MaxLoopCalls: Unchecked, MaxBounds: Unchecked, MinFPMul: 0, MaxLoopFrameLoads: Unchecked},
+			{Func: "shapefix.Allowed", Note: "seeded call, waived",
+				MaxCalls: 0, MaxLoopCalls: 0, MaxBounds: Unchecked, MinFPMul: 0, MaxLoopFrameLoads: Unchecked},
+		},
+	}
+}
+
+// TestCheckShapeFixture proves every shape assertion kind actually fires
+// on real compiler output, that //gate:allow shape waives a function, and
+// that a waiver suppressing nothing is reported stale.
+func TestCheckShapeFixture(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "shapefix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Check(root, shapeFixtureManifest(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool) // "<func>/<kind>"
+	for _, v := range res.ShapeViolations {
+		got[v.Rule.Func+"/"+v.Kind] = true
+		if v.Rule.Func == "shapefix.Allowed" {
+			t.Errorf("//gate:allow shape did not waive: %v", v)
+		}
+	}
+	for _, want := range []string{
+		"shapefix.CallLoop/" + ShapeCalls,
+		"shapefix.CallLoop/" + ShapeLoopCalls,
+		"shapefix.Reload/" + ShapeFrameLoads,
+		"shapefix.Gather/" + ShapeBounds,
+		"shapefix.AddOnly/" + ShapeFPMul,
+		"shapefix.DoesNotExist/" + ShapeMissing,
+	} {
+		if !got[want] {
+			t.Errorf("seeded shape violation %s not reported; got %v", want, res.ShapeViolations)
+		}
+	}
+	// Exactly one stale directive: the one on CleanStale. Allowed's must be
+	// marked used by the suppression.
+	if len(res.Stale) != 1 {
+		t.Errorf("got %d stale allows, want exactly the CleanStale one: %v", len(res.Stale), res.Stale)
+	}
+	for _, v := range res.ShapeViolations {
+		if v.Kind != ShapeMissing && !strings.Contains(v.Pos, "hot.go:") {
+			t.Errorf("violation lacks a source position: %+v", v)
+		}
+	}
+}

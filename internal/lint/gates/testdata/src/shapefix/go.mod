@@ -1,0 +1,3 @@
+module shapefix
+
+go 1.22

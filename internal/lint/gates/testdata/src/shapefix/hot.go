@@ -1,0 +1,67 @@
+// Package shapefix seeds one violation per code-shape assertion kind. The
+// gates tests point ShapeRules at these functions and require each rule to
+// trip: an in-loop call, excess bounds checks, a missing FP-multiply
+// unroll, and in-loop reloads of named frame slots. Allowed carries the
+// same seeded call under an explicit //gate:allow shape directive and must
+// stay silent; the directive on CleanStale suppresses nothing and must be
+// flagged stale.
+package shapefix
+
+var total float64
+
+// sink defeats inlining so call sites stay CALL instructions.
+//
+//go:noinline
+func sink(v []float64) float64 { return v[0] }
+
+// CallLoop calls a non-inlinable function inside its loop: trips the
+// MaxCalls and MaxLoopCalls assertions.
+func CallLoop(v []float64) {
+	for i := 0; i < len(v); i++ {
+		total += sink(v)
+	}
+}
+
+// Reload keeps v live across an in-loop call, forcing the compiler to
+// spill and re-load the slice argument from its named frame slot every
+// iteration: trips MaxLoopFrameLoads.
+func Reload(v []float64) {
+	for i := 0; i < len(v); i++ {
+		total += sink(v) + v[i&1]
+	}
+}
+
+// Gather indexes with data-dependent subscripts the prove pass cannot
+// eliminate: trips MaxBounds.
+func Gather(dst, src []float64, idx []int) {
+	for _, j := range idx {
+		dst[0] += src[j]
+	}
+}
+
+// AddOnly contains no floating-point multiply at all: trips MinFPMul.
+func AddOnly(dst, src []float64) {
+	for i := 0; i < len(dst) && i < len(src); i++ {
+		dst[i] += src[i]
+	}
+}
+
+// Allowed repeats CallLoop's seeded violation under an explicit shape
+// waiver on the declaration; the gate must stay silent.
+//
+//gate:allow shape fixture: waiving the machine-code certification deliberately
+func Allowed(v []float64) {
+	for i := 0; i < len(v); i++ {
+		total += sink(v)
+	}
+}
+
+// CleanStale has no shape rule, so the directive below suppresses nothing
+// and must be reported stale.
+//
+//gate:allow shape fixture: deliberately stale
+func CleanStale(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}

@@ -198,8 +198,8 @@ func TestStaleAllowUnselectedAnalyzerNotJudged(t *testing.T) {
 			t.Errorf("directive judged without its analyzer running: %s", f)
 		}
 	}
-	if len(findings) != 2 {
-		t.Errorf("got %d findings, want only the unknown-analyzer and unknown-gate-kind ones: %v", len(findings), findings)
+	if len(findings) != 3 {
+		t.Errorf("got %d findings, want only the unknown-analyzer and two unknown-gate-kind ones: %v", len(findings), findings)
 	}
 }
 
@@ -256,5 +256,52 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName(""); err == nil {
 		t.Fatalf("ByName accepted empty selection")
+	}
+}
+
+func TestGateKindTypo(t *testing.T) {
+	cases := []struct {
+		body string
+		kind string
+		bad  bool
+	}{
+		{"bounds tail loop", "", false},
+		{"escape,bounds setup", "", false},
+		{"shape certified elsewhere", "", false},
+		{"escape,bonds setup", "bonds", true},
+		{"shap waiving certification", "shap", true},     // deletion
+		{"shaped waiving certification", "shaped", true}, // insertion
+		{"shope waiving certification", "shope", true},   // substitution
+		{"bounds", "", false},
+		{"bonds", "bonds", true},            // one-word body is never a reason
+		{"data-dependent index", "", false}, // plain reason text, far from any kind
+		{"", "", false},
+	}
+	for _, c := range cases {
+		kind, bad := gateKindTypo(c.body)
+		if bad != c.bad || kind != c.kind {
+			t.Errorf("gateKindTypo(%q) = %q, %v; want %q, %v", c.body, kind, bad, c.kind, c.bad)
+		}
+	}
+}
+
+func TestEditDistanceAtMostOne(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"shape", "shape", true},
+		{"shap", "shape", true},
+		{"shaped", "shape", true},
+		{"shope", "shape", true},
+		{"shp", "shape", false},
+		{"bounds", "shape", false},
+		{"", "s", true},
+		{"", "sh", false},
+	}
+	for _, c := range cases {
+		if got := editDistanceAtMostOne(c.a, c.b); got != c.want {
+			t.Errorf("editDistanceAtMostOne(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
 	}
 }

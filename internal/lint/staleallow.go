@@ -51,8 +51,11 @@ func gateAllowBody(text string) (string, bool) {
 
 // gateKindTypo inspects a //gate:allow body's first word and returns the
 // misspelled kind, if any. A comma-joined first word is unambiguously
-// meant as a kind list, so every part must be valid; a plain word is only
-// suspect when it is the entire body (a one-word "reason" is no reason).
+// meant as a kind list, so every part must be valid; a plain word is
+// suspect when it is the entire body (a one-word "reason" is no reason) or
+// when it is one edit away from a real kind ("shap fixture: ..." was
+// almost certainly meant to name the shape kind, but the gates parser
+// reads it as reason text and widens the directive to every kind).
 func gateKindTypo(body string) (string, bool) {
 	fields := strings.Fields(body)
 	if len(fields) == 0 {
@@ -67,10 +70,55 @@ func gateKindTypo(body string) (string, bool) {
 		}
 		return "", false
 	}
-	if len(fields) == 1 && !gates.ValidKind(first) {
+	if gates.ValidKind(first) {
+		return "", false
+	}
+	if len(fields) == 1 || nearKind(first) {
 		return first, true
 	}
 	return "", false
+}
+
+// nearKind reports whether s is within one edit (insertion, deletion, or
+// substitution) of some valid gate kind.
+func nearKind(s string) bool {
+	for _, k := range gates.AllKinds() {
+		if editDistanceAtMostOne(s, string(k)) {
+			return true
+		}
+	}
+	return false
+}
+
+// editDistanceAtMostOne reports whether a and b differ by at most one
+// character edit. Linear scan: after the first mismatch the remainders
+// must match under exactly one of skip-a, skip-b, or skip-both.
+func editDistanceAtMostOne(a, b string) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b)-len(a) > 1 {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		if a[i] == b[i] {
+			continue
+		}
+		if len(a) == len(b) {
+			return a[i+1:] == b[i+1:] // substitution
+		}
+		return a[i:] == b[i+1:] // insertion into a
+	}
+	return true // equal, or b has one trailing extra character
+}
+
+// kindList renders the valid gate kinds for error messages.
+func kindList() string {
+	names := make([]string, 0, 3)
+	for _, k := range gates.AllKinds() {
+		names = append(names, string(k))
+	}
+	return strings.Join(names, ", ")
 }
 
 // staleAllowFindings is the post-pass behind StaleAllow. ran holds the
@@ -100,7 +148,7 @@ func staleAllowFindings(idx *allowIndex, ran map[string]bool, pkg *Package) []Fi
 			out = append(out, report(g.pos, "//gate:allow in package %s, which the gates manifest does not compile; it can never take effect", pkg.Path))
 		default:
 			if k, bad := gateKindTypo(g.body); bad {
-				out = append(out, report(g.pos, "//gate:allow names unknown gate kind %q (kinds: %s, %s)", k, gates.KindEscape, gates.KindBounds))
+				out = append(out, report(g.pos, "//gate:allow names unknown gate kind %q (kinds: %s)", k, kindList()))
 			}
 		}
 	}

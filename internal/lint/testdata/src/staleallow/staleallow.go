@@ -55,3 +55,23 @@ func kindTypo(dst []float64, idx []int) {
 		dst[idx[i]]++ //gate:allow escape,bonds data-dependent index // want "unknown gate kind"
 	}
 }
+
+// shapeKind is fine: "shape" is a real kind, the rest is reason text.
+//
+//gate:allow shape certified elsewhere
+func shapeKind(dst []float64, s float64) {
+	for i := range dst {
+		dst[i] += s
+	}
+}
+
+// shapeNearMiss drops the final letter of "shape". Even with reason text
+// following, a first word one edit from a real kind is a typo, not a
+// reason: the gates parser would widen the directive to every kind.
+//
+//gate:allow shap waiving the machine-code certification // want "unknown gate kind"
+func shapeNearMiss(dst []float64, s float64) {
+	for i := range dst {
+		dst[i] += s
+	}
+}

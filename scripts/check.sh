@@ -14,7 +14,7 @@ go vet ./...
 echo "==> steflint"
 go run ./cmd/steflint ./...
 
-echo "==> steflint -gates (compiler-diagnostic perf gates)"
+echo "==> steflint -gates (compiler-diagnostic perf gates + asm shape assertions)"
 go run ./cmd/steflint -gates
 
 echo "==> go test ./..."
