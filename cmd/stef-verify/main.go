@@ -5,6 +5,14 @@
 //
 //	stef-verify -tensor nips -threads 8 -rank 16
 //	stef-verify -file data.tns
+//
+// -idx switches to the index-width debugging view: it runs the same
+// interprocedural scale-class inference as `steflint`'s idx-width
+// analyzer and prints the class (rank, dim/fid, nnz, bytes) inferred at
+// every assignment, index expression and conversion in one function.
+//
+//	stef-verify -idx internal/csf:Tree.Bytes
+//	stef-verify -idx stef/internal/tensor:Tensor.SortLex
 package main
 
 import (

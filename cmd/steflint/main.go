@@ -3,11 +3,14 @@
 //	hotpath-alloc   no allocations inside for loops of the hot packages
 //	write-disjoint  stores reachable from par.Do/par.Blocks callbacks are
 //	                provably thread-disjoint (interprocedural dataflow)
+//	idx-width       index/offset arithmetic is evaluated at a width that
+//	                holds its scale class (//idx: annotations, interprocedural)
 //	engine-purity   Engine Compute implementations mutate only their Workspace
 //	panic-prefix    panic messages in internal/... start with the package name
 //	no-deps         imports resolve to the stdlib or stef/... only
-//	stale-allow     //lint:allow and //gate:allow directives must suppress
-//	                something and name real analyzer/gate kinds
+//	stale-allow     //lint:allow, //gate:allow and //idx: directives must
+//	                suppress or declare something and spell their
+//	                analyzer/gate-kind/facet vocabulary correctly
 //
 // With -gates it instead runs the compiler-diagnostic performance gates
 // (internal/lint/gates): the hot packages are rebuilt with escape-analysis,

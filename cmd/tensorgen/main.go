@@ -4,6 +4,11 @@
 //
 //	tensorgen -tensor uber -o uber.tns
 //	tensorgen -dims 100x200x300 -nnz 50000 -skew 1.5,0,0 -o custom.tns.gz
+//	tensorgen -hugedims -nnz 4096 -o boundary.tns
+//
+// -hugedims emits the int32-boundary stress tensor: two modes just under
+// 2^31 with non-zeros pinned at the extreme corners, the fixture behind
+// the idx-width overflow-soundness work (see ARCHITECTURE.md).
 package main
 
 import (

@@ -29,6 +29,7 @@ func RunTensorGen(args []string, stdout, stderr io.Writer) int {
 		skew = fs.String("skew", "", "comma-separated Zipf exponents per mode (0 = uniform)")
 		seed = fs.Int64("seed", 1, "generation seed")
 		out  = fs.String("o", "", "output path (default stdout; .gz compresses)")
+		huge = fs.Bool("hugedims", false, "generate the int32-boundary stress tensor (two modes just under 2^31; -nnz and -seed apply)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -39,6 +40,11 @@ func RunTensorGen(args []string, stdout, stderr io.Writer) int {
 	}
 	var tt *tensor.Tensor
 	switch {
+	case *huge:
+		if *name != "" || *dims != "" {
+			return fail(stderr, "tensorgen", fmt.Errorf("-hugedims is exclusive with -tensor and -dims"))
+		}
+		tt = tensor.HugeBoundary(tensor.HugeDims(), *nnz, *seed)
 	case *name != "":
 		p, err := tensor.ProfileByName(*name)
 		if err != nil {
@@ -59,7 +65,7 @@ func RunTensorGen(args []string, stdout, stderr io.Writer) int {
 		}
 		tt = tensor.Random(d, *nnz, sk, *seed)
 	default:
-		return fail(stderr, "tensorgen", fmt.Errorf("specify -tensor or -dims (or -list)"))
+		return fail(stderr, "tensorgen", fmt.Errorf("specify -tensor, -dims or -hugedims (or -list)"))
 	}
 
 	fmt.Fprintf(stderr, "generated %v\n", tt)

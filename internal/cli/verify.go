@@ -4,10 +4,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
+	"strings"
 
 	"stef/internal/experiments"
 	"stef/internal/kernels"
+	"stef/internal/lint"
 	"stef/internal/tensor"
 )
 
@@ -22,9 +25,13 @@ func RunVerify(args []string, stdout, stderr io.Writer) int {
 		rank    = fs.Int("rank", 16, "decomposition rank")
 		threads = fs.Int("threads", runtime.GOMAXPROCS(0), "worker threads")
 		tol     = fs.Float64("tol", 1e-9, "relative tolerance")
+		idxSpec = fs.String("idx", "", "print inferred index-width scale classes for <package>:<Func> (or <package>:<Recv.Func>) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *idxSpec != "" {
+		return runIdxDump(*idxSpec, stdout, stderr)
 	}
 	if *file == "" && *name == "" {
 		*name = "nips"
@@ -73,6 +80,47 @@ func RunVerify(args []string, stdout, stderr io.Writer) int {
 	}
 	if failed {
 		return 1
+	}
+	return 0
+}
+
+// runIdxDump implements `stef-verify -idx pkg:Func`: it runs the same
+// interprocedural width inference the idx-width analyzer applies and
+// prints the scale class inferred at every assignment target, index
+// expression and conversion in the named function. The package path may
+// be module-relative ("internal/csf") or fully qualified.
+func runIdxDump(spec string, stdout, stderr io.Writer) int {
+	pkgPath, fn, ok := strings.Cut(spec, ":")
+	if !ok || pkgPath == "" || fn == "" {
+		return fail(stderr, "stef-verify", fmt.Errorf("-idx wants <package>:<Func> or <package>:<Recv.Func>, e.g. internal/csf:Tree.SliceFibers"))
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return fail(stderr, "stef-verify", err)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		return fail(stderr, "stef-verify", err)
+	}
+	if pkgPath != loader.ModPath() && !strings.HasPrefix(pkgPath, loader.ModPath()+"/") {
+		pkgPath = loader.ModPath() + "/" + strings.TrimPrefix(pkgPath, "./")
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return fail(stderr, "stef-verify", err)
+	}
+	pass := &lint.Pass{Fset: loader.Fset, All: pkgs, Cache: make(map[string]interface{})}
+	obs, err := lint.WidthProgramFor(pass).Dump(pkgPath, fn)
+	if err != nil {
+		return fail(stderr, "stef-verify", err)
+	}
+	for _, o := range obs {
+		pos := loader.Fset.Position(o.Pos)
+		file := pos.Filename
+		if rel, found := strings.CutPrefix(file, loader.Root()+string(os.PathSeparator)); found {
+			file = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s\n", file, pos.Line, pos.Column, o.Message)
 	}
 	return 0
 }

@@ -1,0 +1,35 @@
+package csf
+
+// Level accessors. Kernels and schedulers that walk a Tree hold on to
+// per-level slices; taking them through these accessors (rather than
+// indexing the exported fields directly) keeps the //idx: scale classes
+// attached to the values they yield, so the idx-width analyzer can follow
+// fiber ids and child offsets from the tree into loop bodies and index
+// arithmetic. The accessors are trivially inlinable and cost nothing over
+// a direct field read.
+
+// FidLevel returns the fiber-id array of level l: FidLevel(l)[n] is the
+// mode index of node n, an int32-bounded value by construction.
+//
+//idx: return len=nnz elem=fid
+func (t *Tree) FidLevel(l int) []int32 { return t.Fids[l] }
+
+// PtrLevel returns the child-offset array of level l (nil at the leaf
+// level): offsets are node positions within level l+1 and are nnz-scale —
+// they need 64-bit arithmetic, never int32.
+//
+//idx: return len=nnz elem=nnz
+func (t *Tree) PtrLevel(l int) []int64 { return t.Ptr[l] }
+
+// NNZ64 returns the number of non-zeros at the width the count actually
+// has: nnz-scale, bounded by the serialization maxCount (1<<40), not by
+// int32.
+//
+//idx: return nnz
+func (t *Tree) NNZ64() int64 { return int64(len(t.Vals)) }
+
+// NumFibers64 returns the node count of level l at 64-bit width; interior
+// levels of a 100M+-nnz tensor routinely exceed int32.
+//
+//idx: return nnz
+func (t *Tree) NumFibers64(l int) int64 { return int64(len(t.Fids[l])) }

@@ -18,16 +18,21 @@ import (
 // permutation. All fields are read-only after Build.
 type Tree struct {
 	// Dims[l] is the length of the mode stored at level l.
+	//idx: len=rank elem=dim
 	Dims []int
 	// Perm maps CSF level to original tensor mode: level l stores
 	// original mode Perm[l].
+	//idx: len=rank elem=rank
 	Perm []int
 	// Fids[l] holds the index of each node at level l.
+	//idx: len=rank,nnz elem=fid
 	Fids [][]int32
 	// Ptr[l] (for l in 0..d-2) holds len(Fids[l])+1 offsets into level
 	// l+1. Ptr[d-1] is nil.
+	//idx: len=rank,nnz elem=nnz
 	Ptr [][]int64
 	// Vals holds the non-zero values, aligned with Fids[d-1].
+	//idx: len=nnz
 	Vals []float64
 }
 

@@ -3,6 +3,9 @@ package csf
 import (
 	"bytes"
 	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"stef/internal/tensor"
@@ -35,6 +38,39 @@ func hugeCountHeader() []byte {
 	return buf.Bytes()
 }
 
+// boundaryCountHeader crafts a header whose level-0 count sits at
+// maxCount + delta: delta 0 probes the largest admissible count (rejected
+// later, at EOF or by the cross-level checks), +1 the first implausible one.
+func boundaryCountHeader(delta int64) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	binary.Write(&buf, binary.LittleEndian, uint32(3))
+	for i := 0; i < 3; i++ {
+		binary.Write(&buf, binary.LittleEndian, int64(10)) // dims
+	}
+	for i := 0; i < 3; i++ {
+		binary.Write(&buf, binary.LittleEndian, int64(i)) // perm
+	}
+	binary.Write(&buf, binary.LittleEndian, int64(1)<<40+delta) // level-0 count
+	return buf.Bytes()
+}
+
+// level1CountOffset returns the byte offset of level 1's count field in
+// the serialization of tr (order d, header magic+order+dims+perm).
+func level1CountOffset(tr *Tree) int {
+	d := tr.Order()
+	off := len(magic) + 4 + d*8 + d*8
+	c0 := len(tr.Fids[0])
+	return off + 8 + c0*4 + (c0+1)*8
+}
+
+// corrupt64 returns data with the int64 at off overwritten by v.
+func corrupt64(data []byte, off int, v int64) []byte {
+	out := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint64(out[off:], uint64(v))
+	return out
+}
+
 // FuzzReadFrom feeds arbitrary bytes to the CSF deserialiser; it must
 // never panic or allocate unboundedly, and whatever it accepts must
 // survive a write/read round trip.
@@ -46,9 +82,17 @@ func FuzzReadFrom(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("NOPE0000000000000000"))
 	f.Add(hugeCountHeader())
+	f.Add(boundaryCountHeader(0))  // count == maxCount exactly
+	f.Add(boundaryCountHeader(1))  // first implausible count
+	f.Add(boundaryCountHeader(-1)) // last count inside the bound
 	flipped := append([]byte(nil), valid...)
 	flipped[len(flipped)/3] ^= 0xff
 	f.Add(flipped)
+	// A structurally plausible stream whose level-1 count disagrees with
+	// level 0's pointer coverage: the cross-level check must refuse it
+	// before sizing level 1.
+	tr := mustTree([]int{5, 6, 7}, 60, 2)
+	f.Add(corrupt64(valid, level1CountOffset(tr), int64(len(tr.Fids[1]))+1))
 	f.Add(serializedSeed([]int{4, 5, 6, 7}, 40, 3))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadFrom(bytes.NewReader(data))
@@ -78,5 +122,76 @@ func FuzzReadFrom(f *testing.F) {
 func TestReadFromHugeCount(t *testing.T) {
 	if _, err := ReadFrom(bytes.NewReader(hugeCountHeader())); err == nil {
 		t.Fatal("expected error for truncated huge-count input")
+	}
+}
+
+// mustTree builds the tree whose serialization serializedSeed returns.
+func mustTree(dims []int, nnz int, seed int64) *Tree {
+	return Build(tensor.Random(dims, nnz, nil, seed), nil)
+}
+
+// TestReadFromCountHardening pins the pre-allocation count checks: each
+// corruption must be refused with a structural error, not deferred to the
+// post-read Validate.
+func TestReadFromCountHardening(t *testing.T) {
+	valid := serializedSeed([]int{5, 6, 7}, 60, 2)
+	tr := mustTree([]int{5, 6, 7}, 60, 2)
+	d := tr.Order()
+	hdr := len(magic) + 4 + d*8 + d*8
+	c0 := len(tr.Fids[0])
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{
+			"cross-level count mismatch",
+			corrupt64(valid, level1CountOffset(tr), int64(len(tr.Fids[1]))+1),
+			"does not match parent pointer coverage",
+		},
+		{
+			"non-monotone ptr",
+			// ptr[1] := ptr[0] = 0: empty first child range.
+			corrupt64(valid, hdr+8+c0*4+8, 0),
+			"not strictly increasing",
+		},
+		{
+			"negative count",
+			corrupt64(valid, hdr, -1),
+			"implausible level 0 count",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadFrom(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("corrupt stream accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	// nnz field inflated: refused by the leaf-count cross-check.
+	nnzOff := len(valid) - 8 - tr.NNZ()*8
+	data := corrupt64(valid, nnzOff, int64(tr.NNZ())+1)
+	if _, err := ReadFrom(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "does not match leaf count") {
+		t.Fatalf("inflated nnz: got %v, want leaf-count mismatch", err)
+	}
+}
+
+// TestLoadFileSizeBound pins the size-aware path: a small file claiming a
+// 2^39-element level is refused against the file's own length before any
+// read loop runs.
+func TestLoadFileSizeBound(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "huge.csf")
+	if err := os.WriteFile(path, hugeCountHeader(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadFile(path)
+	if err == nil || !strings.Contains(err.Error(), "exceeds source size") {
+		t.Fatalf("got %v, want size-bound error", err)
 	}
 }

@@ -89,7 +89,21 @@ func readSlice[T int32 | int64 | float64](r io.Reader, count int64) ([]T, error)
 }
 
 // ReadFrom deserialises a tree written by WriteTo and validates it.
+//
+// Counts are cross-checked between levels *before* any allocation sized by
+// them: level l+1 must hold exactly the nodes level l's last pointer
+// covers, pointers must start at zero and be strictly increasing, and the
+// leaf count must equal nnz. A corrupt or adversarial header therefore
+// fails on the first inconsistent count instead of committing memory to a
+// fabricated level.
 func ReadFrom(r io.Reader) (*Tree, error) {
+	return readFrom(r, -1)
+}
+
+// readFrom implements ReadFrom with an optional size hint: when byteSize
+// is non-negative (reading from a file of known length), any level count
+// whose fids alone could not fit in the source is rejected up front.
+func readFrom(r io.Reader, byteSize int64) (*Tree, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
@@ -132,13 +146,23 @@ func ReadFrom(r io.Reader) (*Tree, error) {
 		}
 	}
 	const maxCount = 1 << 40 // sanity bound against corrupt headers
+	// expect is the node count level l must have, derived from level l-1's
+	// last pointer; -1 before any pointer level has been read.
+	expect := int64(-1)
 	for l := 0; l < d; l++ {
+		//idx: nnz
 		var count int64
 		if err := read(&count); err != nil {
 			return nil, fmt.Errorf("csf: read level %d count: %w", l, err)
 		}
 		if count < 0 || count > maxCount {
 			return nil, fmt.Errorf("csf: implausible level %d count %d", l, count)
+		}
+		if expect >= 0 && count != expect {
+			return nil, fmt.Errorf("csf: level %d count %d does not match parent pointer coverage %d", l, count, expect)
+		}
+		if byteSize >= 0 && count*4 > byteSize {
+			return nil, fmt.Errorf("csf: level %d count %d exceeds source size %d", l, count, byteSize)
 		}
 		var err error
 		if t.Fids[l], err = readSlice[int32](br, count); err != nil {
@@ -148,14 +172,31 @@ func ReadFrom(r io.Reader) (*Tree, error) {
 			if t.Ptr[l], err = readSlice[int64](br, count+1); err != nil {
 				return nil, fmt.Errorf("csf: read level %d ptr: %w", l, err)
 			}
+			p := t.Ptr[l]
+			if p[0] != 0 {
+				return nil, fmt.Errorf("csf: level %d ptr[0] = %d", l, p[0])
+			}
+			for n := int64(0); n < count; n++ {
+				if p[n+1] <= p[n] {
+					return nil, fmt.Errorf("csf: level %d ptr not strictly increasing at node %d", l, n)
+				}
+			}
+			if p[count] > maxCount {
+				return nil, fmt.Errorf("csf: level %d pointers cover %d children, beyond maxCount", l, p[count])
+			}
+			expect = p[count]
 		}
 	}
+	//idx: nnz
 	var nnz int64
 	if err := read(&nnz); err != nil {
 		return nil, fmt.Errorf("csf: read nnz: %w", err)
 	}
 	if nnz < 0 || nnz > maxCount {
 		return nil, fmt.Errorf("csf: implausible nnz %d", nnz)
+	}
+	if nnz != int64(len(t.Fids[d-1])) {
+		return nil, fmt.Errorf("csf: nnz %d does not match leaf count %d", nnz, len(t.Fids[d-1]))
 	}
 	vals, err := readSlice[float64](br, nnz)
 	if err != nil {
@@ -181,12 +222,18 @@ func (t *Tree) SaveFile(path string) error {
 	return f.Close()
 }
 
-// LoadFile reads a tree from a file.
+// LoadFile reads a tree from a file. The file's size bounds the level
+// counts the header may claim, so a corrupt header cannot commit memory
+// beyond what the file could possibly back.
 func LoadFile(path string) (*Tree, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadFrom(f)
+	size := int64(-1)
+	if fi, err := f.Stat(); err == nil {
+		size = fi.Size()
+	}
+	return readFrom(f, size)
 }

@@ -88,8 +88,8 @@ func sliceNodePrefix(tree *csf.Tree) []int64 {
 		loNode, hiNode := int64(s), int64(s+1)
 		nodes := int64(1)
 		for l := 0; l < d-1; l++ {
-			loNode = tree.Ptr[l][loNode]
-			hiNode = tree.Ptr[l][hiNode]
+			loNode = tree.PtrLevel(l)[loNode]
+			hiNode = tree.PtrLevel(l)[hiNode]
 			nodes += hiNode - loNode
 		}
 		prefix[s+1] = prefix[s] + nodes

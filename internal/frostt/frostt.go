@@ -120,7 +120,7 @@ func Write(w io.Writer, t *tensor.Tensor) error {
 	for k := 0; k < nnz; k++ {
 		c := t.Coord(k)
 		for m := 0; m < d; m++ {
-			if _, err := fmt.Fprintf(bw, "%d ", c[m]+1); err != nil {
+			if _, err := fmt.Fprintf(bw, "%d ", int64(c[m])+1); err != nil {
 				return err
 			}
 		}

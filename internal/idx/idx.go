@@ -1,0 +1,45 @@
+// Package idx holds the checked index-arithmetic guards of the
+// index-width discipline (see docs/ARCHITECTURE.md, "Index-width
+// soundness"). The idx-width analyzer treats the results of these
+// helpers as certified: Must32 yields a dim-scale value, Mul and Add
+// yield values proven to fit int64. Use them exactly where a narrowing
+// or a wide product is intentional and the surrounding code has no
+// cheaper structural proof.
+package idx
+
+import "math"
+
+// The index-width discipline treats Go's int as 64 bits wide; this
+// divides by zero at compile time on any platform where it is not.
+const _ = uint64(1) / uint64((^uint(0))>>63)
+
+// Must32 narrows v to int32, panicking if the value does not fit. The
+// idx-width analyzer accepts the result anywhere a dim/fid-scale value
+// is required.
+func Must32(v int64) int32 {
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		panic("idx: value out of int32 range")
+	}
+	return int32(v)
+}
+
+// Mul multiplies two int64 values, panicking on overflow. The idx-width
+// analyzer accepts the result as fitting int64 regardless of the
+// operands' scale classes.
+func Mul(a, b int64) int64 {
+	r := a * b
+	if a != 0 && (r/a != b || (a == -1 && b == math.MinInt64)) {
+		panic("idx: int64 multiply overflow")
+	}
+	return r
+}
+
+// Add adds two int64 values, panicking on overflow, with the same
+// certified-result treatment as Mul.
+func Add(a, b int64) int64 {
+	r := a + b
+	if (b > 0 && r < a) || (b < 0 && r > a) {
+		panic("idx: int64 add overflow")
+	}
+	return r
+}

@@ -1,0 +1,53 @@
+package idx
+
+import (
+	"math"
+	"testing"
+)
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestMust32(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, math.MaxInt32, math.MinInt32} {
+		if got := Must32(v); int64(got) != v {
+			t.Fatalf("Must32(%d) = %d", v, got)
+		}
+	}
+	mustPanic(t, "Must32 high", func() { Must32(math.MaxInt32 + 1) })
+	mustPanic(t, "Must32 low", func() { Must32(math.MinInt32 - 1) })
+}
+
+func TestMul(t *testing.T) {
+	cases := [][3]int64{
+		{0, math.MaxInt64, 0},
+		{1 << 40, 1 << 20, 1 << 60},
+		{-(1 << 40), 1 << 20, -(1 << 60)},
+		{math.MinInt64, 1, math.MinInt64},
+	}
+	for _, c := range cases {
+		if got := Mul(c[0], c[1]); got != c[2] {
+			t.Fatalf("Mul(%d, %d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+	mustPanic(t, "Mul overflow", func() { Mul(1<<32, 1<<32) })
+	mustPanic(t, "Mul negative overflow", func() { Mul(math.MinInt64, -1) })
+}
+
+func TestAdd(t *testing.T) {
+	if got := Add(math.MaxInt64-1, 1); got != math.MaxInt64 {
+		t.Fatalf("Add = %d", got)
+	}
+	if got := Add(math.MinInt64+1, -1); got != math.MinInt64 {
+		t.Fatalf("Add = %d", got)
+	}
+	mustPanic(t, "Add overflow", func() { Add(math.MaxInt64, 1) })
+	mustPanic(t, "Add underflow", func() { Add(math.MinInt64, -1) })
+}

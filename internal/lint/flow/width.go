@@ -1,0 +1,731 @@
+// width.go implements the idx-width half of the flow package: an
+// interprocedural scale-class analysis over integer magnitudes. Every
+// integer expression is assigned a *width bound* — a promise |v| < 2^b —
+// seeded from //idx: annotations on exported boundaries (CSF level
+// arrays, serialization counts, partition offsets), from len() of
+// annotated containers, and from loop bounds, then propagated through
+// arithmetic, conversions and module-local calls via memoized
+// per-function summaries. Three violation classes are reported:
+//
+//	narrowing   T(x) where the declared width of T cannot hold x's bound
+//	under-width a sum/product/shift whose result bound exceeds the width
+//	            of the type it is evaluated at (including results that
+//	            cannot fit int64 at all)
+//	unguarded   arithmetic at ≤32-bit width reaching slice-index or
+//	            slice-bound position without a provable bound
+//
+// Like the write-disjoint analysis, unknown operands err toward silence:
+// a bound only ever originates from an annotation, a loop bound, or a
+// machine invariant (a value loaded from an int32 cannot exceed 2^31),
+// so every finding traces back to a declared fact.
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// wb is a width bound. The zero value is bottom (join identity, "no
+// contribution yet"); wbTop is "no information" and absorbs every join;
+// everything else encodes the bound b as b+1, with b = boundOver meaning
+// "provably does not fit int64".
+type wb uint8
+
+const (
+	wbTop     wb = 0xFF
+	boundOver    = 64
+)
+
+// wbound constructs the bound |v| < 2^b, saturating at boundOver.
+func wbound(b int) wb {
+	if b > boundOver {
+		b = boundOver
+	}
+	if b < 0 {
+		b = 0
+	}
+	return wb(b + 1)
+}
+
+func (w wb) known() bool { return w != 0 && w != wbTop }
+
+// bits returns the bound's exponent; only meaningful when known.
+func (w wb) bits() int { return int(w) - 1 }
+
+func (w wb) join(o wb) wb {
+	if w == 0 {
+		return o
+	}
+	if o == 0 {
+		return w
+	}
+	if w == wbTop || o == wbTop {
+		return wbTop
+	}
+	if w > o {
+		return w
+	}
+	return o
+}
+
+// use resolves a bound at a consumption point: bottom means nothing was
+// ever learned, which the consumer must treat as unknown.
+func (w wb) use() wb {
+	if w == 0 {
+		return wbTop
+	}
+	return w
+}
+
+// addW bounds x+y: 2^a-1 + 2^b-1 < 2^(max(a,b)+1).
+func addW(x, y wb) wb {
+	if !x.known() || !y.known() {
+		return wbTop
+	}
+	m := x.bits()
+	if y.bits() > m {
+		m = y.bits()
+	}
+	return wbound(m + 1)
+}
+
+// maxW bounds x-y (and min/max): the magnitude never exceeds the larger
+// operand's bound.
+func maxW(x, y wb) wb {
+	if !x.known() || !y.known() {
+		return wbTop
+	}
+	if x > y {
+		return x
+	}
+	return y
+}
+
+// minW bounds x&y and x%y: for the non-negative counts this analysis
+// models, the result is bounded by either operand, so one known operand
+// suffices.
+func minW(x, y wb) wb {
+	switch {
+	case !x.known():
+		return y
+	case !y.known():
+		return x
+	case x < y:
+		return x
+	default:
+		return y
+	}
+}
+
+// mulW bounds x*y: 2^a * 2^b = 2^(a+b).
+func mulW(x, y wb) wb {
+	if !x.known() || !y.known() {
+		return wbTop
+	}
+	return wbound(x.bits() + y.bits())
+}
+
+func shlW(x wb, k int) wb {
+	if !x.known() {
+		return wbTop
+	}
+	return wbound(x.bits() + k)
+}
+
+func shrW(x wb, k int) wb {
+	if !x.known() {
+		return wbTop
+	}
+	return wbound(x.bits() - k)
+}
+
+// dimClassBound is the dim/fid class bound: values at or under it are
+// int32-guaranteed by construction (tensor.New rejects larger dims), so
+// narrowing them further is a deliberate pack, not an overflow hazard.
+const dimClassBound = 31
+
+// The named scale classes of the //idx: annotation vocabulary, each a
+// width bound calibrated to the repo's construction-time invariants.
+var idxClasses = []struct {
+	name  string
+	bound int
+	doc   string
+}{
+	{"rank", 6, "factor-matrix rank, R <= 64"},
+	{"dim", dimClassBound, "mode sizes and row indexes: int32-bounded by construction (tensor.New rejects larger dims)"},
+	{"fid", dimClassBound, "fiber-id payloads; alias of dim"},
+	{"nnz", 40, "nonzero and fiber counts, bounded by the csf serialization maxCount = 1<<40"},
+	{"bytes", 46, "byte footprints: nnz-scale counts times element size"},
+}
+
+// classWidth resolves a class name to its bound.
+func classWidth(name string) (wb, bool) {
+	for _, c := range idxClasses {
+		if c.name == name {
+			return wbound(c.bound), true
+		}
+	}
+	return 0, false
+}
+
+// ValidIdxClass reports whether name is a declared //idx: scale class.
+func ValidIdxClass(name string) bool {
+	_, ok := classWidth(name)
+	return ok
+}
+
+// IdxClassNames lists the valid //idx: scale classes in lattice order.
+func IdxClassNames() []string {
+	out := make([]string, 0, len(idxClasses))
+	for _, c := range idxClasses {
+		out = append(out, c.name)
+	}
+	return out
+}
+
+// IdxFacetKeys lists the valid //idx: facet keys.
+func IdxFacetKeys() []string { return []string{"val", "len", "elem"} }
+
+// widthLabel renders a bound for diagnostics, naming the smallest scale
+// class that covers it.
+func widthLabel(w wb) string {
+	if !w.known() {
+		return "unknown-width"
+	}
+	b := w.bits()
+	if b >= boundOver {
+		return "beyond-int64 (bound >= 2^64)"
+	}
+	for _, c := range idxClasses {
+		if c.name == "fid" {
+			continue
+		}
+		if b <= c.bound {
+			return fmt.Sprintf("%s-scale (bound 2^%d)", c.name, b)
+		}
+	}
+	return fmt.Sprintf("bound 2^%d", b)
+}
+
+// maxLenDepth caps how many container nesting levels a facet tracks;
+// deeper levels are simply unknown.
+const maxLenDepth = 4
+
+// wfacet is the abstract value of the width analysis: the bound of the
+// value itself plus, for containers, per-nesting-level len() bounds and
+// the bound of the innermost integer element. deps names parameters of
+// the summarized function whose bound joins into val at the call site.
+// The zero facet is bottom everywhere (join identity).
+type wfacet struct {
+	val  wb
+	deps paramMask
+	lens [maxLenDepth]wb
+	elem wb
+}
+
+// wtop is the no-information facet used for unseeded locals and opaque
+// results.
+func wtop() wfacet {
+	return wfacet{val: wbTop, lens: [maxLenDepth]wb{wbTop, wbTop, wbTop, wbTop}, elem: wbTop}
+}
+
+func (f wfacet) join(o wfacet) wfacet {
+	out := wfacet{val: f.val.join(o.val), deps: f.deps | o.deps, elem: f.elem.join(o.elem)}
+	for i := range out.lens {
+		out.lens[i] = f.lens[i].join(o.lens[i])
+	}
+	return out
+}
+
+// elemStep is the facet of one indexing (or range-value) step into a
+// container: len bounds shift up one level, and for integer elements the
+// element bound becomes the value bound.
+func (f wfacet) elemStep(elemIsInt bool) wfacet {
+	var out wfacet
+	for i := 0; i+1 < maxLenDepth; i++ {
+		out.lens[i] = f.lens[i+1]
+	}
+	out.lens[maxLenDepth-1] = wbTop
+	out.elem = f.elem
+	if elemIsInt {
+		out.val = f.elem.use()
+	} else {
+		out.val = wbTop
+	}
+	return out
+}
+
+// IdxDirectiveBody reports whether a comment is an //idx: directive and
+// returns its trimmed body.
+func IdxDirectiveBody(text string) (string, bool) {
+	body, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "idx:")
+	if !ok || (body != "" && body[0] != ' ' && body[0] != '\t') {
+		return "", false
+	}
+	return strings.TrimSpace(body), true
+}
+
+// parseIdxFacets parses the facet tokens of a directive body:
+//
+//	<class>            value bound (shorthand for val=<class>)
+//	val=<class>        value bound
+//	elem=<class>       innermost integer element bound of a container
+//	len=<c1>[,<c2>..]  per-nesting-level len() bounds, outermost first
+//
+// A token starting with "//" ends the facet list; the rest of the line is
+// free-form trailing comment. Unknown classes and keys are skipped here —
+// stale-allow owns spelling diagnostics — so a misspelled facet degrades
+// to "no information", never to a wrong bound.
+func parseIdxFacets(toks []string) (wfacet, bool) {
+	var f wfacet
+	any := false
+	for _, t := range toks {
+		if strings.HasPrefix(t, "//") {
+			break
+		}
+		k, v, hasEq := strings.Cut(t, "=")
+		if !hasEq {
+			k, v = "val", t
+		}
+		switch k {
+		case "val":
+			if b, ok := classWidth(v); ok {
+				f.val = f.val.join(b)
+				any = true
+			}
+		case "elem":
+			if b, ok := classWidth(v); ok {
+				f.elem = f.elem.join(b)
+				any = true
+			}
+		case "len":
+			for i, p := range strings.Split(v, ",") {
+				if i >= maxLenDepth {
+					break
+				}
+				if b, ok := classWidth(p); ok {
+					f.lens[i] = f.lens[i].join(b)
+					any = true
+				}
+			}
+		}
+	}
+	return f, any
+}
+
+// WidthConfig parameterizes a WidthProgram.
+type WidthConfig struct {
+	// GuardPath is the import path of the checked-narrowing helpers
+	// (idx.Must32 etc.) whose results carry certified bounds. Empty
+	// selects the module's own idx package.
+	GuardPath string
+	// MaxCallDepth bounds interprocedural summary chains; 0 selects
+	// DefaultMaxCallDepth.
+	MaxCallDepth int
+}
+
+const defaultGuardPath = "stef/internal/idx"
+
+// idxDir is one //idx: comment seen in a package, with whether the
+// annotation binder attached it to a declaration.
+type idxDir struct {
+	pos   token.Pos
+	bound bool
+}
+
+// WidthProgram holds the cross-package annotation index and memoized
+// width summaries for one analysis run.
+type WidthProgram struct {
+	fset *token.FileSet
+	cfg  WidthConfig
+	pkgs []*Package
+
+	decls      map[*types.Func]*funcSource
+	sums       map[*types.Func]*wsummary
+	inProgress map[*types.Func]bool
+	annos      map[types.Object]wfacet
+	retAnnos   map[*types.Func]wfacet
+	dirs       map[*Package][]idxDir
+}
+
+// NewWidthProgram indexes the given typechecked packages and their //idx:
+// annotations. Packages that failed to typecheck must be omitted.
+func NewWidthProgram(fset *token.FileSet, pkgs []*Package, cfg WidthConfig) *WidthProgram {
+	if cfg.GuardPath == "" {
+		cfg.GuardPath = defaultGuardPath
+	}
+	if cfg.MaxCallDepth <= 0 {
+		cfg.MaxCallDepth = DefaultMaxCallDepth
+	}
+	p := &WidthProgram{
+		fset:       fset,
+		cfg:        cfg,
+		pkgs:       pkgs,
+		decls:      make(map[*types.Func]*funcSource),
+		sums:       make(map[*types.Func]*wsummary),
+		inProgress: make(map[*types.Func]bool),
+		annos:      make(map[types.Object]wfacet),
+		retAnnos:   make(map[*types.Func]wfacet),
+		dirs:       make(map[*Package][]idxDir),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					p.decls[fn] = &funcSource{decl: fd, pkg: pkg}
+				}
+			}
+		}
+	}
+	p.collectAnnos()
+	return p
+}
+
+// collectAnnos walks every declaration, binding //idx: directives on
+// struct fields, package-level and local var/const specs, and function
+// doc comments to the corresponding types.Objects. Every //idx: comment
+// position is recorded so unbound directives can be reported.
+func (p *WidthProgram) collectAnnos() {
+	for _, pkg := range p.pkgs {
+		consumed := make(map[token.Pos]bool)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					p.bindFuncDirectives(pkg, n, consumed)
+				case *ast.StructType:
+					for _, fld := range n.Fields.List {
+						p.bindSpecDirectives(pkg, fld.Names, []*ast.CommentGroup{fld.Doc, fld.Comment}, consumed)
+					}
+				case *ast.GenDecl:
+					for _, spec := range n.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						groups := []*ast.CommentGroup{vs.Doc, vs.Comment}
+						if len(n.Specs) == 1 {
+							groups = append(groups, n.Doc)
+						}
+						p.bindSpecDirectives(pkg, vs.Names, groups, consumed)
+					}
+				}
+				return true
+			})
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if _, ok := IdxDirectiveBody(c.Text); ok {
+						p.dirs[pkg] = append(p.dirs[pkg], idxDir{pos: c.Slash, bound: consumed[c.Slash]})
+					}
+				}
+			}
+		}
+		// The comment walk above runs after binding per file, but
+		// consumed is per package: refresh the bound flags.
+		for i, d := range p.dirs[pkg] {
+			if consumed[d.pos] {
+				p.dirs[pkg][i].bound = true
+			}
+		}
+	}
+}
+
+// bindSpecDirectives binds facet directives in the given comment groups
+// to each named object of a field or value spec.
+func (p *WidthProgram) bindSpecDirectives(pkg *Package, names []*ast.Ident, groups []*ast.CommentGroup, consumed map[token.Pos]bool) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			body, ok := IdxDirectiveBody(c.Text)
+			if !ok {
+				continue
+			}
+			// A directive none of whose facets parse binds nothing and
+			// stays unconsumed, so it is reported as unbound instead of
+			// silently attaching an empty facet.
+			f, any := parseIdxFacets(strings.Fields(body))
+			if !any {
+				continue
+			}
+			bound := false
+			for _, name := range names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					p.annos[obj] = p.annos[obj].join(f)
+					bound = true
+				}
+			}
+			if bound {
+				consumed[c.Slash] = true
+			}
+		}
+	}
+}
+
+// bindFuncDirectives binds `//idx: <param> <facets>` and
+// `//idx: return <facets>` lines in a function's doc comment.
+func (p *WidthProgram) bindFuncDirectives(pkg *Package, fd *ast.FuncDecl, consumed map[token.Pos]bool) {
+	if fd.Doc == nil {
+		return
+	}
+	params := make(map[string]types.Object)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					params[name.Name] = obj
+				}
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+	for _, c := range fd.Doc.List {
+		body, ok := IdxDirectiveBody(c.Text)
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(body)
+		if len(fields) < 2 {
+			continue
+		}
+		f, any := parseIdxFacets(fields[1:])
+		if fields[0] == "return" {
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok && any {
+				p.retAnnos[fn] = p.retAnnos[fn].join(f)
+				consumed[c.Slash] = true
+			}
+			continue
+		}
+		if obj, ok := params[fields[0]]; ok {
+			p.annos[obj] = p.annos[obj].join(f)
+			consumed[c.Slash] = true
+		}
+	}
+}
+
+// wsummary is the width-analysis result for one module-local function.
+type wsummary struct {
+	ret       []wfacet
+	truncated bool
+}
+
+func opaqueWSummary(fn *types.Func) *wsummary {
+	sig, _ := fn.Type().(*types.Signature)
+	n := 0
+	if sig != nil {
+		n = sig.Results().Len()
+	}
+	s := &wsummary{truncated: true}
+	for i := 0; i < n; i++ {
+		s.ret = append(s.ret, wtop())
+	}
+	return s
+}
+
+// wsummarize computes (and memoizes, when complete) the width summary of
+// a module-local function: the facets of its results, expressed over its
+// own annotated seeds plus pass-through parameter dependencies.
+func (p *WidthProgram) wsummarize(fn *types.Func, depth int) *wsummary {
+	if s, ok := p.sums[fn]; ok {
+		return s
+	}
+	src := p.decls[fn]
+	if src == nil {
+		// No source: opaque at any depth; memoize so repeated interface
+		// or external calls don't mark every caller truncated.
+		s := opaqueWSummary(fn)
+		s.truncated = false
+		p.sums[fn] = s
+		return s
+	}
+	if depth > p.cfg.MaxCallDepth || p.inProgress[fn] {
+		return opaqueWSummary(fn)
+	}
+	p.inProgress[fn] = true
+	defer delete(p.inProgress, fn)
+
+	a := &widthAnalysis{
+		prog:        p,
+		pkg:         src.pkg,
+		info:        src.pkg.Info,
+		owner:       src.decl,
+		summaryMode: true,
+		depth:       depth,
+	}
+	a.init()
+	i := 0
+	seed := func(name *ast.Ident) {
+		obj := a.info.Defs[name]
+		if obj != nil {
+			f := wfacet{deps: pbit(i)}
+			if anno, ok := p.annos[obj]; ok {
+				f = f.join(anno)
+			}
+			a.env[obj] = f
+		}
+		i++
+	}
+	if src.decl.Recv != nil {
+		for _, field := range src.decl.Recv.List {
+			for _, name := range field.Names {
+				seed(name)
+			}
+		}
+		i = 1
+	}
+	for _, field := range src.decl.Type.Params.List {
+		for _, name := range field.Names {
+			seed(name)
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	a.fixpoint(src.decl.Body)
+
+	s := &wsummary{ret: a.retVals, truncated: a.sawOpaque}
+	if anno, ok := p.retAnnos[fn]; ok {
+		for len(s.ret) == 0 {
+			s.ret = append(s.ret, wfacet{})
+		}
+		s.ret[0] = s.ret[0].join(anno)
+	}
+	if !s.truncated {
+		p.sums[fn] = s
+	}
+	return s
+}
+
+// CheckPackage runs the width checks over every function declared in the
+// package with the given import path, plus the package's unbound //idx:
+// directives, returning findings ordered by position.
+func (p *WidthProgram) CheckPackage(pkgPath string) []Finding {
+	pkg := p.pkg(pkgPath)
+	if pkg == nil {
+		return nil
+	}
+	var out []Finding
+	for _, d := range p.dirs[pkg] {
+		if !d.bound {
+			out = append(out, Finding{Pos: d.pos, Message: "//idx: directive binds nothing: it is not attached to a struct field, var/const spec, or a doc-comment parameter of the function it documents, or no facet of it parses"})
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, p.checkFunc(pkg, fd, nil)...)
+		}
+	}
+	seen := make(map[string]bool)
+	uniq := out[:0]
+	for _, f := range out {
+		key := fmt.Sprintf("%d:%s", f.Pos, f.Message)
+		if !seen[key] {
+			seen[key] = true
+			uniq = append(uniq, f)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i].Pos < uniq[j].Pos })
+	return uniq
+}
+
+// Dump runs the width analysis over the named function ("Name" or
+// "Recv.Name") and reports the inferred facet of each assignment target,
+// index expression and conversion — the debugging view behind
+// `stef-verify -idx`.
+func (p *WidthProgram) Dump(pkgPath, name string) ([]Finding, error) {
+	pkg := p.pkg(pkgPath)
+	if pkg == nil {
+		return nil, fmt.Errorf("flow: package %s not loaded", pkgPath)
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || declName(fd) != name && fd.Name.Name != name {
+				continue
+			}
+			var obs []Finding
+			p.checkFunc(pkg, fd, func(pos token.Pos, what string, f wfacet) {
+				obs = append(obs, Finding{Pos: pos, Message: fmt.Sprintf("%-11s %s", what, widthLabel(f.val))})
+			})
+			sort.SliceStable(obs, func(i, j int) bool { return obs[i].Pos < obs[j].Pos })
+			return obs, nil
+		}
+	}
+	return nil, fmt.Errorf("flow: function %s not found in %s", name, pkgPath)
+}
+
+// declName renders a FuncDecl as Name or RecvType.Name.
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+func (p *WidthProgram) pkg(pkgPath string) *Package {
+	for _, cand := range p.pkgs {
+		if cand.Path == pkgPath {
+			return cand
+		}
+	}
+	return nil
+}
+
+// checkFunc analyzes one function declaration in entry mode: parameters
+// seeded only from annotations, fixpoint, then a checking pass.
+func (p *WidthProgram) checkFunc(pkg *Package, fd *ast.FuncDecl, observe func(token.Pos, string, wfacet)) []Finding {
+	a := &widthAnalysis{
+		prog:    p,
+		pkg:     pkg,
+		info:    pkg.Info,
+		owner:   fd,
+		observe: observe,
+	}
+	a.init()
+	seed := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				obj := a.info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if anno, ok := p.annos[obj]; ok {
+					a.env[obj] = anno
+				}
+			}
+		}
+	}
+	seed(fd.Recv)
+	seed(fd.Type.Params)
+	a.fixpoint(fd.Body)
+	a.checking = true
+	a.block(fd.Body)
+	return a.findings
+}

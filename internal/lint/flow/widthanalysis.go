@@ -1,0 +1,554 @@
+// widthanalysis.go holds the per-function abstract interpreter of the
+// idx-width analysis (see width.go): a statement walker run to fixpoint
+// over an environment of width facets, then once more with checking set
+// to report the violation classes.
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math/bits"
+)
+
+// widthAnalysis interprets one function. summaryMode computes result
+// facets for callers (no findings); entry mode checks the body.
+type widthAnalysis struct {
+	prog  *WidthProgram
+	pkg   *Package
+	info  *types.Info
+	owner ast.Node
+
+	summaryMode bool
+	checking    bool
+	depth       int
+	iter        int
+
+	env map[types.Object]wfacet
+	// condCap clamps loop counters to their loop-condition bound, so
+	// `for i := 0; i < n; i++` keeps i at n's class instead of climbing
+	// one bound per fixpoint pass.
+	condCap map[types.Object]wb
+	walked  map[*ast.FuncLit]bool
+
+	changed   bool
+	sawOpaque bool
+	retVals   []wfacet
+	findings  []Finding
+	observe   func(token.Pos, string, wfacet)
+}
+
+func (a *widthAnalysis) init() {
+	a.env = make(map[types.Object]wfacet)
+	a.condCap = make(map[types.Object]wb)
+}
+
+// widenAfter is the fixpoint iteration past which still-changing facet
+// components are widened straight to unknown: unbounded counters (i++
+// with no usable loop condition) stabilize at "no information" instead
+// of climbing one bound per pass into a false finding.
+// widthFixpointIters then only needs headroom for the widened values to
+// propagate, keeping the per-function cost bounded — idx-width walks
+// every function of the module, not just the parallel entries.
+const (
+	widenAfter         = 8
+	widthFixpointIters = 16
+)
+
+func (a *widthAnalysis) setEnv(obj types.Object, f wfacet) {
+	old, ok := a.env[obj]
+	nf := old.join(f)
+	// A *stored* beyond-int64 bound is a fixpoint-climb artifact: counters
+	// saturate at boundOver and then stop changing, which would dodge the
+	// iteration-count widening below. Genuine beyond-int64 results are
+	// reported at the expression that produces them, so the environment
+	// only ever needs "unknown" here.
+	if nf.val.known() && nf.val.bits() >= boundOver {
+		nf.val = wbTop
+	}
+	if nf.elem.known() && nf.elem.bits() >= boundOver {
+		nf.elem = wbTop
+	}
+	if a.iter >= widenAfter {
+		if nf.val != old.val {
+			nf.val = wbTop
+		}
+		if nf.elem != old.elem {
+			nf.elem = wbTop
+		}
+		for i := range nf.lens {
+			if nf.lens[i] != old.lens[i] {
+				nf.lens[i] = wbTop
+			}
+		}
+	}
+	if !ok || nf != old {
+		a.env[obj] = nf
+		a.changed = true
+	}
+}
+
+func (a *widthAnalysis) fixpoint(body *ast.BlockStmt) {
+	for a.iter = 0; a.iter < widthFixpointIters; a.iter++ {
+		a.changed = false
+		a.walked = make(map[*ast.FuncLit]bool)
+		a.block(body)
+		if !a.changed {
+			break
+		}
+	}
+	a.walked = make(map[*ast.FuncLit]bool)
+}
+
+func (a *widthAnalysis) block(b *ast.BlockStmt) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.List {
+		a.stmt(s)
+	}
+}
+
+func (a *widthAnalysis) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		a.assignStmt(s)
+	case *ast.IncDecStmt:
+		a.incDec(s)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				obj := a.info.Defs[name]
+				var f wfacet
+				if i < len(vs.Values) {
+					f = a.weval(vs.Values[i])
+				} else {
+					f = wtop()
+					f.val = wbound(0) // zero value
+				}
+				if anno, ok := a.prog.annos[obj]; ok {
+					f = f.join(anno)
+				}
+				if obj != nil && name.Name != "_" {
+					a.setEnv(obj, f)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		a.weval(s.X)
+	case *ast.SendStmt:
+		a.weval(s.Chan)
+		a.weval(s.Value)
+	case *ast.GoStmt:
+		a.weval(s.Call)
+	case *ast.DeferStmt:
+		a.weval(s.Call)
+	case *ast.ReturnStmt:
+		vals := make([]wfacet, len(s.Results))
+		for i, r := range s.Results {
+			vals[i] = a.weval(r)
+		}
+		if len(s.Results) == 1 {
+			if call, ok := ast.Unparen(s.Results[0]).(*ast.CallExpr); ok {
+				if sig, ok := a.exprTypeOf(call.Fun).(*types.Signature); ok && sig.Results().Len() > 1 {
+					vals = a.wevalMulti(call, sig.Results().Len())
+				}
+			}
+		}
+		a.joinRets(vals)
+	case *ast.BlockStmt:
+		a.block(s)
+	case *ast.IfStmt:
+		a.wstmtOpt(s.Init)
+		a.weval(s.Cond)
+		a.block(s.Body)
+		a.wstmtOpt(s.Else)
+	case *ast.ForStmt:
+		a.wstmtOpt(s.Init)
+		if s.Cond != nil {
+			a.seedCond(s.Cond)
+			a.weval(s.Cond)
+		}
+		a.block(s.Body)
+		a.wstmtOpt(s.Post)
+	case *ast.RangeStmt:
+		a.rangeStmt(s)
+	case *ast.SwitchStmt:
+		a.wstmtOpt(s.Init)
+		if s.Tag != nil {
+			a.weval(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				a.weval(e)
+			}
+			for _, st := range cc.Body {
+				a.stmt(st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		a.wstmtOpt(s.Init)
+		switch as := s.Assign.(type) {
+		case *ast.ExprStmt:
+			a.weval(as.X)
+		case *ast.AssignStmt:
+			if len(as.Rhs) == 1 {
+				a.weval(as.Rhs[0])
+			}
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if obj := a.info.Implicits[cc]; obj != nil {
+				a.setEnv(obj, wtop())
+			}
+			for _, st := range cc.Body {
+				a.stmt(st)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			a.wstmtOpt(cc.Comm)
+			for _, st := range cc.Body {
+				a.stmt(st)
+			}
+		}
+	case *ast.LabeledStmt:
+		a.stmt(s.Stmt)
+	}
+}
+
+func (a *widthAnalysis) wstmtOpt(s ast.Stmt) {
+	if s != nil {
+		a.stmt(s)
+	}
+}
+
+// seedCond reads a three-clause (or while-style) loop condition
+// `i < N` / `i <= N` (either operand order) and clamps the counter to
+// the bound's class: the loop invariant i <= N dominates every i++.
+func (a *widthAnalysis) seedCond(cond ast.Expr) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	var idExpr, bndExpr ast.Expr
+	switch be.Op {
+	case token.LSS, token.LEQ:
+		idExpr, bndExpr = be.X, be.Y
+	case token.GTR, token.GEQ:
+		idExpr, bndExpr = be.Y, be.X
+	default:
+		return
+	}
+	id, ok := ast.Unparen(idExpr).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := a.info.Uses[id]
+	if obj == nil {
+		return
+	}
+	nb := a.weval(bndExpr).val
+	if !nb.known() {
+		return
+	}
+	a.condCap[obj] = a.condCap[obj].join(nb)
+	a.setEnv(obj, wfacet{val: nb})
+}
+
+func (a *widthAnalysis) rangeStmt(s *ast.RangeStmt) {
+	cf := a.weval(s.X)
+	xt := a.exprTypeOf(s.X)
+	var keyF, valF wfacet
+	if xt != nil {
+		if basic, ok := xt.Underlying().(*types.Basic); ok && basic.Info()&types.IsInteger != 0 {
+			// range over int: the key is bounded by the operand.
+			keyF = wfacet{val: cf.val}
+		} else {
+			keyF = wfacet{val: cf.lens[0].use()}
+			valF = cf.elemStep(isIntType(rangeElemType(xt)))
+		}
+	}
+	bind := func(e ast.Expr, f wfacet) {
+		if e == nil {
+			return
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			var obj types.Object
+			if s.Tok == token.DEFINE {
+				obj = a.info.Defs[id]
+			} else {
+				obj = a.info.Uses[id]
+			}
+			if obj != nil && id.Name != "_" {
+				a.setEnv(obj, f)
+			}
+			return
+		}
+		a.weval(e)
+	}
+	bind(s.Key, keyF)
+	bind(s.Value, valF)
+	a.block(s.Body)
+}
+
+// rangeElemType is the element type yielded by ranging over t, or nil.
+func rangeElemType(t types.Type) types.Type {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return u.Elem()
+	case *types.Array:
+		return u.Elem()
+	case *types.Pointer:
+		if arr, ok := u.Elem().Underlying().(*types.Array); ok {
+			return arr.Elem()
+		}
+	case *types.Map:
+		return u.Elem()
+	case *types.Basic: // string
+		return types.Typ[types.Byte]
+	}
+	return nil
+}
+
+func isIntType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+func (a *widthAnalysis) incDec(s *ast.IncDecStmt) {
+	id, ok := ast.Unparen(s.X).(*ast.Ident)
+	if !ok {
+		a.weval(s.X)
+		return
+	}
+	obj := a.info.Uses[id]
+	if obj == nil {
+		return
+	}
+	cur := a.env[obj]
+	nv := addW(cur.val, wbound(1))
+	if cc, ok := a.condCap[obj]; ok {
+		nv = cc
+	}
+	a.setEnv(obj, wfacet{val: nv})
+}
+
+func (a *widthAnalysis) assignStmt(s *ast.AssignStmt) {
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		// Compound assignment x op= y: update the counter like the
+		// binary op would, clamped by a loop condition when one exists.
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return
+		}
+		rf := a.weval(s.Rhs[0])
+		id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+		if !ok {
+			a.weval(s.Lhs[0])
+			return
+		}
+		obj := a.info.Uses[id]
+		if obj == nil {
+			return
+		}
+		cur := a.env[obj]
+		var nv wb
+		switch s.Tok {
+		case token.ADD_ASSIGN:
+			nv = addW(cur.val, rf.val)
+		case token.SUB_ASSIGN:
+			nv = maxW(cur.val, rf.val)
+		case token.MUL_ASSIGN:
+			nv = mulW(cur.val, rf.val)
+		case token.REM_ASSIGN, token.AND_ASSIGN:
+			nv = minW(cur.val, rf.val)
+		case token.QUO_ASSIGN, token.SHR_ASSIGN:
+			nv = cur.val
+		default:
+			nv = wbTop
+		}
+		if cc, ok := a.condCap[obj]; ok {
+			nv = cc
+		}
+		a.setEnv(obj, wfacet{val: nv})
+		return
+	}
+	var vals []wfacet
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		vals = a.wevalMultiExpr(s.Rhs[0], len(s.Lhs))
+	} else {
+		vals = make([]wfacet, len(s.Rhs))
+		for i, r := range s.Rhs {
+			vals[i] = a.weval(r)
+		}
+	}
+	for i, lhs := range s.Lhs {
+		var f wfacet
+		if i < len(vals) {
+			f = vals[i]
+		}
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			a.weval(lhs) // index/field store: walk for checks
+			continue
+		}
+		var obj types.Object
+		if s.Tok == token.DEFINE {
+			obj = a.info.Defs[id]
+			if obj == nil { // x, err := with pre-declared x
+				obj = a.info.Uses[id]
+			}
+		} else {
+			obj = a.info.Uses[id]
+		}
+		if obj == nil || id.Name == "_" {
+			continue
+		}
+		if anno, ok := a.prog.annos[obj]; ok {
+			f = f.join(anno)
+		}
+		a.setEnv(obj, f)
+		if a.checking && a.observe != nil {
+			a.observe(id.Pos(), "assign "+id.Name, a.env[obj])
+		}
+	}
+}
+
+// wevalMultiExpr evaluates a 1-to-n assignment RHS.
+func (a *widthAnalysis) wevalMultiExpr(e ast.Expr, want int) []wfacet {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		return a.wevalMulti(call, want)
+	}
+	// v, ok from map/type assertion/channel.
+	a.weval(e)
+	out := make([]wfacet, want)
+	for i := range out {
+		out[i] = wtop()
+	}
+	if want >= 1 {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			out[0] = a.weval(x)
+		}
+	}
+	return out
+}
+
+func (a *widthAnalysis) joinRets(vals []wfacet) {
+	for len(a.retVals) < len(vals) {
+		a.retVals = append(a.retVals, wfacet{})
+	}
+	for i, v := range vals {
+		v.deps = v.deps & summaryDepsMask(a.summaryMode)
+		nv := a.retVals[i].join(v)
+		if nv != a.retVals[i] {
+			a.retVals[i] = nv
+			a.changed = true
+		}
+	}
+}
+
+// summaryDepsMask drops parameter dependencies outside summary mode,
+// where they have no meaning.
+func summaryDepsMask(summaryMode bool) paramMask {
+	if summaryMode {
+		return ^paramMask(0)
+	}
+	return 0
+}
+
+func (a *widthAnalysis) walkLit(lit *ast.FuncLit) {
+	if a.walked[lit] {
+		return
+	}
+	a.walked[lit] = true
+	a.block(lit.Body)
+}
+
+func (a *widthAnalysis) exprTypeOf(e ast.Expr) types.Type {
+	if tv, ok := a.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// intCapacity returns the width capacity of an integer type: the largest
+// b such that every value of the type satisfies |v| < 2^b... for signed
+// types the magnitude of MinIntN slightly exceeds 2^(N-1); the analysis
+// models non-negative counts, so N-1 is the honest capacity for indexes.
+func intCapacity(t types.Type) (int, bool) {
+	if t == nil {
+		return 0, false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return 0, false
+	}
+	switch basic.Kind() {
+	case types.Int8:
+		return 7, true
+	case types.Int16:
+		return 15, true
+	case types.Int32:
+		return 31, true
+	case types.Int64, types.Int:
+		return 63, true
+	case types.Uint8:
+		return 8, true
+	case types.Uint16:
+		return 16, true
+	case types.Uint32:
+		return 32, true
+	case types.Uint64, types.Uint, types.Uintptr:
+		return 64, true
+	}
+	return 0, false // untyped: constant-folded, compiler-checked
+}
+
+func constFacet(v constant.Value) wfacet {
+	if v.Kind() != constant.Int {
+		return wtop()
+	}
+	if i, ok := constant.Int64Val(v); ok {
+		u := uint64(i)
+		if i < 0 {
+			u = uint64(-i)
+		}
+		return wfacet{val: wbound(bits.Len64(u))}
+	}
+	if u, ok := constant.Uint64Val(v); ok {
+		return wfacet{val: wbound(bits.Len64(u))}
+	}
+	return wfacet{val: wbound(boundOver)}
+}
+
+func (a *widthAnalysis) reportf(pos token.Pos, format string, args ...interface{}) {
+	if !a.checking {
+		return
+	}
+	a.findings = append(a.findings, Finding{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,369 @@
+// widtheval.go is the expression evaluator of the idx-width analysis:
+// it computes width facets bottom-up and, in the checking pass, reports
+// the three violation classes at the expressions that produce them.
+package flow
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+func (a *widthAnalysis) weval(e ast.Expr) wfacet {
+	e = ast.Unparen(e)
+	if tv, ok := a.info.Types[e]; ok && tv.Value != nil {
+		// Constant expressions are compiler-checked; fold them.
+		return constFacet(tv.Value)
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := a.info.Uses[e]
+		if obj == nil {
+			obj = a.info.Defs[e]
+		}
+		if obj == nil {
+			return wtop()
+		}
+		if f, ok := a.env[obj]; ok {
+			return f
+		}
+		if f, ok := a.prog.annos[obj]; ok {
+			return f
+		}
+		return wtop()
+	case *ast.SelectorExpr:
+		a.weval(e.X)
+		if sel, ok := a.info.Selections[e]; ok {
+			if f, ok := a.prog.annos[sel.Obj()]; ok {
+				return f
+			}
+			return wtop()
+		}
+		// Qualified identifier pkg.Name.
+		if obj := a.info.Uses[e.Sel]; obj != nil {
+			if f, ok := a.prog.annos[obj]; ok {
+				return f
+			}
+		}
+		return wtop()
+	case *ast.BinaryExpr:
+		return a.binary(e)
+	case *ast.UnaryExpr:
+		x := a.weval(e.X)
+		switch e.Op {
+		case token.SUB, token.ADD:
+			return wfacet{val: x.val}
+		}
+		return wtop()
+	case *ast.StarExpr:
+		return a.weval(e.X)
+	case *ast.CallExpr:
+		vs := a.wevalMulti(e, 1)
+		return vs[0]
+	case *ast.IndexExpr:
+		if tv, ok := a.info.Types[e.Index]; ok && tv.IsType() {
+			// Generic instantiation, not an index.
+			a.weval(e.X)
+			return wtop()
+		}
+		x := a.weval(e.X)
+		idxF := a.weval(e.Index)
+		a.checkIndexArith(e.Index, idxF)
+		if isIntType(a.exprTypeOf(e)) {
+			return wfacet{val: x.elem.use()}
+		}
+		return x.elemStep(false)
+	case *ast.IndexListExpr:
+		a.weval(e.X)
+		return wtop()
+	case *ast.SliceExpr:
+		x := a.weval(e.X)
+		for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
+			if b != nil {
+				a.checkIndexArith(b, a.weval(b))
+			}
+		}
+		// Slicing can only shrink a window, so the len bounds survive.
+		x.val = 0
+		x.deps = 0
+		return x
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			a.weval(elt)
+		}
+		return wtop()
+	case *ast.KeyValueExpr:
+		a.weval(e.Key)
+		a.weval(e.Value)
+		return wtop()
+	case *ast.FuncLit:
+		a.walkLit(e)
+		return wtop()
+	case *ast.TypeAssertExpr:
+		a.weval(e.X)
+		return wtop()
+	}
+	return wtop()
+}
+
+// binary evaluates a binary expression and applies the under-width check
+// (violation class 2) to sums, products and shifts.
+func (a *widthAnalysis) binary(e *ast.BinaryExpr) wfacet {
+	x := a.weval(e.X)
+	y := a.weval(e.Y)
+	var r wb
+	op := ""
+	switch e.Op {
+	case token.ADD:
+		r, op = addW(x.val, y.val), "sum"
+	case token.SUB:
+		r = maxW(x.val, y.val)
+	case token.MUL:
+		r, op = mulW(x.val, y.val), "product"
+	case token.SHL:
+		op = "shift"
+		r = wbTop
+		if tv, ok := a.info.Types[e.Y]; ok && tv.Value != nil {
+			if k, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact && k >= 0 && k <= 64 {
+				r = shlW(x.val, int(k))
+			}
+		}
+	case token.SHR:
+		r = x.val
+	case token.QUO:
+		r = x.val
+	case token.REM, token.AND:
+		r = minW(x.val, y.val)
+	case token.OR, token.XOR, token.AND_NOT:
+		r = maxW(x.val, y.val)
+	default:
+		return wfacet{val: wbTop}
+	}
+	if a.checking && op != "" && r.known() {
+		if tc, ok := intCapacity(a.exprTypeOf(e)); ok && r.bits() > tc {
+			if r.bits() >= boundOver {
+				a.reportf(e.Pos(), "under-width %s of %s and %s operands: result cannot fit int64; restructure or guard with idx.Mul", op, widthLabel(x.val), widthLabel(y.val))
+			} else {
+				a.reportf(e.Pos(), "under-width %s of %s and %s operands: result (bound 2^%d) cannot fit %s", op, widthLabel(x.val), widthLabel(y.val), r.bits(), a.typeString(e))
+			}
+		}
+	}
+	return wfacet{val: r}
+}
+
+// checkIndexArith is violation class 3: arithmetic performed at <=32-bit
+// width reaching slice-index or slice-bound position without a provable
+// bound. Index arithmetic must either be evaluated at 64-bit width or
+// pass through a checked guard (idx.Must32). f is the index expression's
+// already-computed facet.
+func (a *widthAnalysis) checkIndexArith(e ast.Expr, f wfacet) {
+	if !a.checking {
+		return
+	}
+	if a.observe != nil {
+		a.observe(e.Pos(), "index", f)
+	}
+	e = ast.Unparen(e)
+	be, ok := e.(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	switch be.Op {
+	case token.ADD, token.SUB, token.MUL, token.SHL:
+	default:
+		return
+	}
+	if tv, ok := a.info.Types[e]; ok && tv.Value != nil {
+		return // constant-folded
+	}
+	tc, ok := intCapacity(a.exprTypeOf(e))
+	if !ok || tc > 32 {
+		return
+	}
+	if f.val.known() {
+		return // in range, or already reported as under-width
+	}
+	a.reportf(e.Pos(), "32-bit index arithmetic not provably in range; compute the index at 64-bit width or guard with idx.Must32")
+}
+
+// wevalMulti evaluates a call (or conversion) yielding want results.
+func (a *widthAnalysis) wevalMulti(call *ast.CallExpr, want int) []wfacet {
+	pad := func(vs []wfacet) []wfacet {
+		for len(vs) < want {
+			vs = append(vs, wtop())
+		}
+		return vs
+	}
+	// Conversion T(x): check narrowing (violation class 1), harvest the
+	// machine invariants of narrow source/target types.
+	if tv, ok := a.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return pad(nil)
+		}
+		return pad([]wfacet{a.convert(call, tv.Type)})
+	}
+
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := a.info.Uses[id].(*types.Builtin); isBuiltin {
+			return pad(a.wevalBuiltin(id.Name, call))
+		}
+	}
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		for _, arg := range call.Args {
+			a.weval(arg)
+		}
+		a.walkLit(lit)
+		return pad(nil)
+	}
+
+	fn := calleeFunc(a.info, call)
+
+	// Checked guards: their results carry certified bounds no matter
+	// what went in.
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == a.prog.cfg.GuardPath {
+		for _, arg := range call.Args {
+			a.weval(arg)
+		}
+		switch fn.Name() {
+		case "Must32":
+			return pad([]wfacet{{val: wbound(31)}})
+		case "Mul", "Add":
+			return pad([]wfacet{{val: wbound(63)}})
+		}
+		return pad(nil)
+	}
+
+	// Evaluate arguments (receiver first for methods).
+	var args []wfacet
+	if sel, ok := fun.(*ast.SelectorExpr); ok && fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			args = append(args, a.weval(sel.X))
+		}
+	}
+	for _, arg := range call.Args {
+		args = append(args, a.weval(arg))
+	}
+
+	if fn == nil || a.prog.decls[fn] == nil {
+		// External, dynamic or stdlib call: opaque results at any depth,
+		// so the enclosing summary stays memoizable.
+		return pad(nil)
+	}
+	s := a.prog.wsummarize(fn, a.depth+1)
+	if s.truncated && a.summaryMode {
+		// Depth-bound or cycle truncation: a shallower caller could see
+		// more, so don't bake this view into a memoized summary.
+		a.sawOpaque = true
+	}
+	out := make([]wfacet, 0, len(s.ret))
+	for _, rv := range s.ret {
+		nv := wfacet{val: rv.val, lens: rv.lens, elem: rv.elem}
+		for p := 0; p < len(args) && p < 32; p++ {
+			if !rv.deps.has(p) {
+				continue
+			}
+			nv.val = nv.val.join(args[p].val)
+			if a.summaryMode {
+				nv.deps |= args[p].deps
+			}
+		}
+		if nv.val == 0 {
+			nv.val = wbTop
+		}
+		out = append(out, nv)
+	}
+	return pad(out)
+}
+
+// convert evaluates a type conversion, reporting narrowing (violation
+// class 1) when the source bound cannot fit the target width.
+func (a *widthAnalysis) convert(call *ast.CallExpr, target types.Type) wfacet {
+	arg := call.Args[0]
+	f := a.weval(arg)
+	tc, tok := intCapacity(target)
+	if !tok {
+		return wtop() // float/string conversion: not tracked
+	}
+	vb := f.val
+	// Machine invariant: a value read out of a <=32-bit source type
+	// cannot exceed that type's width, annotation or not.
+	if sc, ok := intCapacity(a.exprTypeOf(arg)); ok && sc <= 32 {
+		vb = minW(vb, wbound(sc))
+	}
+	if a.checking && a.observe != nil {
+		a.observe(call.Pos(), "convert", wfacet{val: vb})
+	}
+	// Only narrowing of values *wider than the dim class* is a finding:
+	// dims and fids are int32-bounded by construction, so truncating one
+	// to a byte is a deliberate pack (hash mixing, key bytes), while
+	// truncating an nnz- or bytes-scale value loses index bits.
+	if vb.known() && vb.bits() > tc && vb.bits() > dimClassBound {
+		a.reportf(call.Pos(), "narrowing conversion to %s of %s value; use a checked guard (idx.Must32) or keep the value at 64-bit width", a.typeString(call), widthLabel(vb))
+		return wfacet{val: wbound(tc)}
+	}
+	if vb.known() {
+		return wfacet{val: minW(vb, wbound(tc))}
+	}
+	if tc <= 32 {
+		// Unknown in, but the narrow target bounds what comes out.
+		return wfacet{val: wbound(tc)}
+	}
+	return wfacet{val: wbTop}
+}
+
+func (a *widthAnalysis) wevalBuiltin(name string, call *ast.CallExpr) []wfacet {
+	evalArgs := func() []wfacet {
+		out := make([]wfacet, len(call.Args))
+		for i, arg := range call.Args {
+			out[i] = a.weval(arg)
+		}
+		return out
+	}
+	switch name {
+	case "len", "cap":
+		vs := evalArgs()
+		if len(vs) == 1 {
+			return []wfacet{{val: vs[0].lens[0].use()}}
+		}
+	case "make":
+		// make([]T, n): the new container's len is bounded by n.
+		var out wfacet
+		for i, arg := range call.Args[1:] {
+			f := a.weval(arg)
+			if i == 0 {
+				out.lens[0] = f.val
+			}
+		}
+		if out.lens[0] == 0 {
+			out = wtop()
+		}
+		return []wfacet{out}
+	case "append":
+		vs := evalArgs()
+		if len(vs) >= 1 {
+			out := vs[0]
+			out.lens[0] = wbTop // growth unbounded
+			return []wfacet{out}
+		}
+	case "min", "max":
+		vs := evalArgs()
+		var out wfacet
+		for _, v := range vs {
+			out.val = out.val.join(v.val)
+		}
+		out.val = out.val.use()
+		return []wfacet{out}
+	default:
+		evalArgs()
+	}
+	return nil
+}
+
+func (a *widthAnalysis) typeString(e ast.Expr) string {
+	if t := a.exprTypeOf(e); t != nil {
+		return t.String()
+	}
+	return "?"
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"stef/internal/lint/flow"
+)
+
+// idxPkgPath is the import path of the checked-narrowing guard helpers.
+const idxPkgPath = "stef/internal/idx"
+
+// widthCacheKey is the Pass.Cache slot holding the shared
+// flow.WidthProgram.
+const widthCacheKey = "flow.WidthProgram"
+
+// IdxWidth is the index-width / overflow-soundness pass: every integer
+// expression is assigned a scale class (rank / dim / fid / nnz / bytes)
+// inferred from //idx: annotations on exported boundaries, len() of
+// annotated containers, loop bounds and interprocedural summaries, and
+// the analyzer flags narrowing conversions of wide classes, sums and
+// products evaluated at a width that cannot hold the result class, and
+// 32-bit arithmetic reaching slice-index position without a checked
+// guard (idx.Must32). This is the machine-checked discipline that lets
+// 100M+-nnz offset arithmetic (mmap arenas, sharded CSF) land without a
+// new class of silent corruption.
+var IdxWidth = &Analyzer{
+	Name:      "idx-width",
+	Doc:       "prove index/offset arithmetic is evaluated at a width that holds its scale class (interprocedural)",
+	NeedTypes: true,
+	Run:       runIdxWidth,
+}
+
+func runIdxWidth(pass *Pass) {
+	prog := WidthProgramFor(pass)
+	for _, f := range prog.CheckPackage(pass.PkgPath) {
+		pass.Reportf(f.Pos, "%s", f.Message)
+	}
+}
+
+// WidthProgramFor builds (or reuses, via Pass.Cache) the cross-package
+// width program for one Run invocation. Exported for the `stef-verify
+// -idx` debugging mode, which shares the loader and wants the same
+// inference the analyzer applies.
+func WidthProgramFor(pass *Pass) *flow.WidthProgram {
+	if prog, ok := pass.Cache[widthCacheKey].(*flow.WidthProgram); ok {
+		return prog
+	}
+	var fps []*flow.Package
+	for _, pkg := range pass.All {
+		if pkg.Types == nil || pkg.Info == nil {
+			continue
+		}
+		fps = append(fps, &flow.Package{
+			Path:  pkg.Path,
+			Files: pkg.Files,
+			Types: pkg.Types,
+			Info:  pkg.Info,
+		})
+	}
+	prog := flow.NewWidthProgram(pass.Fset, fps, flow.WidthConfig{GuardPath: idxPkgPath})
+	pass.Cache[widthCacheKey] = prog
+	return prog
+}

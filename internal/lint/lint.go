@@ -27,6 +27,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"stef/internal/lint/flow"
 )
 
 // An Analyzer checks one invariant over a single package.
@@ -196,6 +198,16 @@ type gateDirective struct {
 	body string
 }
 
+// idxDirective is an //idx: annotation seen by the lint loader. The flow
+// package owns its semantics; stale-allow checks placement and spelling,
+// which the forgiving //idx: parser would otherwise silently swallow.
+type idxDirective struct {
+	pos    token.Position
+	inTest bool
+	// body is the directive text after "idx:", trimmed.
+	body string
+}
+
 // allowIndex records where escape comments permit findings: individual
 // (file, line) entries and whole-function spans, each backed by a record
 // whose usage is tracked for staleness.
@@ -205,6 +217,7 @@ type allowIndex struct {
 	spans   []allowSpan
 	records []*allowRecord
 	gates   []gateDirective
+	idxs    []idxDirective
 }
 
 type allowSpan struct {
@@ -284,6 +297,10 @@ func (idx *allowIndex) addFiles(files []*ast.File, isTest bool) {
 					idx.gates = append(idx.gates, gateDirective{pos: fset.Position(c.Slash), inTest: isTest, body: body})
 					continue
 				}
+				if body, ok := flow.IdxDirectiveBody(c.Text); ok {
+					idx.idxs = append(idx.idxs, idxDirective{pos: fset.Position(c.Slash), inTest: isTest, body: body})
+					continue
+				}
 				if inDoc[c] {
 					continue
 				}
@@ -330,7 +347,7 @@ func (idx *allowIndex) allows(f Finding) bool {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{HotPathAlloc, WriteDisjoint, EnginePurity, PanicPrefix, NoDeps, StaleAllow}
+	return []*Analyzer{HotPathAlloc, WriteDisjoint, IdxWidth, EnginePurity, PanicPrefix, NoDeps, StaleAllow}
 }
 
 // ByName resolves a comma-separated analyzer list; unknown names error.

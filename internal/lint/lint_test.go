@@ -189,18 +189,53 @@ func TestStaleAllowGateMisplaced(t *testing.T) {
 func TestStaleAllowUnselectedAnalyzerNotJudged(t *testing.T) {
 	// When the named analyzer did not run, stale-allow must stay quiet
 	// about its directives (it cannot know whether they would suppress
-	// something) — only the typo and the misplaced gate remain findings,
-	// and those lines are absent from this fixture subset.
+	// something). The purely static checks — unknown analyzer names,
+	// misspelled gate kinds, misspelled //idx: facets — do not depend on
+	// any analyzer's findings, so they are always judged.
 	pkg := loadFixture(t, "testdata/src/staleallow/staleallow.go", "stef/internal/kernels", true)
 	findings := Run([]*Package{pkg}, []*Analyzer{StaleAllow})
+	static := []string{"unknown analyzer", "unknown gate kind", "unknown scale class", "unknown facet key"}
 	for _, f := range findings {
-		if !strings.Contains(f.Message, "unknown analyzer") && !strings.Contains(f.Message, "unknown gate kind") {
+		ok := false
+		for _, s := range static {
+			if strings.Contains(f.Message, s) {
+				ok = true
+			}
+		}
+		if !ok {
 			t.Errorf("directive judged without its analyzer running: %s", f)
 		}
 	}
-	if len(findings) != 3 {
-		t.Errorf("got %d findings, want only the unknown-analyzer and two unknown-gate-kind ones: %v", len(findings), findings)
+	if len(findings) != 6 {
+		t.Errorf("got %d findings, want the six static ones (1 analyzer typo, 2 gate-kind typos, 3 //idx: facet typos): %v", len(findings), findings)
 	}
+}
+
+func TestStaleAllowIdxInTestFile(t *testing.T) {
+	// An //idx: annotation in a _test.go file can never bind: idx-width
+	// only analyzes typechecked non-test files.
+	l := sharedLoader(t)
+	const src = `package kernels
+
+//idx: nnz
+var total int64
+`
+	f, err := parser.ParseFile(l.Fset, "idxplacement_test.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg := &Package{Path: "stef/internal/kernels", Fset: l.Fset, TestFiles: []*ast.File{f}}
+	findings := Run([]*Package{pkg}, []*Analyzer{StaleAllow})
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "can never bind") {
+		t.Fatalf("got %v, want exactly one never-binds finding", findings)
+	}
+}
+
+func TestIdxWidthFixture(t *testing.T) {
+	// One seeded violation per finding class, each next to a guarded twin
+	// that must stay silent (idx.Must32, idx.Mul, 64-bit index math).
+	pkg := loadFixture(t, "testdata/src/idxwidth/idxwidth.go", "stef/internal/idxfix", true)
+	checkFixture(t, pkg, IdxWidth)
 }
 
 // TestSelfCheck runs the full analyzer suite over the real repository and

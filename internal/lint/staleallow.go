@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"strings"
 
+	"stef/internal/lint/flow"
 	"stef/internal/lint/gates"
 )
 
@@ -24,7 +25,13 @@ import (
 //   - a //gate:allow whose kind list misspells a kind ("escape,bonds"):
 //     the gates parser reads any first word that is not a pure kind list
 //     as reason text, so the typo silently widens the directive to all
-//     kinds.
+//     kinds;
+//   - an //idx: annotation in a _test.go file, where idx-width (which only
+//     analyzes typechecked non-test files) can never bind it;
+//   - an //idx: annotation naming a facet key or scale class that does not
+//     exist ("len=rnak", "val=nzz"): the //idx: parser deliberately skips
+//     unknown tokens so a typo degrades to "no information", and this check
+//     is where the typo becomes visible instead.
 //
 // The analyzer runs as a framework post-pass: it needs to observe which
 // findings the other selected analyzers produced, so directives naming
@@ -32,7 +39,7 @@ import (
 // are not judged.
 var StaleAllow = &Analyzer{
 	Name: "stale-allow",
-	Doc:  "flag //lint:allow and //gate:allow directives that suppress nothing",
+	Doc:  "flag //lint:allow, //gate:allow and //idx: directives that suppress or declare nothing",
 	// Run is a no-op: Run() evaluates staleness after the other analyzers
 	// have reported, via staleAllowFindings.
 	Run: func(*Pass) {},
@@ -121,6 +128,71 @@ func kindList() string {
 	return strings.Join(names, ", ")
 }
 
+// idxFacetTypos scans an //idx: directive body for misspelled facet keys
+// and scale classes. The grammar is ambiguous in one place: a bare first
+// token is a value class in the field/var form but a parameter name in the
+// function-doc form, so it is only judged when it is the directive's sole
+// token (the doc form needs at least two). Every other position has a
+// closed vocabulary and is checked outright.
+func idxFacetTypos(body string) []string {
+	var bad []string
+	badClass := func(c string) {
+		bad = append(bad, fmt.Sprintf("unknown scale class %q (classes: %s)", c, strings.Join(flow.IdxClassNames(), ", ")))
+	}
+	toks := strings.Fields(body)
+	for i, t := range toks {
+		// A token starting with "//" ends the directive, mirroring the
+		// //idx: parser; truncate *before* judging so the sole-token
+		// heuristic below counts directive tokens, not trailing comment.
+		if strings.HasPrefix(t, "//") {
+			toks = toks[:i]
+			break
+		}
+	}
+	for i, t := range toks {
+		k, v, hasEq := strings.Cut(t, "=")
+		if !hasEq {
+			if flow.ValidIdxClass(t) || t == "return" {
+				continue
+			}
+			if i == 0 && len(toks) > 1 {
+				continue // parameter name in the function-doc form
+			}
+			if i == 0 && !nearIdxClass(t) {
+				continue // sole unknown token: reported as unbound by idx-width
+			}
+			badClass(t)
+			continue
+		}
+		validKey := false
+		for _, key := range flow.IdxFacetKeys() {
+			if k == key {
+				validKey = true
+			}
+		}
+		if !validKey {
+			bad = append(bad, fmt.Sprintf("unknown facet key %q (keys: %s)", k, strings.Join(flow.IdxFacetKeys(), ", ")))
+			continue
+		}
+		for _, c := range strings.Split(v, ",") {
+			if !flow.ValidIdxClass(c) {
+				badClass(c)
+			}
+		}
+	}
+	return bad
+}
+
+// nearIdxClass reports whether s is within one edit of a scale class.
+func nearIdxClass(s string) bool {
+	for _, c := range flow.IdxClassNames() {
+		if editDistanceAtMostOne(s, c) {
+			return true
+		}
+	}
+	return false
+}
+
 // staleAllowFindings is the post-pass behind StaleAllow. ran holds the
 // names of analyzers that actually executed over pkg.
 func staleAllowFindings(idx *allowIndex, ran map[string]bool, pkg *Package) []Finding {
@@ -138,6 +210,15 @@ func staleAllowFindings(idx *allowIndex, ran map[string]bool, pkg *Package) []Fi
 			out = append(out, report(rec.pos, "//lint:allow names unknown analyzer %q", rec.analyzer))
 		case ran[rec.analyzer] && !rec.used:
 			out = append(out, report(rec.pos, "//lint:allow %s suppresses no finding (stale)", rec.analyzer))
+		}
+	}
+	for _, ix := range idx.idxs {
+		if ix.inTest {
+			out = append(out, report(ix.pos, "//idx: in a _test.go file; idx-width only analyzes typechecked non-test files, so the annotation can never bind"))
+			continue
+		}
+		for _, msg := range idxFacetTypos(ix.body) {
+			out = append(out, report(ix.pos, "//idx: names %s", msg))
 		}
 	}
 	for _, g := range idx.gates {

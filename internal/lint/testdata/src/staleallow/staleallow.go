@@ -75,3 +75,18 @@ func shapeNearMiss(dst []float64, s float64) {
 		dst[i] += s
 	}
 }
+
+// idxTypos seeds //idx: annotations whose facets misspell the closed
+// vocabulary. The //idx: parser deliberately skips unknown tokens (a typo
+// degrades to "no information"), so stale-allow is where each becomes
+// visible. idxOK is the control: a well-formed annotation stays silent.
+type idxTypos struct {
+	//idx: len=rank,nzz elem=fid // want "unknown scale class"
+	fids [][]int32
+	//idx: lem=fid // want "unknown facet key"
+	writer []int32
+	//idx: nzz // want "unknown scale class"
+	writes int64
+	//idx: nnz
+	idxOK int64
+}

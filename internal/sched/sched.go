@@ -27,17 +27,20 @@ type Partition struct {
 	T int
 	// LeafStart[th] is the first leaf (non-zero) of thread th;
 	// LeafStart[T] == nnz.
+	//idx: len=dim elem=nnz
 	LeafStart []int64
 	// Start[th][l] is the node index at level l that contains leaf
 	// LeafStart[th] (== NumFibers(l) when LeafStart[th] == nnz). Thread
 	// th touches nodes Start[th][l] .. Start[th+1][l] inclusive, clamped
 	// to its leaf range.
+	//idx: len=dim,rank elem=nnz
 	Start [][]int64
 	// Own[th][l] is the first node at level l owned by thread th: the
 	// first node whose subtree begins at or after LeafStart[th]. Thread
 	// th owns nodes [Own[th][l], Own[th+1][l]). A thread's first touched
 	// node is shared with the previous thread exactly when
 	// Own[th][l] == Start[th][l]+1.
+	//idx: len=dim,rank elem=nnz
 	Own [][]int64
 }
 
@@ -48,7 +51,7 @@ func NewPartition(tree *csf.Tree, t int) *Partition {
 		panic(fmt.Sprintf("sched: invalid thread count %d", t))
 	}
 	d := tree.Order()
-	nnz := int64(tree.NNZ())
+	nnz := tree.NNZ64()
 	// Build into locals rather than through the struct: the outer slices
 	// are local makes of known length t+1, so the th-indexed stores are
 	// bounds-check free, and the per-thread start/own rows stay in
@@ -78,11 +81,11 @@ func NewPartition(tree *csf.Tree, t int) *Partition {
 				own[l] = node
 				continue
 			}
-			parent := parentOf(tree.Ptr[l], node) //gate:allow bounds pointer level array has order-1 entries; l ranges over internal levels
+			parent := parentOf(tree.PtrLevel(l), node) //gate:allow bounds pointer level array has order-1 entries; l ranges over internal levels
 			start[l] = parent
 			// The parent is owned by this thread only if its whole
 			// subtree starts exactly at the boundary leaf.
-			if aligned && tree.Ptr[l][parent] == node { //gate:allow bounds parent index from binary search over the fiber pointers, data-dependent
+			if aligned && tree.PtrLevel(l)[parent] == node { //gate:allow bounds parent index from binary search over the fiber pointers, data-dependent
 				own[l] = parent
 			} else {
 				own[l] = parent + 1
@@ -160,7 +163,7 @@ func (p *Partition) Validate(tree *csf.Tree) error {
 			}
 		}
 	}
-	if p.LeafStart[p.T] != int64(tree.NNZ()) {
+	if p.LeafStart[p.T] != tree.NNZ64() {
 		return fmt.Errorf("sched: last leaf start %d != nnz %d", p.LeafStart[p.T], tree.NNZ())
 	}
 	for l := 0; l < d; l++ {
@@ -226,9 +229,9 @@ func sliceNNZPrefix(tree *csf.Tree) []int64 {
 	for s := 0; s < slices; s++ {
 		// Descend the pointer chain to the leaf level to find the
 		// slice's leaf extent.
-		end := tree.Ptr[0][s+1]
+		end := tree.PtrLevel(0)[s+1]
 		for l := 1; l < d-1; l++ {
-			end = tree.Ptr[l][end]
+			end = tree.PtrLevel(l)[end]
 		}
 		prefix[s+1] = end
 	}
@@ -257,7 +260,7 @@ func (sp *SlicePartition) ToPartition(tree *csf.Tree) *Partition {
 			if node >= int64(tree.NumFibers(l-1)) {
 				node = int64(tree.NumFibers(l))
 			} else {
-				node = tree.Ptr[l-1][node]
+				node = tree.PtrLevel(l-1)[node]
 			}
 			p.Start[th][l] = node
 		}

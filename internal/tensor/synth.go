@@ -137,6 +137,71 @@ func Random(dims []int, nnz int, skew []float64, seed int64) *Tensor {
 	return t
 }
 
+// HugeDims returns the mode lengths of the int32-boundary stress tensor:
+// two modes sit just under 2^31 (the largest dimensions New admits), and
+// one mode stays small so the CSF root level — whose output rows are
+// materialised densely — remains allocatable. The values are primes-ish
+// offsets below 2^31 so off-by-one arithmetic cannot hide behind round
+// numbers.
+func HugeDims() []int { return []int{64, 1<<31 - 9, 1<<31 - 3} }
+
+// HugeBoundary generates a huge-dimension/small-nnz tensor for index-width
+// boundary testing: the all-low and all-high corners plus one per-mode
+// high corner are always present (so fiber ids at exactly dims[m]-1 flow
+// through CSF construction, serialization and the kernels), and the rest
+// is uniform random fill. Coordinates are deduplicated and sorted.
+//
+// Unlike Random, the dedup key is the coordinate tuple itself, not a
+// packed linear key: a near-2^31 dims product overflows 63 bits, which is
+// the very regime this generator exists to probe.
+func HugeBoundary(dims []int, nnz int, seed int64) *Tensor {
+	d := len(dims)
+	rng := rand.New(rand.NewSource(seed))
+	t := New(dims, nnz)
+	seen := make(map[string]struct{}, nnz)
+	buf := make([]byte, d*4)
+	add := func(coord []int32, v float64) {
+		for m, c := range coord {
+			buf[m*4] = byte(c)
+			buf[m*4+1] = byte(c >> 8)
+			buf[m*4+2] = byte(c >> 16)
+			buf[m*4+3] = byte(c >> 24)
+		}
+		if _, dup := seen[string(buf)]; dup {
+			return
+		}
+		seen[string(buf)] = struct{}{}
+		t.Append(coord, v)
+	}
+	coord := make([]int32, d)
+	hi := func(m int) int32 { return int32(dims[m] - 1) }
+	for m := range coord {
+		coord[m] = 0
+	}
+	add(coord, 0.5+rng.Float64()) // all-low corner
+	for m := range coord {
+		coord[m] = hi(m)
+	}
+	add(coord, 0.5+rng.Float64()) // all-high corner
+	for axis := 0; axis < d; axis++ {
+		for m := range coord {
+			coord[m] = 0
+		}
+		coord[axis] = hi(axis)
+		add(coord, 0.5+rng.Float64()) // one boundary coordinate per mode
+	}
+	budget := 60 * nnz
+	for len(t.Vals) < nnz && budget > 0 {
+		budget--
+		for m := range coord {
+			coord[m] = rng.Int31n(int32(dims[m]))
+		}
+		add(coord, 0.5+rng.Float64())
+	}
+	t.SortLex()
+	return t
+}
+
 // LengthSortedPerm returns the mode permutation that sorts dims in
 // increasing length (ties broken by original mode index) — the common CSF
 // mode-order heuristic referenced in Section II-B of the paper. perm[m]

@@ -18,10 +18,13 @@ import (
 // in synth.go to construct useful instances.
 type Tensor struct {
 	// Dims holds the length of each mode. len(Dims) is the tensor order.
+	//idx: len=rank elem=dim
 	Dims []int
 	// Inds holds non-zero coordinates, d per non-zero, row-major.
+	//idx: len=bytes elem=dim
 	Inds []int32
 	// Vals holds one value per non-zero.
+	//idx: len=nnz
 	Vals []float64
 }
 
@@ -142,9 +145,11 @@ func (t *Tensor) SortLex() {
 		return
 	}
 	if strides, ok := packStrides(t.Dims); ok {
+		// pos is int64, not int32: leaf positions are nnz-scale and a
+		// 100M+-nnz tensor would silently wrap a 32-bit position.
 		type kv struct {
 			key uint64
-			pos int32
+			pos int64
 		}
 		keys := make([]kv, nnz)
 		for k := 0; k < nnz; k++ {
@@ -153,7 +158,7 @@ func (t *Tensor) SortLex() {
 			for m := 0; m < d; m++ {
 				key += strides[m] * uint64(c[m])
 			}
-			keys[k] = kv{key, int32(k)}
+			keys[k] = kv{key, int64(k)}
 		}
 		sort.Slice(keys, func(a, b int) bool {
 			if keys[a].key != keys[b].key {

@@ -11,7 +11,7 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> steflint"
+echo "==> steflint (incl. idx-width index/overflow-soundness certification)"
 go run ./cmd/steflint ./...
 
 echo "==> steflint -gates (compiler-diagnostic perf gates + asm shape assertions)"
@@ -20,7 +20,7 @@ go run ./cmd/steflint -gates
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race (parallel packages + shared-plan concurrency)"
+echo "==> go test -race (parallel packages + shared-plan concurrency + int32-boundary dims)"
 go test -race . ./internal/par/ ./internal/sched/ ./internal/kernels/ ./internal/cpd/ ./internal/core/
 
 echo "==> go test -race -tags shadowtrace (dynamic write-disjointness oracle)"
