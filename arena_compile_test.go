@@ -1,0 +1,90 @@
+package stef_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"stef"
+	"stef/internal/csf"
+	"stef/internal/tensor"
+)
+
+// TestCompileTreeArenaParity drives the arena lifecycle end to end: pack a
+// tensor's CSF into an arena, reopen it (zero-copy on linux), compile and
+// solve from both the heap-built tree and the arena view, and require
+// bit-identical factor matrices and weights. The two handles share every
+// plan decision — only the storage backing differs — so any divergence
+// means a kernel observed the backing, which the seam forbids.
+func TestCompileTreeArenaParity(t *testing.T) {
+	tt := tensor.Random([]int{30, 40, 50}, 3000, []float64{1.5, 0, 1.2}, 3)
+	path := filepath.Join(t.TempDir(), "parity.stef")
+	if err := stef.SaveArena(tt, path); err != nil {
+		t.Fatalf("SaveArena: %v", err)
+	}
+	opened, err := stef.OpenArena(path)
+	if err != nil {
+		t.Fatalf("OpenArena: %v", err)
+	}
+	defer opened.Close()
+
+	heapTree := csf.Build(tt, nil)
+	if !csf.Equal(heapTree, opened) {
+		t.Fatal("arena tree differs from the heap build it was packed from")
+	}
+
+	opts := stef.Options{Rank: 4, MaxIters: 6, Tol: -1, Threads: 3, Seed: 9}
+	solve := func(tr *csf.Tree) *stef.Result {
+		t.Helper()
+		c, err := stef.CompileTree(tr, opts)
+		if err != nil {
+			t.Fatalf("CompileTree: %v", err)
+		}
+		res, err := c.Decompose()
+		if err != nil {
+			t.Fatalf("Decompose: %v", err)
+		}
+		return res
+	}
+	a, b := solve(heapTree), solve(opened)
+
+	if a.FinalFit() != b.FinalFit() {
+		t.Fatalf("final fit diverged: heap %v, arena %v", a.FinalFit(), b.FinalFit())
+	}
+	for j := range a.Lambda {
+		if a.Lambda[j] != b.Lambda[j] {
+			t.Fatalf("lambda[%d] diverged: %v vs %v", j, a.Lambda[j], b.Lambda[j])
+		}
+	}
+	for m := range a.Factors {
+		fa, fb := a.Factors[m], b.Factors[m]
+		for i := 0; i < fa.Rows; i++ {
+			ra, rb := fa.Row(i), fb.Row(i)
+			for j := range ra {
+				if math.Float64bits(ra[j]) != math.Float64bits(rb[j]) {
+					t.Fatalf("factor %d row %d col %d diverged: %v vs %v", m, i, j, ra[j], rb[j])
+				}
+			}
+		}
+	}
+	// The fit must also agree with a plain Compile solve on the same
+	// tensor up to the layout difference: sanity-check it is a real fit.
+	if !(a.FinalFit() > 0) {
+		t.Fatalf("degenerate final fit %v", a.FinalFit())
+	}
+}
+
+// TestCompileTreeRejections pins the documented constraints: engines other
+// than stef, and reordering, need the COO tensor and must be refused.
+func TestCompileTreeRejections(t *testing.T) {
+	tr := csf.Build(tensor.Random([]int{10, 11, 12}, 200, nil, 1), nil)
+	if _, err := stef.CompileTree(tr, stef.Options{Engine: "splatt-1"}); err == nil {
+		t.Fatal("CompileTree accepted a baseline engine")
+	}
+	if _, err := stef.CompileTree(tr, stef.Options{Engine: "stef2"}); err == nil {
+		t.Fatal("CompileTree accepted stef2")
+	}
+	if _, err := stef.CompileTree(tr, stef.Options{Reorder: "lexi"}); err == nil {
+		t.Fatal("CompileTree accepted a reordering")
+	}
+}

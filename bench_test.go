@@ -195,7 +195,7 @@ func BenchmarkKernels(b *testing.B) {
 	tree := csf.Build(tt, nil)
 	const rank = 32
 	factors := tensor.RandomFactors(tt.Dims, rank, 1)
-	lf := kernels.LevelFactors(factors, tree.Perm)
+	lf := kernels.LevelFactors(factors, tree.Perm())
 	part := sched.NewPartition(tree, 4)
 	d := tree.Order()
 
@@ -205,7 +205,7 @@ func BenchmarkKernels(b *testing.B) {
 	}
 	memo := kernels.NewPartials(tree, rank, saveAll)
 	noMemo := kernels.NoPartials(d)
-	out0 := tensor.NewMatrix(tree.Dims[0], rank)
+	out0 := tensor.NewMatrix(tree.Dim(0), rank)
 
 	b.Run("root/no-memo", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -219,7 +219,7 @@ func BenchmarkKernels(b *testing.B) {
 	})
 	kernels.RootMTTKRP(tree, lf, out0, memo, part)
 	for u := 1; u < d; u++ {
-		buf := kernels.NewOutBuf(tree.Dims[u], rank, 4, 0)
+		buf := kernels.NewOutBuf(tree.Dim(u), rank, 4, 0)
 		b.Run(fmt.Sprintf("mode%d/memoized", u), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				buf.Reset()

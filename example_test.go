@@ -30,7 +30,7 @@ func ExamplePlan() {
 		panic(err)
 	}
 	fmt.Println("configurations evaluated:", len(plan.AllConfigs))
-	fmt.Println("csf levels:", len(plan.Tree.Dims))
+	fmt.Println("csf levels:", len(plan.Tree.Dims()))
 	// Output:
 	// configurations evaluated: 4
 	// csf levels: 3

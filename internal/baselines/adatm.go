@@ -55,7 +55,7 @@ func (e *adatmEngine) NewWorkspace() cpd.Workspace {
 		scratch:  kernels.NewScratch(e.d, e.rank, e.threads),
 	}
 	for u := 1; u < e.d; u++ {
-		w.bufs[u] = kernels.NewOutBuf(e.tree.Dims[u], e.rank, e.threads, e.maxPriv)
+		w.bufs[u] = kernels.NewOutBuf(e.tree.Dim(u), e.rank, e.threads, e.maxPriv)
 	}
 	return w
 }
@@ -65,7 +65,7 @@ func (e *adatmEngine) Compute(ws cpd.Workspace, pos int, factors []*tensor.Matri
 	if !ok {
 		panic(fmt.Sprintf("baselines: adatm Compute got workspace type %T", ws))
 	}
-	kernels.LevelFactorsInto(w.lf, factors, e.tree.Perm)
+	kernels.LevelFactorsInto(w.lf, factors, e.tree.Perm())
 	if pos == 0 {
 		kernels.RootMTTKRPWith(e.tree, w.lf, out, w.partials, e.part, w.scratch)
 		return
@@ -91,7 +91,7 @@ func NewAdaTM(t *tensor.Tensor, opts AdaTMOptions) cpd.Engine {
 	perm := tensor.LengthSortedPerm(t.Dims)
 	tree := csf.Build(t, perm)
 
-	params := model.ParamsForCache(tree.Dims, tree.FiberCounts(), opts.Rank, 0)
+	params := model.ParamsForCache(tree.Dims(), tree.FiberCounts(), opts.Rank, 0)
 	cfg := model.SearchOpCount(params)
 
 	return &adatmEngine{

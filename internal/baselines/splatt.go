@@ -84,7 +84,7 @@ func (e *splattEngine) NewWorkspace() cpd.Workspace {
 		scratch: kernels.NewScratch(e.d, e.rank, e.threads),
 	}
 	for u := 1; u < e.d; u++ {
-		w.bufs[u] = kernels.NewOutBuf(e.base.Dims[u], e.rank, e.threads, e.maxPriv)
+		w.bufs[u] = kernels.NewOutBuf(e.base.Dim(u), e.rank, e.threads, e.maxPriv)
 	}
 	return w
 }
@@ -96,16 +96,16 @@ func (e *splattEngine) Compute(ws cpd.Workspace, pos int, factors []*tensor.Matr
 	}
 	mode := e.order[pos]
 	if tr, found := e.trees[mode]; found {
-		kernels.LevelFactorsInto(w.lf, factors, tr.Perm)
+		kernels.LevelFactorsInto(w.lf, factors, tr.Perm())
 		kernels.RootMTTKRPWith(tr, w.lf, out, e.noMemo, e.parts[mode], w.scratch)
 		return
 	}
 	if pos == e.d-1 && e.tree2 != nil {
-		kernels.LevelFactorsInto(w.lf, factors, e.tree2.Perm)
+		kernels.LevelFactorsInto(w.lf, factors, e.tree2.Perm())
 		kernels.RootMTTKRPWith(e.tree2, w.lf, out, e.noMemo, e.part2, w.scratch)
 		return
 	}
-	kernels.LevelFactorsInto(w.lf, factors, e.base.Perm)
+	kernels.LevelFactorsInto(w.lf, factors, e.base.Perm())
 	if pos == 0 {
 		kernels.RootMTTKRPWith(e.base, w.lf, out, e.noMemo, e.basePart, w.scratch)
 		return

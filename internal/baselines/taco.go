@@ -65,7 +65,7 @@ func (e *tacoEngine) Compute(ws cpd.Workspace, pos int, factors []*tensor.Matrix
 
 // runMode executes one MTTKRP with dynamic chunk scheduling.
 func (e *tacoEngine) runMode(w *tacoWorkspace, pos int, factors []*tensor.Matrix, out *tensor.Matrix, chunk int) {
-	kernels.LevelFactorsInto(w.lf, factors, e.tree.Perm)
+	kernels.LevelFactorsInto(w.lf, factors, e.tree.Perm())
 	lf := w.lf
 	tree, rank := e.tree, e.rank
 	slices := int64(tree.NumFibers(0))
@@ -155,7 +155,7 @@ func NewTACO(t *tensor.Tensor, opts TACOOptions) cpd.Engine {
 	if len(opts.ChunkSizes) > 1 {
 		tw := e.NewWorkspace().(*tacoWorkspace)
 		factors := tensor.RandomFactors(t.Dims, e.rank, 1)
-		scratch := tensor.NewMatrix(tree.Dims[0], e.rank)
+		scratch := tensor.NewMatrix(tree.Dims()[0], e.rank)
 		bestT := time.Duration(1<<62 - 1)
 		for _, c := range opts.ChunkSizes {
 			start := time.Now()

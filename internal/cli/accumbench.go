@@ -111,12 +111,12 @@ func accumBenchCell(tt *tensor.Tensor, name string, rank, threads, reps int, cac
 	d := tree.Order()
 	factors := tensor.RandomFactors(tt.Dims, rank, 7)
 	lf := make([]*tensor.Matrix, d)
-	kernels.LevelFactorsInto(lf, factors, tree.Perm)
+	kernels.LevelFactorsInto(lf, factors, tree.Perm())
 	partials := kernels.NewPartials(tree, rank, plan.Config.Save)
 	scratch := kernels.NewScratch(d, rank, threads)
 	// One root pass populates the memoized partials the non-root kernels
 	// read; the root mode itself has no OutBuf and is out of scope here.
-	rootOut := tensor.NewMatrix(tree.Dims[0], rank)
+	rootOut := tensor.NewMatrix(tree.Dim(0), rank)
 	kernels.RootMTTKRPWith(tree, lf, rootOut, partials, plan.Part, scratch)
 
 	row := AccumBenchRow{Tensor: name, Rank: rank, Threads: threads, Force: forceName}
@@ -125,7 +125,7 @@ func accumBenchCell(tt *tensor.Tensor, name string, rank, threads, reps int, cac
 	for u := 1; u < d; u++ {
 		ap := plan.Accum[u]
 		bufs[u] = kernels.NewOutBufPlanned(ap)
-		outs[u] = tensor.NewMatrix(tree.Dims[u], rank)
+		outs[u] = tensor.NewMatrix(tree.Dim(u), rank)
 		row.Modes = append(row.Modes, AccumModeRow{
 			Level:      u,
 			Strategy:   ap.Strategy.String(),

@@ -34,6 +34,7 @@ type benchReport struct {
 	SolveBench   []SolveBenchRow                `json:"solvebench,omitempty"`
 	AccumBench   []AccumBenchRow                `json:"accumbench,omitempty"`
 	VecBench     []VecBenchRow                  `json:"vecbench,omitempty"`
+	ArenaBench   []ArenaBenchRow                `json:"arenabench,omitempty"`
 }
 
 type fig6Group struct {
@@ -61,6 +62,7 @@ func RunBench(args []string, stdout, stderr io.Writer) int {
 		sbench  = fs.Bool("solvebench", false, "compile-once/solve-many vs per-call planning throughput")
 		abench  = fs.Bool("accumbench", false, "output-accumulation strategy sweep (auto/priv/hybrid/atomic)")
 		vbench  = fs.Bool("vecbench", false, "generic vs R-blocked rank-primitive sweep")
+		arbench = fs.Bool("arenabench", false, "arena vs CSF1-stream open latency + heap/mmap solve parity")
 		jsonOut = fs.Bool("json", false, "emit machine-readable JSON results on stdout (tables go to stderr)")
 		ranks   = fs.String("ranks", "32,64", "comma-separated ranks")
 		tensors = fs.String("tensors", "", "comma-separated tensor names (default: all)")
@@ -76,7 +78,7 @@ func RunBench(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if !(*all || *table1 || *table2 || *fig3 || *fig4 || *fig5 || *fig6 || *wd || *mcheck || *ccheck || *scaling || *sbench || *abench || *vbench) {
+	if !(*all || *table1 || *table2 || *fig3 || *fig4 || *fig5 || *fig6 || *wd || *mcheck || *ccheck || *scaling || *sbench || *abench || *vbench || *arbench) {
 		fs.Usage()
 		return 2
 	}
@@ -200,6 +202,13 @@ func RunBench(args []string, stdout, stderr io.Writer) int {
 			}
 			r, err := accumBench(s, rankList, threadList, s.Opts.Reps, s.Opts.Out)
 			report.AccumBench = r
+			return err
+		}})
+	}
+	if *arbench {
+		steps = append(steps, step{true, "arenabench", func() error {
+			r, err := arenaBench(s, rankList[0], *iters, s.Opts.Reps, s.Opts.Out)
+			report.ArenaBench = r
 			return err
 		}})
 	}

@@ -19,6 +19,7 @@ func RunStefCPD(args []string, stdout, stderr io.Writer) int {
 	var (
 		file    = fs.String("file", "", "path to a FROSTT .tns tensor file")
 		name    = fs.String("tensor", "", "name of a synthetic benchmark tensor (see -list)")
+		arena   = fs.String("arena", "", "path to a CSF arena file (opened zero-copy, no reorder/rebuild; stef engine only)")
 		list    = fs.Bool("list", false, "list available synthetic tensors and exit")
 		engine  = fs.String("engine", "stef", "engine: stef, stef2, splatt-1, splatt-2, splatt-all, adatm, alto, taco, hicoo, dtree, naive")
 		rank    = fs.Int("rank", 32, "decomposition rank R")
@@ -36,19 +37,44 @@ func RunStefCPD(args []string, stdout, stderr io.Writer) int {
 		listProfiles(stdout)
 		return 0
 	}
-	tt, err := loadTensor(*file, *name)
-	if err != nil {
-		return fail(stderr, "stef-cpd", err)
-	}
-	fmt.Fprintf(stdout, "loaded %v\n", tt)
-
-	start := time.Now()
-	res, err := stef.Decompose(tt, stef.Options{
+	opts := stef.Options{
 		Rank: *rank, MaxIters: *iters, Tol: *tol, Seed: *seed,
 		Threads: *threads, Engine: *engine, Reorder: *reorder,
-	})
-	if err != nil {
-		return fail(stderr, "stef-cpd", err)
+	}
+	var (
+		res   *stef.Result
+		start time.Time
+	)
+	if *arena != "" {
+		if *file != "" || *name != "" {
+			return fail(stderr, "stef-cpd", fmt.Errorf("-arena is exclusive with -file and -tensor"))
+		}
+		openStart := time.Now()
+		tree, err := stef.OpenArena(*arena)
+		if err != nil {
+			return fail(stderr, "stef-cpd", err)
+		}
+		defer tree.Close()
+		fmt.Fprintf(stdout, "opened arena %s: order %d, nnz %d, backing %s, %v\n",
+			*arena, tree.Order(), tree.NNZ(), tree.Backing().Kind(), time.Since(openStart))
+		start = time.Now()
+		c, err := stef.CompileTree(tree, opts)
+		if err != nil {
+			return fail(stderr, "stef-cpd", err)
+		}
+		if res, err = c.Decompose(); err != nil {
+			return fail(stderr, "stef-cpd", err)
+		}
+	} else {
+		tt, err := loadTensor(*file, *name)
+		if err != nil {
+			return fail(stderr, "stef-cpd", err)
+		}
+		fmt.Fprintf(stdout, "loaded %v\n", tt)
+		start = time.Now()
+		if res, err = stef.Decompose(tt, opts); err != nil {
+			return fail(stderr, "stef-cpd", err)
+		}
 	}
 	total := time.Since(start)
 

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"stef/internal/core"
 	"stef/internal/csf"
@@ -22,14 +23,15 @@ func RunTensorGen(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tensorgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		name = fs.String("tensor", "", "named benchmark profile (see -list)")
-		list = fs.Bool("list", false, "list profiles and exit")
-		dims = fs.String("dims", "", "custom mode lengths, e.g. 100x200x300")
-		nnz  = fs.Int("nnz", 10000, "custom non-zero count")
-		skew = fs.String("skew", "", "comma-separated Zipf exponents per mode (0 = uniform)")
-		seed = fs.Int64("seed", 1, "generation seed")
-		out  = fs.String("o", "", "output path (default stdout; .gz compresses)")
-		huge = fs.Bool("hugedims", false, "generate the int32-boundary stress tensor (two modes just under 2^31; -nnz and -seed apply)")
+		name  = fs.String("tensor", "", "named benchmark profile (see -list)")
+		list  = fs.Bool("list", false, "list profiles and exit")
+		dims  = fs.String("dims", "", "custom mode lengths, e.g. 100x200x300")
+		nnz   = fs.Int("nnz", 10000, "custom non-zero count")
+		skew  = fs.String("skew", "", "comma-separated Zipf exponents per mode (0 = uniform)")
+		seed  = fs.Int64("seed", 1, "generation seed")
+		out   = fs.String("o", "", "output path (default stdout; .gz compresses)")
+		huge  = fs.Bool("hugedims", false, "generate the int32-boundary stress tensor (two modes just under 2^31; -nnz and -seed apply)")
+		arena = fs.String("arena", "", "also pack the tensor's CSF into an arena file at this path (opened zero-copy by tensorinfo/stef-cpd -arena)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -69,6 +71,18 @@ func RunTensorGen(args []string, stdout, stderr io.Writer) int {
 	}
 
 	fmt.Fprintf(stderr, "generated %v\n", tt)
+	if *arena != "" {
+		tree := csf.Build(tt, nil)
+		if err := tree.WriteArena(*arena); err != nil {
+			return fail(stderr, "tensorgen", err)
+		}
+		fmt.Fprintf(stderr, "packed CSF arena %s (%d bytes CSF)\n", *arena, tree.Bytes())
+		if *out == "" {
+			// -arena alone: the arena is the artifact; don't dump the .tns
+			// stream to stdout as well.
+			return 0
+		}
+	}
 	if *out == "" {
 		if err := frostt.Write(stdout, tt); err != nil {
 			return fail(stderr, "tensorgen", err)
@@ -89,21 +103,41 @@ func RunTensorInfo(args []string, stdout, stderr io.Writer) int {
 	var (
 		file    = fs.String("file", "", "path to a FROSTT .tns tensor file")
 		name    = fs.String("tensor", "", "named benchmark profile")
+		arena   = fs.String("arena", "", "path to a CSF arena file (opened zero-copy; exclusive with -file/-tensor)")
 		rank    = fs.Int("rank", 32, "rank used for the model's decision")
 		threads = fs.Int("threads", runtime.GOMAXPROCS(0), "threads for partition statistics")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	tt, err := loadTensor(*file, *name)
-	if err != nil {
-		return fail(stderr, "tensorinfo", err)
+	var (
+		tree *csf.Tree
+		tt   *tensor.Tensor
+	)
+	if *arena != "" {
+		if *file != "" || *name != "" {
+			return fail(stderr, "tensorinfo", fmt.Errorf("-arena is exclusive with -file and -tensor"))
+		}
+		start := time.Now()
+		opened, err := csf.OpenArena(*arena)
+		if err != nil {
+			return fail(stderr, "tensorinfo", err)
+		}
+		defer opened.Close()
+		tree = opened
+		fmt.Fprintf(stdout, "arena %s: order %d, nnz %d, backing %s, opened in %v\n",
+			*arena, tree.Order(), tree.NNZ(), tree.Backing().Kind(), time.Since(start))
+	} else {
+		var err error
+		tt, err = loadTensor(*file, *name)
+		if err != nil {
+			return fail(stderr, "tensorinfo", err)
+		}
+		fmt.Fprintf(stdout, "%v\n", tt)
+		tree = csf.Build(tt, nil)
 	}
-
-	fmt.Fprintf(stdout, "%v\n", tt)
-	tree := csf.Build(tt, nil)
 	d := tree.Order()
-	fmt.Fprintf(stdout, "CSF mode order (original mode index per level): %v\n", tree.Perm)
+	fmt.Fprintf(stdout, "CSF mode order (original mode index per level): %v\n", tree.Perm())
 	fmt.Fprintf(stdout, "CSF bytes: %d\n", tree.Bytes())
 	tree.WriteStats(stdout)
 	fmt.Fprintf(stdout, "swapped-order fibers at level %d (Alg. 9): %d\n", d-2, tree.CountSwappedFibers(*threads))
@@ -113,14 +147,25 @@ func RunTensorInfo(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "slice-partition imbalance:    %.1f%%\n", sched.ImbalancePct(sp.SliceLoads(tree)))
 	fmt.Fprintf(stdout, "balanced-partition imbalance: %.1f%%\n", sched.ImbalancePct(bp.Loads()))
 
-	plan, err := core.NewPlan(tt, core.Options{Rank: *rank, Threads: *threads})
+	// An arena tree keeps its packed layout, so plan over the tree itself;
+	// a freshly loaded tensor gets the full planner (including the swap
+	// decision, which needs the COO).
+	var (
+		plan *core.Plan
+		err  error
+	)
+	if tt != nil {
+		plan, err = core.NewPlan(tt, core.Options{Rank: *rank, Threads: *threads})
+	} else {
+		plan, err = core.NewPlanFromTree(tree, core.Options{Rank: *rank, Threads: *threads})
+	}
 	if err != nil {
 		return fail(stderr, "tensorinfo", err)
 	}
 	plan.Describe(stdout)
 
 	fmt.Fprintln(stdout, "\nper-mode data-movement breakdown (chosen configuration):")
-	params := model.ParamsForCache(plan.Tree.Dims, plan.Tree.FiberCounts(), *rank, 0)
+	params := model.ParamsForCache(plan.Tree.Dims(), plan.Tree.FiberCounts(), *rank, 0)
 	params.Explain(stdout, plan.Config.Save)
 	return 0
 }

@@ -68,19 +68,19 @@ func vecBenchCell(tt *tensor.Tensor, name string, rank, threads, reps int, cache
 	d := tree.Order()
 	factors := tensor.RandomFactors(tt.Dims, rank, 7)
 	lf := make([]*tensor.Matrix, d)
-	kernels.LevelFactorsInto(lf, factors, tree.Perm)
+	kernels.LevelFactorsInto(lf, factors, tree.Perm())
 
 	run := func(blocked bool) time.Duration {
 		defer func(old bool) { kernels.BlockedVec = old }(kernels.BlockedVec)
 		kernels.BlockedVec = blocked
 		partials := kernels.NewPartials(tree, rank, plan.Config.Save)
 		scratch := kernels.NewScratch(d, rank, threads)
-		rootOut := tensor.NewMatrix(tree.Dims[0], rank)
+		rootOut := tensor.NewMatrix(tree.Dim(0), rank)
 		bufs := make([]*kernels.OutBuf, d)
 		outs := make([]*tensor.Matrix, d)
 		for u := 1; u < d; u++ {
 			bufs[u] = kernels.NewOutBufPlanned(plan.Accum[u])
-			outs[u] = tensor.NewMatrix(tree.Dims[u], rank)
+			outs[u] = tensor.NewMatrix(tree.Dim(u), rank)
 		}
 		best := time.Duration(1<<62 - 1)
 		for rep := 0; rep < reps; rep++ {

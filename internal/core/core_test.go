@@ -84,11 +84,11 @@ func TestPlanSwapRules(t *testing.T) {
 		t.Fatal(err)
 	}
 	basePerm := tensor.LengthSortedPerm(tt.Dims)
-	if never.Tree.Perm[2] != basePerm[2] || never.Tree.Perm[1] != basePerm[1] {
-		t.Errorf("SwapNever perm %v, want %v", never.Tree.Perm, basePerm)
+	if never.Tree.PermLevel(2) != basePerm[2] || never.Tree.PermLevel(1) != basePerm[1] {
+		t.Errorf("SwapNever perm %v, want %v", never.Tree.Perm(), basePerm)
 	}
-	if always.Tree.Perm[1] != basePerm[2] || always.Tree.Perm[2] != basePerm[1] {
-		t.Errorf("SwapAlways perm %v does not swap %v", always.Tree.Perm, basePerm)
+	if always.Tree.PermLevel(1) != basePerm[2] || always.Tree.PermLevel(2) != basePerm[1] {
+		t.Errorf("SwapAlways perm %v does not swap %v", always.Tree.Perm(), basePerm)
 	}
 	modelPlan, err := NewPlan(tt, Options{Rank: 4})
 	if err != nil {
@@ -113,8 +113,8 @@ func TestPlanSecondCSF(t *testing.T) {
 		t.Fatal("SecondCSF not built")
 	}
 	// Tree2's root must be Tree's leaf mode.
-	if plan.Tree2.Perm[0] != plan.Tree.Perm[3] {
-		t.Errorf("tree2 root mode %d, want %d", plan.Tree2.Perm[0], plan.Tree.Perm[3])
+	if plan.Tree2.PermLevel(0) != plan.Tree.PermLevel(3) {
+		t.Errorf("tree2 root mode %d, want %d", plan.Tree2.PermLevel(0), plan.Tree.PermLevel(3))
 	}
 	if plan.CSFBytes <= plan.Tree.Bytes() {
 		t.Error("CSF bytes do not include the second tree")

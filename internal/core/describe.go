@@ -16,7 +16,7 @@ func (p *Plan) Describe(w io.Writer) {
 	tree := p.Tree
 	d := tree.Order()
 	fmt.Fprintf(w, "STeF plan (R=%d, T=%d, cache=%d bytes)\n", p.Opts.Rank, p.Opts.Threads, p.Opts.CacheBytes)
-	fmt.Fprintf(w, "  CSF level order (original modes): %v%s\n", tree.Perm, map[bool]string{true: "  [last two modes swapped]", false: ""}[p.Config.Swap])
+	fmt.Fprintf(w, "  CSF level order (original modes): %v%s\n", tree.Perm(), map[bool]string{true: "  [last two modes swapped]", false: ""}[p.Config.Swap])
 	fmt.Fprintf(w, "  memoized levels: ")
 	any := false
 	for l := 1; l <= d-2; l++ {
@@ -52,7 +52,7 @@ func (p *Plan) Describe(w io.Writer) {
 		fmt.Fprintln(w)
 	}
 	if p.Tree2 != nil {
-		fmt.Fprintf(w, "  STeF2 auxiliary CSF rooted at original mode %d\n", p.Tree2.Perm[0])
+		fmt.Fprintf(w, "  STeF2 auxiliary CSF rooted at original mode %d\n", p.Tree2.PermLevel(0))
 	}
 	fmt.Fprintf(w, "  storage: memo %.2f MB, CSF %.2f MB, factors %.2f MB (ratio %.2f)\n",
 		mb(p.MemoBytes), mb(p.CSFBytes), mb(p.FactorBytes), p.Ratio())

@@ -73,7 +73,7 @@ func (e *Engine) NewWorkspace() cpd.Workspace {
 		} else if !(u == d-1 && plan.Tree2 != nil) {
 			// Plans predating buildAccum (tests constructing Plan by hand)
 			// fall back to the legacy footprint rule.
-			w.bufs[u] = kernels.NewOutBuf(tree.Dims[u], r, t, plan.Opts.MaxPrivElems)
+			w.bufs[u] = kernels.NewOutBuf(tree.Dim(u), r, t, plan.Opts.MaxPrivElems)
 		}
 	}
 	if plan.Tree2 != nil {
@@ -92,7 +92,7 @@ func (e *Engine) Compute(ws cpd.Workspace, pos int, factors []*tensor.Matrix, ou
 	plan := e.plan
 	tree := plan.Tree
 	d := tree.Order()
-	kernels.LevelFactorsInto(w.lf, factors, tree.Perm)
+	kernels.LevelFactorsInto(w.lf, factors, tree.Perm())
 	switch {
 	case pos == 0:
 		kernels.RootMTTKRPWith(tree, w.lf, out, w.partials, plan.Part, w.scratch)
@@ -101,7 +101,7 @@ func (e *Engine) Compute(ws cpd.Workspace, pos int, factors []*tensor.Matrix, ou
 		// CSF, avoiding the scatter-heavy leaf-mode MTTV kernel. The
 		// scratch is shared with the base tree: both trees have order d
 		// and boundary rows are dead once a root call returns.
-		kernels.LevelFactorsInto(w.lf2, factors, plan.Tree2.Perm)
+		kernels.LevelFactorsInto(w.lf2, factors, plan.Tree2.Perm())
 		kernels.RootMTTKRPWith(plan.Tree2, w.lf2, out, w.partials2, plan.Part2, w.scratch)
 	default:
 		buf := w.bufs[pos]
@@ -123,7 +123,7 @@ func NewEngine(plan *Plan) *Engine {
 	return &Engine{
 		plan:  plan,
 		name:  name,
-		order: append([]int(nil), plan.Tree.Perm...),
+		order: append([]int(nil), plan.Tree.Perm()...),
 	}
 }
 

@@ -165,7 +165,7 @@ func NewPlan(t *tensor.Tensor, opts Options) (*Plan, error) {
 	// Preprocessing (Fig. 5): Algorithm 9, the row-write census for the
 	// accumulation-cost term, and the exhaustive model search.
 	preStart := time.Now()
-	baseParams := model.ParamsForCache(baseTree.Dims, baseTree.FiberCounts(), opts.Rank, opts.CacheBytes)
+	baseParams := model.ParamsForCache(baseTree.Dims(), baseTree.FiberCounts(), opts.Rank, opts.CacheBytes)
 	baseParams.AttachAccum(levelRowStats(baseTree), opts.Threads, opts.MaxPrivElems)
 	var swappedParams model.Params
 	if opts.SwapRule != SwapNever {
@@ -229,7 +229,7 @@ func NewPlan(t *tensor.Tensor, opts Options) (*Plan, error) {
 
 	if opts.SecondCSF {
 		start := time.Now()
-		perm2 := leafRootedPerm(p.Tree.Perm)
+		perm2 := leafRootedPerm(p.Tree.Perm())
 		p.Tree2 = csf.Build(t, perm2)
 		if opts.SliceSched {
 			p.Part2 = sched.NewSlicePartitionNNZ(p.Tree2, opts.Threads).ToPartition(p.Tree2)
@@ -254,6 +254,70 @@ func NewPlan(t *tensor.Tensor, opts Options) (*Plan, error) {
 		p.CSFBytes += p.Tree2.Bytes()
 	}
 	for _, n := range t.Dims {
+		p.FactorBytes += int64(n) * int64(opts.Rank) * 8
+	}
+	return p, nil
+}
+
+// NewPlanFromTree fixes every execution decision for a pre-built CSF tree
+// — typically one opened zero-copy from an arena file (csf.OpenArena) —
+// without the COO tensor. The tree's layout is taken as-is: no reorder, no
+// CSF build, and no layout swap (the swap would require rebuilding the
+// tree from non-zeros the caller no longer has), so planning reduces to
+// the memoization search, the partition, and the row-write census for the
+// accumulation plans. SwapAlways/SwapOpposite and SecondCSF are rejected
+// for the same reason: both need the COO to build an alternative tree.
+//
+// The caller keeps ownership of the tree's backing: closing an arena while
+// the returned plan is in use invalidates every kernel's view of it.
+func NewPlanFromTree(tree *csf.Tree, opts Options) (*Plan, error) {
+	opts = opts.withDefaults()
+	d := tree.Order()
+	if d < 3 {
+		return nil, fmt.Errorf("core: order-%d tree; STeF needs at least 3 modes", d)
+	}
+	if opts.SecondCSF {
+		return nil, fmt.Errorf("core: SecondCSF needs the COO tensor to build the auxiliary tree; plan from the tensor instead")
+	}
+	if opts.SwapRule == SwapAlways || opts.SwapRule == SwapOpposite {
+		return nil, fmt.Errorf("core: swap rules need the COO tensor to rebuild the tree; a pre-built tree keeps its layout")
+	}
+	p := &Plan{Opts: opts}
+
+	// Memoization search over the fixed layout (the Fig. 5 preprocessing,
+	// minus Algorithm 9 — with no swap on the table the swapped layout is
+	// never costed).
+	preStart := time.Now()
+	params := model.ParamsForCache(tree.Dims(), tree.FiberCounts(), opts.Rank, opts.CacheBytes)
+	params.AttachAccum(levelRowStats(tree), opts.Threads, opts.MaxPrivElems)
+	save := bestSaveFor(params)
+	switch opts.SaveRule {
+	case SaveAll:
+		save = make([]bool, d)
+		for l := 1; l <= d-2; l++ {
+			save[l] = true
+		}
+	case SaveNone:
+		save = make([]bool, d)
+	}
+	p.Config = model.Config{Save: save, Cost: params.IterationCost(save), Accum: params.AccumChoices()}
+	p.AllConfigs = []model.Config{p.Config}
+	p.PreprocessTime = time.Since(preStart)
+
+	p.Tree = tree
+	if opts.SliceSched {
+		p.Part = sched.NewSlicePartitionNNZ(p.Tree, opts.Threads).ToPartition(p.Tree)
+	} else {
+		p.Part = sched.NewPartition(p.Tree, opts.Threads)
+	}
+
+	accumStart := time.Now()
+	p.buildAccum()
+	p.PreprocessTime += time.Since(accumStart)
+
+	p.MemoBytes = p.Params.MemoBytes(p.Config.Save)
+	p.CSFBytes = p.Tree.Bytes()
+	for _, n := range tree.Dims() {
 		p.FactorBytes += int64(n) * int64(opts.Rank) * 8
 	}
 	return p, nil
@@ -292,7 +356,7 @@ func swappedRowStats(baseTree *csf.Tree, baseStats []model.RowStats, threads int
 func (p *Plan) buildAccum() {
 	opts := p.Opts
 	d := p.Tree.Order()
-	params := model.ParamsForCache(p.Tree.Dims, p.Tree.FiberCounts(), opts.Rank, opts.CacheBytes)
+	params := model.ParamsForCache(p.Tree.Dims(), p.Tree.FiberCounts(), opts.Rank, opts.CacheBytes)
 	stats := levelRowStats(p.Tree)
 	rws := make([]*kernels.RowWrites, d)
 	for u := 1; u < d; u++ {

@@ -11,25 +11,55 @@ package csf
 // FidLevel returns the fiber-id array of level l: FidLevel(l)[n] is the
 // mode index of node n, an int32-bounded value by construction.
 //
-//idx: return len=nnz elem=fid
-func (t *Tree) FidLevel(l int) []int32 { return t.Fids[l] }
+// idx: return len=nnz elem=fid
+func (t *Tree) FidLevel(l int) []int32 { return t.fids[l] }
 
 // PtrLevel returns the child-offset array of level l (nil at the leaf
 // level): offsets are node positions within level l+1 and are nnz-scale —
 // they need 64-bit arithmetic, never int32.
 //
-//idx: return len=nnz elem=nnz
-func (t *Tree) PtrLevel(l int) []int64 { return t.Ptr[l] }
+// idx: return len=nnz elem=nnz
+func (t *Tree) PtrLevel(l int) []int64 { return t.ptr[l] }
 
 // NNZ64 returns the number of non-zeros at the width the count actually
 // has: nnz-scale, bounded by the serialization maxCount (1<<40), not by
 // int32.
 //
-//idx: return nnz
-func (t *Tree) NNZ64() int64 { return int64(len(t.Vals)) }
+// idx: return nnz
+func (t *Tree) NNZ64() int64 { return int64(len(t.vals)) }
 
 // NumFibers64 returns the node count of level l at 64-bit width; interior
 // levels of a 100M+-nnz tensor routinely exceed int32.
 //
-//idx: return nnz
-func (t *Tree) NumFibers64(l int) int64 { return int64(len(t.Fids[l])) }
+// idx: return nnz
+func (t *Tree) NumFibers64(l int) int64 { return int64(len(t.fids[l])) }
+
+// ValsLevel returns the non-zero value array, aligned with the leaf level's
+// fiber ids (FidLevel(Order()-1)).
+//
+// idx: return len=nnz
+func (t *Tree) ValsLevel() []float64 { return t.vals }
+
+// Dims returns the per-level mode lengths. The slice is the tree's own
+// storage and must not be mutated.
+//
+// idx: return len=rank elem=dim
+func (t *Tree) Dims() []int { return t.dims }
+
+// Dim returns the length of the mode stored at level l.
+//
+// idx: return dim
+func (t *Tree) Dim(l int) int { return t.dims[l] }
+
+// Perm returns the tree's mode permutation: level l stores original tensor
+// mode Perm()[l]. The slice is the tree's own storage and must not be
+// mutated; SwappedPerm returns a fresh copy when a derived permutation is
+// needed.
+//
+// idx: return len=rank elem=rank
+func (t *Tree) Perm() []int { return t.perm }
+
+// PermLevel returns the original tensor mode stored at level l.
+//
+// idx: return rank
+func (t *Tree) PermLevel(l int) int { return t.perm[l] }

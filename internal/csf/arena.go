@@ -1,0 +1,478 @@
+package csf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"stef/internal/tensor"
+)
+
+// CSF arena files: a single flat on-disk image of a Tree with a fixed
+// header and 8-byte-aligned sections, designed to be opened zero-copy.
+// Where the CSF1 stream (serialize.go) is decoded element by element into
+// heap slices — an O(nnz) copy that made the paper's 100M+-nnz tensors
+// need 128 GB hosts — an arena is mapped read-only into the address space
+// (OpenArena, mmap_linux.go) and the level arrays become views into the
+// mapping: the open costs O(rank) page touches regardless of nnz, and the
+// OS pages the tensor in and out on demand. On platforms without mmap
+// support the same file is read into heap slices (mmap_other.go), so the
+// API and the resulting Tree are identical either way.
+//
+// Layout (all integers little-endian; every section offset 8-byte aligned):
+//
+//	offset 0   magic  "STEFARN1" (8 bytes)
+//	offset 8   uint32 version (currently 1)
+//	offset 12  uint32 endianness mark 0x0A0B0C0D, written in the file's
+//	           byte order — a big-endian writer would be read back as
+//	           0x0D0C0B0A and rejected
+//	offset 16  uint32 order d (2..64)
+//	offset 20  uint32 reserved (must be 0)
+//	offset 24  section table: (2d+2) entries of {offset int64, count int64},
+//	           count in elements, in file order:
+//	             section 0        dims  (d × int64)
+//	             section 1        perm  (d × int64)
+//	             section 2+l      fids[l] (count × int32), l = 0..d-1
+//	             section 2+d+l    ptr[l]  (count × int64), l = 0..d-2
+//	             section 2d+1     vals  (count × float64)
+//	data sections follow in table order, zero-padded to 8-byte alignment.
+const (
+	arenaMagic      = "STEFARN1"
+	arenaVersion    = 1
+	arenaEndianMark = 0x0A0B0C0D
+	// arenaFixedHeader is the byte size of the fixed part of the header,
+	// before the section table.
+	arenaFixedHeader = 24
+	// arenaMaxOrder mirrors the CSF1 stream's plausibility bound on d.
+	arenaMaxOrder = 64
+)
+
+// arenaSections returns the number of table entries for order d.
+//
+// idx: return rank
+func arenaSections(d int) int { return 2*d + 2 }
+
+// arenaHeaderSize returns the byte size of the full header for order d:
+// 24 fixed bytes plus 16 per section. Already 8-byte aligned.
+//
+// idx: return bytes
+func arenaHeaderSize(d int) int64 { return arenaFixedHeader + 16*int64(arenaSections(d)) }
+
+// arenaSection is one parsed section-table entry.
+type arenaSection struct {
+	//idx: bytes
+	off int64
+	//idx: nnz
+	count int64
+}
+
+// arenaGeometry is the validated header of an arena file: the order plus
+// every section's location, cross-checked against the file size and
+// against each other before anything is mapped or allocated.
+type arenaGeometry struct {
+	//idx: rank
+	d int
+	// sections is indexed as the layout comment describes: 0 dims, 1 perm,
+	// 2+l fids, 2+d+l ptr, 2d+1 vals.
+	sections []arenaSection
+}
+
+func (g *arenaGeometry) dimsSec() arenaSection { return g.sections[0] }
+func (g *arenaGeometry) permSec() arenaSection { return g.sections[1] }
+func (g *arenaGeometry) fidsSec(l int) arenaSection {
+	return g.sections[2+l]
+}
+func (g *arenaGeometry) ptrSec(l int) arenaSection {
+	return g.sections[2+g.d+l]
+}
+func (g *arenaGeometry) valsSec() arenaSection { return g.sections[2*g.d+1] }
+
+// arenaElemSize returns the element byte width of section i for order d.
+//
+// idx: return rank // element widths are 4 or 8
+func arenaElemSize(i, d int) int64 {
+	if i >= 2 && i < 2+d {
+		return 4 // fids are int32
+	}
+	return 8 // dims, perm, ptr, vals
+}
+
+// parseArenaGeometry validates the header bytes of an arena file against
+// the file size and returns the section geometry. hdr must hold at least
+// arenaFixedHeader bytes; the caller extends it to the full table once the
+// order is known. Every check here is O(rank): nothing sized by a
+// file-supplied count is allocated or touched, so a corrupt or adversarial
+// header fails before it can commit memory or fault the mapping.
+func parseArenaGeometry(hdr []byte, fileSize int64) (*arenaGeometry, error) {
+	if int64(len(hdr)) < arenaFixedHeader {
+		return nil, fmt.Errorf("csf: arena header truncated (%d bytes)", len(hdr))
+	}
+	if string(hdr[:8]) != arenaMagic {
+		return nil, fmt.Errorf("csf: bad arena magic %q", hdr[:8])
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(hdr[8:12]); v != arenaVersion {
+		return nil, fmt.Errorf("csf: unsupported arena version %d", v)
+	}
+	if m := le.Uint32(hdr[12:16]); m != arenaEndianMark {
+		return nil, fmt.Errorf("csf: arena endianness mark %#08x, want %#08x (file written on an incompatible byte order)", m, arenaEndianMark)
+	}
+	d := int(le.Uint32(hdr[16:20]))
+	if d < 2 || d > arenaMaxOrder {
+		return nil, fmt.Errorf("csf: implausible arena order %d", d)
+	}
+	if r := le.Uint32(hdr[20:24]); r != 0 {
+		return nil, fmt.Errorf("csf: arena reserved field %#x, want 0", r)
+	}
+	headerSize := arenaHeaderSize(d)
+	if fileSize < headerSize {
+		return nil, fmt.Errorf("csf: arena file size %d below header size %d for order %d", fileSize, headerSize, d)
+	}
+	if int64(len(hdr)) < headerSize {
+		return nil, fmt.Errorf("csf: arena header truncated (%d bytes, want %d)", len(hdr), headerSize)
+	}
+	nsec := arenaSections(d)
+	g := &arenaGeometry{d: d, sections: make([]arenaSection, nsec)}
+	// prevEnd enforces that sections are laid out in table order without
+	// overlap; it starts at the end of the header.
+	//idx: bytes
+	var prevEnd = headerSize
+	for i := 0; i < nsec; i++ {
+		base := arenaFixedHeader + 16*i
+		off := int64(le.Uint64(hdr[base : base+8]))
+		count := int64(le.Uint64(hdr[base+8 : base+16]))
+		if count < 0 || count > maxCount {
+			return nil, fmt.Errorf("csf: arena section %d count %d implausible", i, count)
+		}
+		if off < headerSize || off%8 != 0 {
+			return nil, fmt.Errorf("csf: arena section %d offset %d misaligned or inside the header", i, off)
+		}
+		if off < prevEnd {
+			return nil, fmt.Errorf("csf: arena section %d offset %d overlaps the previous section (ends at %d)", i, off, prevEnd)
+		}
+		// count <= maxCount and elem <= 8 keep the product well under
+		// int64 overflow.
+		byteLen := count * arenaElemSize(i, d)
+		if off > fileSize || byteLen > fileSize-off {
+			return nil, fmt.Errorf("csf: arena section %d (%d bytes at %d) exceeds file size %d", i, byteLen, off, fileSize)
+		}
+		prevEnd = off + byteLen
+		g.sections[i] = arenaSection{off: off, count: count}
+	}
+	// Cross-section count invariants, all O(rank): the dims and perm
+	// sections carry exactly d entries, every pointer level has one more
+	// entry than its fiber level, and the value section is leaf-aligned.
+	if g.dimsSec().count != int64(d) || g.permSec().count != int64(d) {
+		return nil, fmt.Errorf("csf: arena dims/perm section counts (%d, %d) want %d", g.dimsSec().count, g.permSec().count, d)
+	}
+	for l := 0; l < d-1; l++ {
+		if g.ptrSec(l).count != g.fidsSec(l).count+1 {
+			return nil, fmt.Errorf("csf: arena level %d ptr count %d, want fiber count %d + 1", l, g.ptrSec(l).count, g.fidsSec(l).count)
+		}
+	}
+	if g.valsSec().count != g.fidsSec(d-1).count {
+		return nil, fmt.Errorf("csf: arena value count %d does not match leaf count %d", g.valsSec().count, g.fidsSec(d-1).count)
+	}
+	return g, nil
+}
+
+// decodeArenaMeta converts the raw dims and perm section payloads into the
+// tree's []int form, rejecting out-of-range dims (fiber ids are int32, so a
+// mode length beyond int32 can never be addressed) and non-permutations.
+func decodeArenaMeta(d int, rawDims, rawPerm []int64) (dims, perm []int, err error) {
+	dims = make([]int, d)
+	perm = make([]int, d)
+	for l := 0; l < d; l++ {
+		if rawDims[l] < 1 || rawDims[l] > int64(1)<<31-1 {
+			return nil, nil, fmt.Errorf("csf: arena level %d dim %d out of range", l, rawDims[l])
+		}
+		dims[l] = int(rawDims[l])
+		if rawPerm[l] < 0 || rawPerm[l] >= int64(d) {
+			return nil, nil, fmt.Errorf("csf: arena perm entry %d out of range", rawPerm[l])
+		}
+		perm[l] = int(rawPerm[l])
+	}
+	if err := tensor.CheckPerm(perm, d); err != nil {
+		return nil, nil, fmt.Errorf("csf: arena perm invalid: %w", err)
+	}
+	return dims, perm, nil
+}
+
+// checkArenaEndpoints verifies the O(rank) structural endpoints of a tree
+// assembled from arena sections: every internal level's pointer array must
+// start at 0 and its last entry must cover the next level exactly. On the
+// mmap path this touches only the first and last page of each pointer
+// section, keeping the open independent of nnz; interior pointer
+// monotonicity and fiber-id ranges are the body of the file and are
+// deliberately not scanned here — Validate() performs the full O(nnz)
+// check for callers that do not trust the file's producer.
+func checkArenaEndpoints(t *Tree) error {
+	d := t.Order()
+	for l := 0; l < d-1; l++ {
+		p := t.ptr[l]
+		if len(p) == 0 {
+			if len(t.fids[l+1]) != 0 {
+				return fmt.Errorf("csf: arena level %d has no pointers but level %d has %d nodes", l, l+1, len(t.fids[l+1]))
+			}
+			continue
+		}
+		if p[0] != 0 {
+			return fmt.Errorf("csf: arena level %d ptr[0] = %d", l, p[0])
+		}
+		if last := p[len(p)-1]; last != int64(len(t.fids[l+1])) {
+			return fmt.Errorf("csf: arena level %d last ptr %d does not cover level %d (%d nodes)", l, last, l+1, len(t.fids[l+1]))
+		}
+	}
+	return nil
+}
+
+// WriteArena writes the tree as an arena file at path, crash-safely: the
+// image is built in a temp file in the target directory, fsynced, and
+// atomically renamed onto path (the same discipline as SaveFile). The
+// resulting file opens zero-copy with OpenArena.
+func (t *Tree) WriteArena(path string) error {
+	return writeFileAtomic(path, t.writeArenaTo)
+}
+
+// writeArenaTo streams the arena image to f. Section offsets are computed
+// up front so the header can be written first in one pass.
+func (t *Tree) writeArenaTo(f *os.File) error {
+	d := t.Order()
+	if d > arenaMaxOrder {
+		return fmt.Errorf("csf: order %d exceeds arena maximum %d", d, arenaMaxOrder)
+	}
+	nsec := arenaSections(d)
+	counts := make([]int64, nsec)
+	counts[0] = int64(d)
+	counts[1] = int64(d)
+	for l := 0; l < d; l++ {
+		counts[2+l] = int64(len(t.fids[l]))
+	}
+	for l := 0; l < d-1; l++ {
+		counts[2+d+l] = int64(len(t.ptr[l]))
+	}
+	counts[nsec-1] = int64(len(t.vals))
+
+	offs := make([]int64, nsec)
+	//idx: bytes
+	var at = arenaHeaderSize(d)
+	for i := 0; i < nsec; i++ {
+		offs[i] = at
+		at += align8(counts[i] * arenaElemSize(i, d))
+	}
+
+	hdr := make([]byte, arenaHeaderSize(d))
+	le := binary.LittleEndian
+	copy(hdr[:8], arenaMagic)
+	le.PutUint32(hdr[8:12], arenaVersion)
+	le.PutUint32(hdr[12:16], arenaEndianMark)
+	le.PutUint32(hdr[16:20], uint32(d))
+	le.PutUint32(hdr[20:24], 0)
+	for i := 0; i < nsec; i++ {
+		base := arenaFixedHeader + 16*i
+		le.PutUint64(hdr[base:base+8], uint64(offs[i]))
+		le.PutUint64(hdr[base+8:base+16], uint64(counts[i]))
+	}
+	if _, err := f.Write(hdr); err != nil {
+		return err
+	}
+
+	w := newArenaWriter(f)
+	for l := 0; l < d; l++ {
+		w.int64s(int64(t.dims[l]))
+	}
+	for l := 0; l < d; l++ {
+		w.int64s(int64(t.perm[l]))
+	}
+	for l := 0; l < d; l++ {
+		w.int32Slice(t.fids[l])
+		w.pad()
+	}
+	for l := 0; l < d-1; l++ {
+		w.int64Slice(t.ptr[l])
+	}
+	w.float64Slice(t.vals)
+	return w.flush()
+}
+
+// align8 rounds n up to the next multiple of 8.
+//
+// idx: return bytes
+func align8(n int64) int64 { return (n + 7) &^ 7 }
+
+// arenaWriter batches little-endian section writes through one buffer and
+// tracks alignment padding.
+type arenaWriter struct {
+	f   *os.File
+	buf []byte
+	err error
+	// written counts payload bytes since the last pad, to size the
+	// alignment padding.
+	//idx: bytes
+	written int64
+}
+
+func newArenaWriter(f *os.File) *arenaWriter {
+	return &arenaWriter{f: f, buf: make([]byte, 0, 1<<20)}
+}
+
+func (w *arenaWriter) flushBuf() {
+	if w.err == nil && len(w.buf) > 0 {
+		_, w.err = w.f.Write(w.buf)
+	}
+	w.buf = w.buf[:0]
+}
+
+func (w *arenaWriter) room(n int) {
+	if len(w.buf)+n > cap(w.buf) {
+		w.flushBuf()
+	}
+}
+
+func (w *arenaWriter) int64s(v int64) {
+	w.room(8)
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(v))
+	w.written += 8
+}
+
+func (w *arenaWriter) int32Slice(s []int32) {
+	for _, v := range s {
+		w.room(4)
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(v))
+	}
+	w.written += 4 * int64(len(s))
+}
+
+func (w *arenaWriter) int64Slice(s []int64) {
+	for _, v := range s {
+		w.int64s(v)
+	}
+}
+
+func (w *arenaWriter) float64Slice(s []float64) {
+	for _, v := range s {
+		w.room(8)
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+	}
+	w.written += 8 * int64(len(s))
+}
+
+// pad zero-fills to the next 8-byte boundary after an int32 section.
+func (w *arenaWriter) pad() {
+	for w.written%8 != 0 {
+		w.room(1)
+		w.buf = append(w.buf, 0)
+		w.written++
+	}
+}
+
+func (w *arenaWriter) flush() error {
+	w.flushBuf()
+	return w.err
+}
+
+// OpenArena opens an arena file written by WriteArena. On linux the file
+// is mapped read-only into the address space and the returned tree's level
+// arrays are zero-copy views into the mapping: the open performs O(rank)
+// work and page touches however large the tensor is, and the OS pages the
+// data on demand. On other platforms the sections are read into heap
+// slices so the API is uniform. Either way the returned tree carries a
+// Backing that must be Closed when the tree is no longer in use; all
+// slices taken through the accessor layer are invalid after Close on the
+// mmap path.
+//
+// OpenArena validates the header geometry and the O(rank) structural
+// endpoints but, by design, does not scan the body of the file (that would
+// defeat the zero-copy open); arena files are trusted artifacts. Call
+// Validate() on the returned tree to run the full O(nnz) structural check
+// when the producer is not trusted.
+func OpenArena(path string) (*Tree, error) {
+	return openArenaPlatform(path)
+}
+
+// readArenaGeometry reads and validates the header of an opened arena
+// file. Shared by the mmap and fallback open paths.
+func readArenaGeometry(f *os.File) (*arenaGeometry, int64, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	size := fi.Size()
+	fixed := make([]byte, arenaFixedHeader)
+	if _, err := f.ReadAt(fixed, 0); err != nil {
+		return nil, 0, fmt.Errorf("csf: read arena header: %w", err)
+	}
+	// Parse the fixed part first to learn the order, then re-read the full
+	// table. parseArenaGeometry re-checks the fixed fields on the second
+	// pass; the first pass exists only to size the table read, so its only
+	// job is to fail fast on files shorter than any valid header.
+	if string(fixed[:8]) != arenaMagic {
+		return nil, 0, fmt.Errorf("csf: bad arena magic %q", fixed[:8])
+	}
+	d := int(binary.LittleEndian.Uint32(fixed[16:20]))
+	if d < 2 || d > arenaMaxOrder {
+		return nil, 0, fmt.Errorf("csf: implausible arena order %d", d)
+	}
+	hdr := make([]byte, arenaHeaderSize(d))
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return nil, 0, fmt.Errorf("csf: read arena section table: %w", err)
+	}
+	g, err := parseArenaGeometry(hdr, size)
+	if err != nil {
+		return nil, 0, err
+	}
+	return g, size, nil
+}
+
+// sectionLoader materialises section payloads for one open path: the mmap
+// loader returns zero-copy views into the mapping, the heap fallback reads
+// the bytes into fresh slices. Either way the caller has already validated
+// the geometry, so count and offset are trustworthy.
+type sectionLoader interface {
+	int32s(sec arenaSection) ([]int32, error)
+	int64s(sec arenaSection) ([]int64, error)
+	float64s(sec arenaSection) ([]float64, error)
+}
+
+// treeFromArena assembles a Tree from validated arena geometry using the
+// given loader, then runs the O(rank) endpoint checks. The caller attaches
+// the backing.
+func treeFromArena(g *arenaGeometry, load sectionLoader) (*Tree, error) {
+	d := g.d
+	rawDims, err := load.int64s(g.dimsSec())
+	if err != nil {
+		return nil, fmt.Errorf("csf: arena dims: %w", err)
+	}
+	rawPerm, err := load.int64s(g.permSec())
+	if err != nil {
+		return nil, fmt.Errorf("csf: arena perm: %w", err)
+	}
+	dims, perm, err := decodeArenaMeta(d, rawDims, rawPerm)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		dims: dims,
+		perm: perm,
+		fids: make([][]int32, d),
+		ptr:  make([][]int64, d),
+	}
+	for l := 0; l < d; l++ {
+		if t.fids[l], err = load.int32s(g.fidsSec(l)); err != nil {
+			return nil, fmt.Errorf("csf: arena level %d fids: %w", l, err)
+		}
+	}
+	for l := 0; l < d-1; l++ {
+		if t.ptr[l], err = load.int64s(g.ptrSec(l)); err != nil {
+			return nil, fmt.Errorf("csf: arena level %d ptr: %w", l, err)
+		}
+	}
+	if t.vals, err = load.float64s(g.valsSec()); err != nil {
+		return nil, fmt.Errorf("csf: arena vals: %w", err)
+	}
+	if err := checkArenaEndpoints(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

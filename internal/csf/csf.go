@@ -3,9 +3,10 @@
 // by STeF, and the last-two-mode fiber-counting pass of Algorithm 9.
 //
 // A CSF tree of depth d stores one level per tensor mode. Level 0 holds the
-// root slices; level d-1 holds one node per non-zero, aligned with Vals.
-// Fids[l][n] is the tensor index (in the CSF's own level order) of node n
-// at level l; Ptr[l][n] .. Ptr[l][n+1] delimit n's children at level l+1.
+// root slices; level d-1 holds one node per non-zero, aligned with the
+// value array. FidLevel(l)[n] is the tensor index (in the CSF's own level
+// order) of node n at level l; PtrLevel(l)[n] .. PtrLevel(l)[n+1] delimit
+// n's children at level l+1.
 package csf
 
 import (
@@ -15,25 +16,60 @@ import (
 )
 
 // Tree is a CSF representation of a sparse tensor under a fixed mode
-// permutation. All fields are read-only after Build.
+// permutation. The storage is read-only after construction and reachable
+// only through the accessor layer (access.go); the level arrays may live
+// on the Go heap (Build, ReadFrom) or inside an arena backing (OpenArena),
+// and nothing outside this package may depend on which — the csf-backing
+// steflint analyzer enforces the seam.
 type Tree struct {
-	// Dims[l] is the length of the mode stored at level l.
+	// dims[l] is the length of the mode stored at level l.
 	//idx: len=rank elem=dim
-	Dims []int
-	// Perm maps CSF level to original tensor mode: level l stores
-	// original mode Perm[l].
+	dims []int
+	// perm maps CSF level to original tensor mode: level l stores
+	// original mode perm[l].
 	//idx: len=rank elem=rank
-	Perm []int
-	// Fids[l] holds the index of each node at level l.
+	perm []int
+	// fids[l] holds the index of each node at level l.
 	//idx: len=rank,nnz elem=fid
-	Fids [][]int32
-	// Ptr[l] (for l in 0..d-2) holds len(Fids[l])+1 offsets into level
-	// l+1. Ptr[d-1] is nil.
+	fids [][]int32
+	// ptr[l] (for l in 0..d-2) holds len(fids[l])+1 offsets into level
+	// l+1. ptr[d-1] is nil.
 	//idx: len=rank,nnz elem=nnz
-	Ptr [][]int64
-	// Vals holds the non-zero values, aligned with Fids[d-1].
+	ptr [][]int64
+	// vals holds the non-zero values, aligned with fids[d-1].
 	//idx: len=nnz
-	Vals []float64
+	vals []float64
+	// backing owns the memory behind the level slices when they are views
+	// into an arena (nil for heap-backed trees, whose storage the GC owns).
+	backing Backing
+}
+
+// Backing owns the storage behind a Tree's level arrays. Heap-backed trees
+// have no backing (Backing() returns nil); arena-backed trees hold one that
+// must be closed when the tree is no longer in use.
+type Backing interface {
+	// Kind names the backing for diagnostics: "arena-mmap" for a zero-copy
+	// file mapping, "arena-heap" for the portable fallback that reads the
+	// arena sections into heap slices.
+	Kind() string
+	// Close releases the resources the backing owns. For an mmap backing
+	// every slice taken from the tree is invalid after Close; for heap
+	// backings Close is a no-op. Close is idempotent.
+	Close() error
+}
+
+// Backing returns the tree's storage backing, or nil for heap-backed trees.
+func (t *Tree) Backing() Backing { return t.backing }
+
+// Close releases the tree's storage backing. It is a no-op (and returns
+// nil) for heap-backed trees, so callers can defer Close unconditionally.
+// After Close on an arena-backed tree, no slice previously taken through
+// the accessor layer may be used.
+func (t *Tree) Close() error {
+	if t.backing == nil {
+		return nil
+	}
+	return t.backing.Close()
 }
 
 // Build constructs a CSF tree from t using the given mode permutation
@@ -55,11 +91,11 @@ func Build(t *tensor.Tensor, perm []int) *Tree {
 
 	nnz := pt.NNZ()
 	tr := &Tree{
-		Dims: pt.Dims,
-		Perm: append([]int(nil), perm...),
-		Fids: make([][]int32, d),
-		Ptr:  make([][]int64, d),
-		Vals: pt.Vals,
+		dims: pt.Dims,
+		perm: append([]int(nil), perm...),
+		fids: make([][]int32, d),
+		ptr:  make([][]int64, d),
+		vals: pt.Vals,
 	}
 	// chg[k] is the shallowest level whose coordinate differs between
 	// non-zeros k-1 and k. A new fiber starts at level l exactly when
@@ -83,7 +119,7 @@ func Build(t *tensor.Tensor, perm []int) *Tree {
 	for k := 0; k < nnz; k++ {
 		leaf[k] = pt.Inds[k*d+d-1]
 	}
-	tr.Fids[d-1] = leaf
+	tr.fids[d-1] = leaf
 
 	for l := 0; l < d-1; l++ {
 		var fids []int32
@@ -104,26 +140,26 @@ func Build(t *tensor.Tensor, perm []int) *Tree {
 		if nnz > 0 {
 			ptr = append(ptr, ptr[len(ptr)-1]+children)
 		}
-		tr.Fids[l] = fids
-		tr.Ptr[l] = ptr
+		tr.fids[l] = fids
+		tr.ptr[l] = ptr
 	}
 	return tr
 }
 
 // Order returns the tree depth (tensor order).
-func (t *Tree) Order() int { return len(t.Dims) }
+func (t *Tree) Order() int { return len(t.dims) }
 
 // NNZ returns the number of non-zeros.
-func (t *Tree) NNZ() int { return len(t.Vals) }
+func (t *Tree) NNZ() int { return len(t.vals) }
 
 // NumFibers returns the number of nodes at level l — the paper's m_l.
-func (t *Tree) NumFibers(l int) int { return len(t.Fids[l]) }
+func (t *Tree) NumFibers(l int) int { return len(t.fids[l]) }
 
 // FiberCounts returns the node count of every level, root to leaf.
 func (t *Tree) FiberCounts() []int64 {
 	c := make([]int64, t.Order())
 	for l := range c {
-		c[l] = int64(len(t.Fids[l]))
+		c[l] = int64(len(t.fids[l]))
 	}
 	return c
 }
@@ -134,10 +170,10 @@ func (t *Tree) AvgFiberLen(l int) float64 {
 	if l >= t.Order()-1 {
 		panic("csf: AvgFiberLen on leaf level")
 	}
-	if len(t.Fids[l]) == 0 {
+	if len(t.fids[l]) == 0 {
 		return 0
 	}
-	return float64(len(t.Fids[l+1])) / float64(len(t.Fids[l]))
+	return float64(len(t.fids[l+1])) / float64(len(t.fids[l]))
 }
 
 // Bytes returns the in-memory footprint of the CSF structure: 4 bytes per
@@ -145,12 +181,12 @@ func (t *Tree) AvgFiberLen(l int) float64 {
 func (t *Tree) Bytes() int64 {
 	b := int64(0)
 	for l := 0; l < t.Order(); l++ {
-		b += int64(len(t.Fids[l])) * 4
-		if t.Ptr[l] != nil {
-			b += int64(len(t.Ptr[l])) * 8
+		b += int64(len(t.fids[l])) * 4
+		if t.ptr[l] != nil {
+			b += int64(len(t.ptr[l])) * 8
 		}
 	}
-	b += int64(len(t.Vals)) * 8
+	b += int64(len(t.vals)) * 8
 	return b
 }
 
@@ -164,12 +200,12 @@ func (t *Tree) ToCOO(origDims []int) *tensor.Tensor {
 	coordOrig := make([]int32, d)
 	t.WalkLeaves(func(path []int64, k int) {
 		for l := 0; l < d; l++ {
-			coordCSF[l] = t.Fids[l][path[l]]
+			coordCSF[l] = t.fids[l][path[l]]
 		}
 		for l := 0; l < d; l++ {
-			coordOrig[t.Perm[l]] = coordCSF[l]
+			coordOrig[t.perm[l]] = coordCSF[l]
 		}
-		out.Append(coordOrig, t.Vals[k])
+		out.Append(coordOrig, t.vals[k])
 	})
 	return out
 }
@@ -187,11 +223,11 @@ func (t *Tree) WalkLeaves(fn func(path []int64, k int)) {
 			fn(path, int(node))
 			return
 		}
-		for c := t.Ptr[l][node]; c < t.Ptr[l][node+1]; c++ {
+		for c := t.ptr[l][node]; c < t.ptr[l][node+1]; c++ {
 			rec(l+1, c)
 		}
 	}
-	for n := int64(0); n < int64(len(t.Fids[0])); n++ {
+	for n := int64(0); n < int64(len(t.fids[0])); n++ {
 		rec(0, n)
 	}
 }
@@ -201,17 +237,17 @@ func (t *Tree) WalkLeaves(fn func(path []int64, k int)) {
 func (t *Tree) Validate() error {
 	d := t.Order()
 	for l := 0; l < d; l++ {
-		for _, f := range t.Fids[l] {
-			if f < 0 || int(f) >= t.Dims[l] {
-				return fmt.Errorf("csf: level %d fiber id %d out of range (dim %d)", l, f, t.Dims[l])
+		for _, f := range t.fids[l] {
+			if f < 0 || int(f) >= t.dims[l] {
+				return fmt.Errorf("csf: level %d fiber id %d out of range (dim %d)", l, f, t.dims[l])
 			}
 		}
 		if l == d-1 {
 			continue
 		}
-		p := t.Ptr[l]
-		if len(p) != len(t.Fids[l])+1 {
-			return fmt.Errorf("csf: level %d ptr length %d, want %d", l, len(p), len(t.Fids[l])+1)
+		p := t.ptr[l]
+		if len(p) != len(t.fids[l])+1 {
+			return fmt.Errorf("csf: level %d ptr length %d, want %d", l, len(p), len(t.fids[l])+1)
 		}
 		if p[0] != 0 {
 			return fmt.Errorf("csf: level %d ptr[0] = %d", l, p[0])
@@ -221,21 +257,59 @@ func (t *Tree) Validate() error {
 				return fmt.Errorf("csf: level %d node %d has empty or negative child range", l, n)
 			}
 		}
-		if p[len(p)-1] != int64(len(t.Fids[l+1])) {
-			return fmt.Errorf("csf: level %d last ptr %d does not cover level %d (%d nodes)", l, p[len(p)-1], l+1, len(t.Fids[l+1]))
+		if p[len(p)-1] != int64(len(t.fids[l+1])) {
+			return fmt.Errorf("csf: level %d last ptr %d does not cover level %d (%d nodes)", l, p[len(p)-1], l+1, len(t.fids[l+1]))
 		}
 	}
-	if len(t.Fids[d-1]) != len(t.Vals) {
-		return fmt.Errorf("csf: leaf count %d != value count %d", len(t.Fids[d-1]), len(t.Vals))
+	if len(t.fids[d-1]) != len(t.vals) {
+		return fmt.Errorf("csf: leaf count %d != value count %d", len(t.fids[d-1]), len(t.vals))
 	}
 	return nil
+}
+
+// Equal reports whether two trees have identical structure and values:
+// same dims, perm, per-level fiber ids and pointers, and bit-identical
+// non-zero values. Backings are not compared — a heap tree and an arena
+// view of the same tensor are equal. Intended for tests and tools.
+func Equal(a, b *Tree) bool {
+	if a.Order() != b.Order() || a.NNZ() != b.NNZ() {
+		return false
+	}
+	d := a.Order()
+	for l := 0; l < d; l++ {
+		if a.dims[l] != b.dims[l] || a.perm[l] != b.perm[l] {
+			return false
+		}
+		if len(a.fids[l]) != len(b.fids[l]) {
+			return false
+		}
+		for n, f := range a.fids[l] {
+			if b.fids[l][n] != f {
+				return false
+			}
+		}
+		if (a.ptr[l] == nil) != (b.ptr[l] == nil) || len(a.ptr[l]) != len(b.ptr[l]) {
+			return false
+		}
+		for n, p := range a.ptr[l] {
+			if b.ptr[l][n] != p {
+				return false
+			}
+		}
+	}
+	for k, v := range a.vals {
+		if b.vals[k] != v {
+			return false
+		}
+	}
+	return true
 }
 
 // SwappedPerm returns the tree's mode permutation with the last two levels
 // exchanged — the alternative layout considered in Section II-E.
 func (t *Tree) SwappedPerm() []int {
 	d := t.Order()
-	p := append([]int(nil), t.Perm...)
+	p := append([]int(nil), t.perm...)
 	p[d-2], p[d-1] = p[d-1], p[d-2]
 	return p
 }

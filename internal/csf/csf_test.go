@@ -50,8 +50,8 @@ func TestBuildIdentityPerm(t *testing.T) {
 		t.Fatal(err)
 	}
 	for l, want := range tt.Dims {
-		if tr.Dims[l] != want {
-			t.Errorf("level %d dim %d, want %d", l, tr.Dims[l], want)
+		if tr.dims[l] != want {
+			t.Errorf("level %d dim %d, want %d", l, tr.dims[l], want)
 		}
 	}
 }
@@ -172,12 +172,12 @@ func TestBytesAccounting(t *testing.T) {
 	tr := Build(tt, nil)
 	want := int64(0)
 	for l := 0; l < 3; l++ {
-		want += int64(len(tr.Fids[l])) * 4
-		if tr.Ptr[l] != nil {
-			want += int64(len(tr.Ptr[l])) * 8
+		want += int64(len(tr.fids[l])) * 4
+		if tr.ptr[l] != nil {
+			want += int64(len(tr.ptr[l])) * 8
 		}
 	}
-	want += int64(len(tr.Vals)) * 8
+	want += int64(len(tr.vals)) * 8
 	if got := tr.Bytes(); got != want {
 		t.Errorf("Bytes() = %d, want %d", got, want)
 	}
@@ -195,7 +195,7 @@ func TestWalkLeavesOrder(t *testing.T) {
 		prev = k
 		n++
 		for l := 0; l < tr.Order()-1; l++ {
-			lo, hi := tr.Ptr[l][path[l]], tr.Ptr[l][path[l]+1]
+			lo, hi := tr.ptr[l][path[l]], tr.ptr[l][path[l]+1]
 			if path[l+1] < lo || path[l+1] >= hi {
 				t.Fatalf("leaf %d: path level %d node %d outside parent range [%d,%d)", k, l+1, path[l+1], lo, hi)
 			}
@@ -261,7 +261,7 @@ func TestStats(t *testing.T) {
 		t.Fatalf("%d levels", len(st))
 	}
 	for l, s := range st {
-		if s.Level != l || s.Mode != tr.Perm[l] || s.Fibers != tr.NumFibers(l) {
+		if s.Level != l || s.Mode != tr.perm[l] || s.Fibers != tr.NumFibers(l) {
 			t.Errorf("level %d stats inconsistent: %+v", l, s)
 		}
 		if l < 2 {

@@ -60,7 +60,7 @@ func boundaryCountHeader(delta int64) []byte {
 func level1CountOffset(tr *Tree) int {
 	d := tr.Order()
 	off := len(magic) + 4 + d*8 + d*8
-	c0 := len(tr.Fids[0])
+	c0 := len(tr.fids[0])
 	return off + 8 + c0*4 + (c0+1)*8
 }
 
@@ -92,7 +92,7 @@ func FuzzReadFrom(f *testing.F) {
 	// level 0's pointer coverage: the cross-level check must refuse it
 	// before sizing level 1.
 	tr := mustTree([]int{5, 6, 7}, 60, 2)
-	f.Add(corrupt64(valid, level1CountOffset(tr), int64(len(tr.Fids[1]))+1))
+	f.Add(corrupt64(valid, level1CountOffset(tr), int64(len(tr.fids[1]))+1))
 	f.Add(serializedSeed([]int{4, 5, 6, 7}, 40, 3))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadFrom(bytes.NewReader(data))
@@ -138,7 +138,7 @@ func TestReadFromCountHardening(t *testing.T) {
 	tr := mustTree([]int{5, 6, 7}, 60, 2)
 	d := tr.Order()
 	hdr := len(magic) + 4 + d*8 + d*8
-	c0 := len(tr.Fids[0])
+	c0 := len(tr.fids[0])
 
 	cases := []struct {
 		name string
@@ -147,7 +147,7 @@ func TestReadFromCountHardening(t *testing.T) {
 	}{
 		{
 			"cross-level count mismatch",
-			corrupt64(valid, level1CountOffset(tr), int64(len(tr.Fids[1]))+1),
+			corrupt64(valid, level1CountOffset(tr), int64(len(tr.fids[1]))+1),
 			"does not match parent pointer coverage",
 		},
 		{

@@ -1,0 +1,99 @@
+//go:build linux
+
+package csf
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// Zero-copy arena opening on linux: the whole file is mapped read-only
+// with MAP_SHARED and the tree's level arrays are unsafe.Slice views into
+// the mapping. Opening touches only the header pages and the pointer-
+// section endpoints (checkArenaEndpoints), so the latency is O(rank)
+// regardless of nnz; the kernel pages the body in on first access and can
+// evict it under memory pressure, which is what lets a 100M+-nnz tensor
+// open in milliseconds on a host that could never hold a heap copy.
+
+// mmapBacking owns one read-only file mapping. Close unmaps it; after
+// Close every slice viewing the mapping is invalid (use-after-close faults
+// rather than silently reading freed heap memory, which is the safer
+// failure mode).
+type mmapBacking struct {
+	once sync.Once
+	data []byte
+	err  error
+}
+
+func (b *mmapBacking) Kind() string { return "arena-mmap" }
+
+func (b *mmapBacking) Close() error {
+	b.once.Do(func() {
+		if b.data != nil {
+			b.err = syscall.Munmap(b.data)
+			b.data = nil
+		}
+	})
+	return b.err
+}
+
+// view returns sec's payload as a []T aliasing the mapping. The geometry
+// has already bounds-checked off+count*sizeof(T) against the file size and
+// 8-byte alignment, so the unsafe.Slice is within the mapping and aligned
+// for T.
+func view[T int32 | int64 | float64](data []byte, sec arenaSection) []T {
+	if sec.count == 0 {
+		// An empty view must not alias the mapping: unsafe.Slice with
+		// len 0 is fine, but a nil slice keeps Equal and reflect-free
+		// comparisons simple.
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&data[sec.off])), sec.count)
+}
+
+// mmapLoader materialises sections as zero-copy views; it can never fail,
+// the error returns exist only to satisfy sectionLoader.
+type mmapLoader struct{ data []byte }
+
+func (m mmapLoader) int32s(sec arenaSection) ([]int32, error) {
+	return view[int32](m.data, sec), nil
+}
+func (m mmapLoader) int64s(sec arenaSection) ([]int64, error) {
+	return view[int64](m.data, sec), nil
+}
+func (m mmapLoader) float64s(sec arenaSection) ([]float64, error) {
+	return view[float64](m.data, sec), nil
+}
+
+// openArenaPlatform maps path and assembles a Tree whose storage aliases
+// the mapping.
+func openArenaPlatform(path string) (*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, size, err := readArenaGeometry(f)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(size) > math.MaxInt {
+		return nil, fmt.Errorf("csf: arena file size %d exceeds the address space", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("csf: mmap arena: %w", err)
+	}
+	backing := &mmapBacking{data: data}
+	t, err := treeFromArena(g, mmapLoader{data: data})
+	if err != nil {
+		backing.Close()
+		return nil, err
+	}
+	t.backing = backing
+	return t, nil
+}

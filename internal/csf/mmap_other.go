@@ -1,0 +1,76 @@
+//go:build !linux
+
+package csf
+
+import (
+	"io"
+	"os"
+)
+
+// Portable arena fallback: platforms without the linux mmap path read each
+// section into heap slices through the same geometry validation and
+// bounded-chunk readSlice the CSF1 stream uses. Opening costs O(nnz) like
+// ReadFrom, but the file format, the resulting Tree, and the Backing/Close
+// lifecycle are identical to the zero-copy path, so callers are portable.
+
+// heapBacking marks a tree whose arena sections were copied to the heap;
+// the GC owns the storage, so Close has nothing to release.
+type heapBacking struct{}
+
+func (heapBacking) Kind() string { return "arena-heap" }
+func (heapBacking) Close() error { return nil }
+
+// heapLoader reads section payloads out of the file at their validated
+// offsets.
+type heapLoader struct{ f *os.File }
+
+func (h heapLoader) int32s(sec arenaSection) ([]int32, error) {
+	return readSectionAt[int32](h.f, sec)
+}
+func (h heapLoader) int64s(sec arenaSection) ([]int64, error) {
+	return readSectionAt[int64](h.f, sec)
+}
+func (h heapLoader) float64s(sec arenaSection) ([]float64, error) {
+	return readSectionAt[float64](h.f, sec)
+}
+
+func readSectionAt[T int32 | int64 | float64](f *os.File, sec arenaSection) ([]T, error) {
+	if sec.count == 0 {
+		return nil, nil
+	}
+	var elem T
+	r := io.NewSectionReader(f, sec.off, sec.count*sizeOf(elem))
+	return readSlice[T](r, sec.count)
+}
+
+// sizeOf returns the byte width of an arena element type.
+//
+// idx: return rank // 4 or 8
+func sizeOf[T int32 | int64 | float64](T) int64 {
+	var v T
+	switch any(v).(type) {
+	case int32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// openArenaPlatform opens path by copying its sections to the heap.
+func openArenaPlatform(path string) (*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, _, err := readArenaGeometry(f)
+	if err != nil {
+		return nil, err
+	}
+	t, err := treeFromArena(g, heapLoader{f: f})
+	if err != nil {
+		return nil, err
+	}
+	t.backing = heapBacking{}
+	return t, nil
+}

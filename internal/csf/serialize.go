@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // Binary serialisation of CSF trees. Building a CSF costs a full sort of
@@ -37,37 +38,42 @@ func (t *Tree) WriteTo(w io.Writer) (int64, error) {
 	if err := write(uint32(d)); err != nil {
 		return n, err
 	}
-	for _, x := range t.Dims {
+	for _, x := range t.dims {
 		if err := write(int64(x)); err != nil {
 			return n, err
 		}
 	}
-	for _, x := range t.Perm {
+	for _, x := range t.perm {
 		if err := write(int64(x)); err != nil {
 			return n, err
 		}
 	}
 	for l := 0; l < d; l++ {
-		if err := write(int64(len(t.Fids[l]))); err != nil {
+		if err := write(int64(len(t.fids[l]))); err != nil {
 			return n, err
 		}
-		if err := write(t.Fids[l]); err != nil {
+		if err := write(t.fids[l]); err != nil {
 			return n, err
 		}
 		if l < d-1 {
-			if err := write(t.Ptr[l]); err != nil {
+			if err := write(t.ptr[l]); err != nil {
 				return n, err
 			}
 		}
 	}
-	if err := write(int64(len(t.Vals))); err != nil {
+	if err := write(int64(len(t.vals))); err != nil {
 		return n, err
 	}
-	if err := write(t.Vals); err != nil {
+	if err := write(t.vals); err != nil {
 		return n, err
 	}
 	return n, bw.Flush()
 }
+
+// maxCount is the sanity bound on any node, non-zero or pointer count a
+// serialized tree (CSF1 stream or arena file) may claim; it also calibrates
+// the idx-width analyzer's nnz scale class (2^40).
+const maxCount = 1 << 40
 
 // readChunk bounds single allocations while deserialising: a corrupt
 // header claiming a huge element count hits EOF after at most one chunk
@@ -122,10 +128,10 @@ func readFrom(r io.Reader, byteSize int64) (*Tree, error) {
 		return nil, fmt.Errorf("csf: implausible order %d", d)
 	}
 	t := &Tree{
-		Dims: make([]int, d),
-		Perm: make([]int, d),
-		Fids: make([][]int32, d),
-		Ptr:  make([][]int64, d),
+		dims: make([]int, d),
+		perm: make([]int, d),
+		fids: make([][]int32, d),
+		ptr:  make([][]int64, d),
 	}
 	readInt := func(dst *int) error {
 		var x int64
@@ -136,16 +142,15 @@ func readFrom(r io.Reader, byteSize int64) (*Tree, error) {
 		return nil
 	}
 	for l := 0; l < d; l++ {
-		if err := readInt(&t.Dims[l]); err != nil {
+		if err := readInt(&t.dims[l]); err != nil {
 			return nil, fmt.Errorf("csf: read dims: %w", err)
 		}
 	}
 	for l := 0; l < d; l++ {
-		if err := readInt(&t.Perm[l]); err != nil {
+		if err := readInt(&t.perm[l]); err != nil {
 			return nil, fmt.Errorf("csf: read perm: %w", err)
 		}
 	}
-	const maxCount = 1 << 40 // sanity bound against corrupt headers
 	// expect is the node count level l must have, derived from level l-1's
 	// last pointer; -1 before any pointer level has been read.
 	expect := int64(-1)
@@ -165,14 +170,14 @@ func readFrom(r io.Reader, byteSize int64) (*Tree, error) {
 			return nil, fmt.Errorf("csf: level %d count %d exceeds source size %d", l, count, byteSize)
 		}
 		var err error
-		if t.Fids[l], err = readSlice[int32](br, count); err != nil {
+		if t.fids[l], err = readSlice[int32](br, count); err != nil {
 			return nil, fmt.Errorf("csf: read level %d fids: %w", l, err)
 		}
 		if l < d-1 {
-			if t.Ptr[l], err = readSlice[int64](br, count+1); err != nil {
+			if t.ptr[l], err = readSlice[int64](br, count+1); err != nil {
 				return nil, fmt.Errorf("csf: read level %d ptr: %w", l, err)
 			}
-			p := t.Ptr[l]
+			p := t.ptr[l]
 			if p[0] != 0 {
 				return nil, fmt.Errorf("csf: level %d ptr[0] = %d", l, p[0])
 			}
@@ -195,31 +200,72 @@ func readFrom(r io.Reader, byteSize int64) (*Tree, error) {
 	if nnz < 0 || nnz > maxCount {
 		return nil, fmt.Errorf("csf: implausible nnz %d", nnz)
 	}
-	if nnz != int64(len(t.Fids[d-1])) {
-		return nil, fmt.Errorf("csf: nnz %d does not match leaf count %d", nnz, len(t.Fids[d-1]))
+	if nnz != int64(len(t.fids[d-1])) {
+		return nil, fmt.Errorf("csf: nnz %d does not match leaf count %d", nnz, len(t.fids[d-1]))
 	}
 	vals, err := readSlice[float64](br, nnz)
 	if err != nil {
 		return nil, fmt.Errorf("csf: read vals: %w", err)
 	}
-	t.Vals = vals
+	t.vals = vals
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("csf: deserialised tree invalid: %w", err)
 	}
 	return t, nil
 }
 
-// SaveFile writes the tree to a file.
+// SaveFile writes the tree to a file crash-safely: the bytes land in a
+// temporary file in the target directory, are fsynced, and only then
+// atomically renamed onto path. A crash mid-write therefore leaves either
+// the old file or no file — never a truncated stream that ReadFrom rejects
+// but cannot distinguish from corruption.
 func (t *Tree) SaveFile(path string) error {
-	f, err := os.Create(path)
+	return writeFileAtomic(path, func(f *os.File) error {
+		_, err := t.WriteTo(f)
+		return err
+	})
+}
+
+// writeFileAtomic writes a file via the temp-fsync-rename discipline:
+// write() streams into an O_RDWR temp file created in path's directory
+// (same filesystem, so the rename is atomic), the file is fsynced before
+// the rename, and the directory is fsynced after it so the new directory
+// entry itself is durable. On any error the temp file is removed and path
+// is untouched.
+func writeFileAtomic(path string, write func(*os.File) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	if _, err := t.WriteTo(f); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Make the rename itself durable. Directory fsync is unsupported on
+	// some filesystems; the rename has already happened, so a failure here
+	// only weakens durability, not atomicity.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // LoadFile reads a tree from a file. The file's size bounds the level

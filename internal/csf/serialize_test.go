@@ -28,24 +28,24 @@ func TestSerializeRoundTrip(t *testing.T) {
 			t.Fatal("shape changed")
 		}
 		for l := 0; l < orig.Order(); l++ {
-			if back.Dims[l] != orig.Dims[l] || back.Perm[l] != orig.Perm[l] {
+			if back.dims[l] != orig.dims[l] || back.perm[l] != orig.perm[l] {
 				t.Fatalf("level %d metadata changed", l)
 			}
-			for i, f := range orig.Fids[l] {
-				if back.Fids[l][i] != f {
+			for i, f := range orig.fids[l] {
+				if back.fids[l][i] != f {
 					t.Fatalf("level %d fid %d changed", l, i)
 				}
 			}
 			if l < orig.Order()-1 {
-				for i, p := range orig.Ptr[l] {
-					if back.Ptr[l][i] != p {
+				for i, p := range orig.ptr[l] {
+					if back.ptr[l][i] != p {
 						t.Fatalf("level %d ptr %d changed", l, i)
 					}
 				}
 			}
 		}
-		for i, v := range orig.Vals {
-			if back.Vals[i] != v {
+		for i, v := range orig.vals {
+			if back.vals[i] != v {
 				t.Fatalf("value %d changed", i)
 			}
 		}

@@ -27,11 +27,11 @@ func (t *Tree) Stats() []LevelStats {
 	d := t.Order()
 	out := make([]LevelStats, d)
 	for l := 0; l < d; l++ {
-		s := LevelStats{Level: l, Mode: t.Perm[l], Dim: t.Dims[l], Fibers: t.NumFibers(l)}
+		s := LevelStats{Level: l, Mode: t.perm[l], Dim: t.dims[l], Fibers: t.NumFibers(l)}
 		if l < d-1 {
 			s.AvgFiberLen = t.AvgFiberLen(l)
 			for n := 0; n < t.NumFibers(l); n++ {
-				if c := t.Ptr[l][n+1] - t.Ptr[l][n]; c > s.MaxFiberLen {
+				if c := t.ptr[l][n+1] - t.ptr[l][n]; c > s.MaxFiberLen {
 					s.MaxFiberLen = c
 				}
 			}

@@ -22,18 +22,18 @@ func (tr *Tree) CountSwappedFibers(t int) int64 {
 		panic("csf: CountSwappedFibers needs order >= 3")
 	}
 	gLevel := d - 3 // grandparents of leaves
-	numG := len(tr.Fids[gLevel])
+	numG := len(tr.fids[gLevel])
 	counts := make([]int64, maxInt(t, 1))
 	par.Blocks(numG, t, func(th, lo, hi int) {
-		observed := make([]int64, tr.Dims[d-1])
+		observed := make([]int64, tr.dims[d-1])
 		for i := range observed {
 			observed[i] = -1
 		}
 		var c int64
 		for g := lo; g < hi; g++ {
-			for p := tr.Ptr[gLevel][g]; p < tr.Ptr[gLevel][g+1]; p++ {
-				for k := tr.Ptr[d-2][p]; k < tr.Ptr[d-2][p+1]; k++ {
-					leaf := tr.Fids[d-1][k]
+			for p := tr.ptr[gLevel][g]; p < tr.ptr[gLevel][g+1]; p++ {
+				for k := tr.ptr[d-2][p]; k < tr.ptr[d-2][p+1]; k++ {
+					leaf := tr.fids[d-1][k]
 					if observed[leaf] != int64(g) {
 						observed[leaf] = int64(g)
 						c++
@@ -65,8 +65,8 @@ func (tr *Tree) SwappedFiberCounts(t int) []int64 {
 // leaf level, the number of non-zeros in mode-(d-1) slice r). This is the
 // input of the data-movement model's accumulation-cost term.
 func (tr *Tree) LevelRowCounts(l int) []int64 {
-	counts := make([]int64, tr.Dims[l])
-	for _, f := range tr.Fids[l] {
+	counts := make([]int64, tr.dims[l])
+	for _, f := range tr.fids[l] {
 		counts[f]++
 	}
 	return counts
@@ -86,24 +86,24 @@ func (tr *Tree) SwappedRowCounts(t int) (d2, leaf []int64) {
 	if d < 3 {
 		panic("csf: SwappedRowCounts needs order >= 3")
 	}
-	leaf = make([]int64, tr.Dims[d-2])
-	for n, f := range tr.Fids[d-2] {
-		leaf[f] += tr.Ptr[d-2][n+1] - tr.Ptr[d-2][n]
+	leaf = make([]int64, tr.dims[d-2])
+	for n, f := range tr.fids[d-2] {
+		leaf[f] += tr.ptr[d-2][n+1] - tr.ptr[d-2][n]
 	}
 	gLevel := d - 3
-	numG := len(tr.Fids[gLevel])
+	numG := len(tr.fids[gLevel])
 	nT := maxInt(t, 1)
 	slabs := make([][]int64, nT)
 	par.Blocks(numG, t, func(th, lo, hi int) {
-		observed := make([]int64, tr.Dims[d-1])
+		observed := make([]int64, tr.dims[d-1])
 		for i := range observed {
 			observed[i] = -1
 		}
-		local := make([]int64, tr.Dims[d-1])
+		local := make([]int64, tr.dims[d-1])
 		for g := lo; g < hi; g++ {
-			for p := tr.Ptr[gLevel][g]; p < tr.Ptr[gLevel][g+1]; p++ {
-				for k := tr.Ptr[d-2][p]; k < tr.Ptr[d-2][p+1]; k++ {
-					lf := tr.Fids[d-1][k]
+			for p := tr.ptr[gLevel][g]; p < tr.ptr[gLevel][g+1]; p++ {
+				for k := tr.ptr[d-2][p]; k < tr.ptr[d-2][p+1]; k++ {
+					lf := tr.fids[d-1][k]
 					if observed[lf] != int64(g) {
 						observed[lf] = int64(g)
 						local[lf]++
@@ -113,7 +113,7 @@ func (tr *Tree) SwappedRowCounts(t int) (d2, leaf []int64) {
 		}
 		slabs[th] = local
 	})
-	d2 = make([]int64, tr.Dims[d-1])
+	d2 = make([]int64, tr.dims[d-1])
 	for _, local := range slabs {
 		if local == nil {
 			continue

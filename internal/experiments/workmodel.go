@@ -153,7 +153,7 @@ func ModeledMakespan(name string, tt *tensor.Tensor, threads, rank int, cacheByt
 		}
 		return total, nil
 	case "adatm":
-		params := model.ParamsForCache(base.Dims, base.FiberCounts(), rank, cacheBytes)
+		params := model.ParamsForCache(base.Dims(), base.FiberCounts(), rank, cacheBytes)
 		cfg := model.SearchOpCount(params)
 		return treeIterationMakespan(base, slicePart(base), cfg.Save), nil
 	case "alto":

@@ -52,7 +52,7 @@ func CountRowWrites(tree *csf.Tree, part *sched.Partition, u, src int) *RowWrite
 	if u < 1 || u >= d || src < u || src >= d {
 		panic(fmt.Sprintf("kernels: CountRowWrites(u=%d, src=%d) on an order-%d tree", u, src, d))
 	}
-	rows := tree.Dims[u]
+	rows := tree.Dim(u)
 	rw := &RowWrites{
 		Counts:    make([]int64, rows),
 		Writer:    make([]int32, rows),
@@ -67,7 +67,7 @@ func CountRowWrites(tree *csf.Tree, part *sched.Partition, u, src int) *RowWrite
 	for i := range stamp {
 		stamp[i] = -1
 	}
-	fids := tree.Fids[u]
+	fids := tree.FidLevel(u)
 	for th := 0; th < part.T; th++ {
 		var lo, hi int64
 		switch {

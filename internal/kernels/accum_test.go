@@ -91,8 +91,8 @@ func TestCountRowWritesLeafHistogram(t *testing.T) {
 	part := sched.NewPartition(tree, 1)
 	rw := CountRowWrites(tree, part, 2, 2)
 	d := tree.Order()
-	want := make([]int64, tree.Dims[d-1])
-	for _, f := range tree.Fids[d-1] {
+	want := make([]int64, tree.Dim(d-1))
+	for _, f := range tree.FidLevel(d-1) {
 		want[f]++
 	}
 	for r, c := range rw.Counts {
@@ -175,9 +175,9 @@ func runAllModesPlanned(t *testing.T, tt *tensor.Tensor, tree *csf.Tree, part *s
 	t.Helper()
 	d := tt.Order()
 	factors := tensor.RandomFactors(tt.Dims, rank, 4242)
-	lf := LevelFactors(factors, tree.Perm)
+	lf := LevelFactors(factors, tree.Perm())
 	partials := NewPartials(tree, rank, save)
-	out0 := tensor.NewMatrix(tree.Dims[0], rank)
+	out0 := tensor.NewMatrix(tree.Dim(0), rank)
 	RootMTTKRP(tree, lf, out0, partials, part)
 	for u := 1; u < d; u++ {
 		rw := censusFor(tree, part, save, u)
@@ -185,16 +185,16 @@ func runAllModesPlanned(t *testing.T, tt *tensor.Tensor, tree *csf.Tree, part *s
 		buf := NewOutBufPlanned(ap)
 		buf.Reset()
 		ModeMTTKRP(tree, lf, u, partials, buf, part)
-		got := tensor.NewMatrix(tree.Dims[u], rank)
+		got := tensor.NewMatrix(tree.Dim(u), rank)
 		buf.Reduce(got)
-		want := Reference(tt, factors, tree.Perm[u])
+		want := Reference(tt, factors, tree.Perm()[u])
 		relClose(t, got, want, fmt.Sprintf("%s mode(level%d) %v budget=%d", ctx, u, strat, budget))
 
 		// Reset must return the buffer to a reusable state: a second
 		// launch has to reproduce the same output.
 		buf.Reset()
 		ModeMTTKRP(tree, lf, u, partials, buf, part)
-		again := tensor.NewMatrix(tree.Dims[u], rank)
+		again := tensor.NewMatrix(tree.Dim(u), rank)
 		buf.Reduce(again)
 		relClose(t, again, want, fmt.Sprintf("%s mode(level%d) %v relaunch", ctx, u, strat))
 	}
@@ -251,19 +251,19 @@ func TestPlannedQuick(t *testing.T) {
 
 		rank := 3
 		factors := tensor.RandomFactors(tt.Dims, rank, seed+1)
-		lf := LevelFactors(factors, tree.Perm)
+		lf := LevelFactors(factors, tree.Perm())
 		save := []bool{false, true, false}
 		partials := NewPartials(tree, rank, save)
-		out0 := tensor.NewMatrix(tree.Dims[0], rank)
+		out0 := tensor.NewMatrix(tree.Dim(0), rank)
 		RootMTTKRP(tree, lf, out0, partials, part)
 		for u := 1; u < 3; u++ {
 			rw := censusFor(tree, part, save, u)
 			buf := NewOutBufPlanned(PlanAccum(rw, rank, threads, strat, budget))
 			buf.Reset()
 			ModeMTTKRP(tree, lf, u, partials, buf, part)
-			got := tensor.NewMatrix(tree.Dims[u], rank)
+			got := tensor.NewMatrix(tree.Dim(u), rank)
 			buf.Reduce(got)
-			want := Reference(tt, factors, tree.Perm[u])
+			want := Reference(tt, factors, tree.Perm()[u])
 			if got.MaxAbsDiff(want) > tol*(1+want.NormFrobenius()) {
 				return false
 			}

@@ -18,17 +18,17 @@ func BenchmarkSpecializedVsGeneric(b *testing.B) {
 		tree := csf.Build(tt, nil)
 		const rank = 32
 		factors := tensor.RandomFactors(tt.Dims, rank, 1)
-		lf := LevelFactors(factors, tree.Perm)
+		lf := LevelFactors(factors, tree.Perm())
 		part := sched.NewPartition(tree, 4)
 		save := make([]bool, d)
 		save[1] = true
 		partials := NewPartials(tree, rank, save)
-		out0 := tensor.NewMatrix(tree.Dims[0], rank)
+		out0 := tensor.NewMatrix(tree.Dim(0), rank)
 		RootMTTKRP(tree, lf, out0, partials, part)
 
 		for u := 1; u < d; u++ {
 			src := partials.SourceLevel(u)
-			buf := NewOutBuf(tree.Dims[u], rank, 4, 0)
+			buf := NewOutBuf(tree.Dim(u), rank, 4, 0)
 			sc := NewScratch(d, rank, 4)
 			b.Run(fmt.Sprintf("d%d/mode%d/specialized", d, u), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {

@@ -51,7 +51,7 @@ func TestDegenerateTensors(t *testing.T) {
 			t.Fatalf("%s: %v", c.name, err)
 		}
 		factors := tensor.RandomFactors(tt.Dims, rank, 1)
-		lf := LevelFactors(factors, tree.Perm)
+		lf := LevelFactors(factors, tree.Perm())
 		for _, threads := range []int{1, 7} {
 			part := sched.NewPartition(tree, threads)
 			if err := part.Validate(tree); err != nil {
@@ -59,19 +59,19 @@ func TestDegenerateTensors(t *testing.T) {
 			}
 			for _, save := range memoSubsets(d) {
 				partials := NewPartials(tree, rank, save)
-				out0 := tensor.NewMatrix(tree.Dims[0], rank)
+				out0 := tensor.NewMatrix(tree.Dim(0), rank)
 				RootMTTKRP(tree, lf, out0, partials, part)
-				want0 := Reference(tt, factors, tree.Perm[0])
+				want0 := Reference(tt, factors, tree.Perm()[0])
 				if diff := out0.MaxAbsDiff(want0); diff > 1e-9*(1+want0.NormFrobenius()) {
 					t.Fatalf("%s T=%d save=%v root: diff %g", c.name, threads, save, diff)
 				}
 				for u := 1; u < d; u++ {
-					buf := NewOutBuf(tree.Dims[u], rank, threads, 0)
+					buf := NewOutBuf(tree.Dim(u), rank, threads, 0)
 					buf.Reset()
 					ModeMTTKRP(tree, lf, u, partials, buf, part)
-					got := tensor.NewMatrix(tree.Dims[u], rank)
+					got := tensor.NewMatrix(tree.Dim(u), rank)
 					buf.Reduce(got)
-					want := Reference(tt, factors, tree.Perm[u])
+					want := Reference(tt, factors, tree.Perm()[u])
 					if diff := got.MaxAbsDiff(want); diff > 1e-9*(1+want.NormFrobenius()) {
 						t.Fatalf("%s T=%d save=%v mode %d: diff %g", c.name, threads, save, u, diff)
 					}

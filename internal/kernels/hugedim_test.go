@@ -5,7 +5,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
-	"reflect"
+	"path/filepath"
 	"testing"
 
 	"stef/internal/csf"
@@ -66,10 +66,30 @@ func TestHugeDimBoundary(t *testing.T) {
 	if err := back.Validate(); err != nil {
 		t.Fatalf("round-tripped tree invalid: %v", err)
 	}
-	if !reflect.DeepEqual(back.Dims, tree.Dims) || !reflect.DeepEqual(back.Fids, tree.Fids) ||
-		!reflect.DeepEqual(back.Ptr, tree.Ptr) || !reflect.DeepEqual(back.Vals, tree.Vals) {
+	if !csf.Equal(back, tree) {
 		t.Fatal("round trip changed the tree")
 	}
+
+	// Arena round trip at the int32 boundary: near-2^31 dims and fiber ids
+	// survive the pack/open cycle, and the sweep below runs on the
+	// arena-backed tree, so every kernel reads the boundary fids out of the
+	// mapped (or heap-fallback) storage rather than the heap build.
+	arenaPath := filepath.Join(t.TempDir(), "huge.stef")
+	if err := tree.WriteArena(arenaPath); err != nil {
+		t.Fatalf("WriteArena: %v", err)
+	}
+	atree, err := csf.OpenArena(arenaPath)
+	if err != nil {
+		t.Fatalf("OpenArena: %v", err)
+	}
+	defer atree.Close()
+	if err := atree.Validate(); err != nil {
+		t.Fatalf("arena tree invalid: %v", err)
+	}
+	if !csf.Equal(atree, tree) {
+		t.Fatal("arena round trip changed the tree")
+	}
+	tree = atree
 
 	// Factor matrices at full extent, filled only on referenced rows.
 	d := tt.Order()
@@ -89,15 +109,15 @@ func TestHugeDimBoundary(t *testing.T) {
 			}
 		}
 	}
-	lf := LevelFactors(factors, tree.Perm)
+	lf := LevelFactors(factors, tree.Perm())
 	part := sched.NewPartition(tree, T)
 	partials := NewPartials(tree, rank, make([]bool, d))
 
 	// Root level: the length-sorted heuristic puts the small mode at the
 	// root, so its dense output is genuinely allocatable.
-	out0 := tensor.NewMatrix(tree.Dims[0], rank)
+	out0 := tensor.NewMatrix(tree.Dim(0), rank)
 	RootMTTKRP(tree, lf, out0, partials, part)
-	checkSparseRows(t, tt, factors, tree.Perm[0], out0.Row, "root")
+	checkSparseRows(t, tt, factors, tree.Perm()[0], out0.Row, "root")
 
 	// One shared accumulation buffer, sized for the largest level, serves
 	// every huge mode: the kernels index output rows by fiber id without
@@ -108,7 +128,7 @@ func TestHugeDimBoundary(t *testing.T) {
 	// one-time allocation costs nothing). A fresh buffer is also already
 	// zeroed; Reset would be the same full-extent clear.
 	maxRows := 0
-	for _, n := range tree.Dims {
+	for _, n := range tree.Dims() {
 		if n > maxRows {
 			maxRows = n
 		}
@@ -116,7 +136,7 @@ func TestHugeDimBoundary(t *testing.T) {
 	ob := NewOutBuf(maxRows, rank, T, 0)
 	for u := 1; u < d; u++ {
 		ModeMTTKRP(tree, lf, u, partials, ob, part)
-		checkSparseRows(t, tt, factors, tree.Perm[u], func(row int) []float64 {
+		checkSparseRows(t, tt, factors, tree.Perm()[u], func(row int) []float64 {
 			return outBufRow(ob, row)
 		}, "level")
 		// Zero only the rows this level touched so the next level starts
@@ -124,7 +144,7 @@ func TestHugeDimBoundary(t *testing.T) {
 		// different modes may overlap (the corners share fiber id 0 and
 		// near-2^31 ids), so this cannot be skipped.
 		for k := 0; k < tt.NNZ(); k++ {
-			base := int(tt.Coord(k)[tree.Perm[u]]) * rank
+			base := int(tt.Coord(k)[tree.Perm()[u]]) * rank
 			for j := 0; j < rank; j++ {
 				ob.shared[base+j] = 0
 			}

@@ -56,21 +56,21 @@ func runAllModes(t *testing.T, tt *tensor.Tensor, tree *csf.Tree, part *sched.Pa
 	t.Helper()
 	d := tt.Order()
 	factors := tensor.RandomFactors(tt.Dims, rank, 12345)
-	lf := LevelFactors(factors, tree.Perm)
+	lf := LevelFactors(factors, tree.Perm())
 	partials := NewPartials(tree, rank, save)
 
-	out0 := tensor.NewMatrix(tree.Dims[0], rank)
+	out0 := tensor.NewMatrix(tree.Dim(0), rank)
 	RootMTTKRP(tree, lf, out0, partials, part)
-	want0 := Reference(tt, factors, tree.Perm[0])
+	want0 := Reference(tt, factors, tree.Perm()[0])
 	relClose(t, out0, want0, ctx+" mode(level0)")
 
 	for u := 1; u < d; u++ {
-		buf := NewOutBuf(tree.Dims[u], rank, part.T, 0)
+		buf := NewOutBuf(tree.Dim(u), rank, part.T, 0)
 		buf.Reset()
 		ModeMTTKRP(tree, lf, u, partials, buf, part)
-		got := tensor.NewMatrix(tree.Dims[u], rank)
+		got := tensor.NewMatrix(tree.Dim(u), rank)
 		buf.Reduce(got)
-		want := Reference(tt, factors, tree.Perm[u])
+		want := Reference(tt, factors, tree.Perm()[u])
 		relClose(t, got, want, fmt.Sprintf("%s mode(level%d) src=%d", ctx, u, partials.SourceLevel(u)))
 	}
 }
@@ -145,25 +145,25 @@ func TestOutBufAtomicMatchesPrivatized(t *testing.T) {
 	tree := csf.Build(tt, nil)
 	part := sched.NewPartition(tree, 4)
 	factors := tensor.RandomFactors(tt.Dims, 4, 9)
-	lf := LevelFactors(factors, tree.Perm)
+	lf := LevelFactors(factors, tree.Perm())
 	partials := NewPartials(tree, 4, []bool{false, true, false})
-	out0 := tensor.NewMatrix(tree.Dims[0], 4)
+	out0 := tensor.NewMatrix(tree.Dim(0), 4)
 	RootMTTKRP(tree, lf, out0, partials, part)
 
 	for u := 1; u < 3; u++ {
-		priv := NewOutBuf(tree.Dims[u], 4, part.T, 1<<40) // force privatized
+		priv := NewOutBuf(tree.Dim(u), 4, part.T, 1<<40) // force privatized
 		priv.Reset()
 		ModeMTTKRP(tree, lf, u, partials, priv, part)
-		gotPriv := tensor.NewMatrix(tree.Dims[u], 4)
+		gotPriv := tensor.NewMatrix(tree.Dim(u), 4)
 		priv.Reduce(gotPriv)
 		if !priv.Privatized() {
 			t.Fatalf("expected privatized buffer")
 		}
 
-		atom := NewOutBuf(tree.Dims[u], 4, part.T, 1) // force atomic
+		atom := NewOutBuf(tree.Dim(u), 4, part.T, 1) // force atomic
 		atom.Reset()
 		ModeMTTKRP(tree, lf, u, partials, atom, part)
-		gotAtom := tensor.NewMatrix(tree.Dims[u], 4)
+		gotAtom := tensor.NewMatrix(tree.Dim(u), 4)
 		atom.Reduce(gotAtom)
 		if atom.Privatized() {
 			t.Fatalf("expected atomic buffer")
@@ -241,21 +241,21 @@ func TestMTTKRPQuick(t *testing.T) {
 
 		rank := 3
 		factors := tensor.RandomFactors(tt.Dims, rank, seed+1)
-		lf := LevelFactors(factors, tree.Perm)
+		lf := LevelFactors(factors, tree.Perm())
 		partials := NewPartials(tree, rank, save)
-		out0 := tensor.NewMatrix(tree.Dims[0], rank)
+		out0 := tensor.NewMatrix(tree.Dim(0), rank)
 		RootMTTKRP(tree, lf, out0, partials, part)
-		want0 := Reference(tt, factors, tree.Perm[0])
+		want0 := Reference(tt, factors, tree.Perm()[0])
 		if out0.MaxAbsDiff(want0) > tol*(1+want0.NormFrobenius()) {
 			return false
 		}
 		for u := 1; u < d; u++ {
-			buf := NewOutBuf(tree.Dims[u], rank, threads, 0)
+			buf := NewOutBuf(tree.Dim(u), rank, threads, 0)
 			buf.Reset()
 			ModeMTTKRP(tree, lf, u, partials, buf, part)
-			got := tensor.NewMatrix(tree.Dims[u], rank)
+			got := tensor.NewMatrix(tree.Dim(u), rank)
 			buf.Reduce(got)
-			want := Reference(tt, factors, tree.Perm[u])
+			want := Reference(tt, factors, tree.Perm()[u])
 			if got.MaxAbsDiff(want) > tol*(1+want.NormFrobenius()) {
 				return false
 			}

@@ -98,26 +98,26 @@ func modeGeneric(tree *csf.Tree, factors []*tensor.Matrix, u, src int, partials 
 			zero(tl)
 			var cLo, cHi int64
 			if l+1 == src {
-				cLo = maxI64(tree.Ptr[l][n], oLo)
-				cHi = minI64(tree.Ptr[l][n+1], oHi)
+				cLo = maxI64(tree.PtrLevel(l)[n], oLo)
+				cHi = minI64(tree.PtrLevel(l)[n+1], oHi)
 			} else {
-				cLo = maxI64(tree.Ptr[l][n], s[l+1])
-				cHi = minI64(tree.Ptr[l][n+1], e[l+1])
+				cLo = maxI64(tree.PtrLevel(l)[n], s[l+1])
+				cHi = minI64(tree.PtrLevel(l)[n+1], e[l+1])
 			}
 			switch {
 			case l+1 == src && src == d-1:
 				for k := cLo; k < cHi; k++ {
 					sc.shadow.own(th, d-1, k)
-					addScaled(tl, tree.Vals[k], factors[d-1].Row(int(tree.Fids[d-1][k]))) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
+					addScaled(tl, tree.ValsLevel()[k], factors[d-1].Row(int(tree.FidLevel(d-1)[k]))) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
 				}
 			case l+1 == src:
 				for c := cLo; c < cHi; c++ {
 					sc.shadow.own(th, src, c)
-					hadamardAccum(tl, partials.P[src].Row(int(c)), factors[src].Row(int(tree.Fids[src][c]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
+					hadamardAccum(tl, partials.P[src].Row(int(c)), factors[src].Row(int(tree.FidLevel(src)[c]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 				}
 			default:
 				for c := cLo; c < cHi; c++ {
-					hadamardAccum(tl, down(l+1, c), factors[l+1].Row(int(tree.Fids[l+1][c]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
+					hadamardAccum(tl, down(l+1, c), factors[l+1].Row(int(tree.FidLevel(l+1)[c]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 				}
 			}
 			return tl
@@ -127,7 +127,7 @@ func modeGeneric(tree *csf.Tree, factors []*tensor.Matrix, u, src int, partials 
 		// output contributions at level u.
 		var walk func(l int, n int64, kprev []float64)
 		walk = func(l int, n int64, kprev []float64) {
-			fid := int(tree.Fids[l][n])
+			fid := int(tree.FidLevel(l)[n])
 			var kcur []float64
 			if l == 0 {
 				kcur = factors[0].Row(fid)
@@ -137,11 +137,11 @@ func modeGeneric(tree *csf.Tree, factors []*tensor.Matrix, u, src int, partials 
 			}
 			var cLo, cHi int64
 			if l+1 == src {
-				cLo = maxI64(tree.Ptr[l][n], oLo)
-				cHi = minI64(tree.Ptr[l][n+1], oHi)
+				cLo = maxI64(tree.PtrLevel(l)[n], oLo)
+				cHi = minI64(tree.PtrLevel(l)[n+1], oHi)
 			} else {
-				cLo = maxI64(tree.Ptr[l][n], s[l+1])
-				cHi = minI64(tree.Ptr[l][n+1], e[l+1])
+				cLo = maxI64(tree.PtrLevel(l)[n], s[l+1])
+				cHi = minI64(tree.PtrLevel(l)[n+1], e[l+1])
 			}
 			switch {
 			case l+1 < u:
@@ -153,20 +153,20 @@ func modeGeneric(tree *csf.Tree, factors []*tensor.Matrix, u, src int, partials 
 				// the leaf level (src == d-1 here).
 				for k := cLo; k < cHi; k++ {
 					sc.shadow.own(th, d-1, k)
-					ob.AddScaled(int(tree.Fids[d-1][k]), tree.Vals[k], kcur) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
+					ob.AddScaled(int(tree.FidLevel(d-1)[k]), tree.ValsLevel()[k], kcur) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
 				}
 			case u == src:
 				// Memoized at exactly level u: one MTTV per
 				// owned fiber (Algorithm 6).
 				for c := cLo; c < cHi; c++ {
 					sc.shadow.own(th, src, c)
-					ob.AddHadamard(int(tree.Fids[u][c]), kcur, partials.P[u].Row(int(c))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
+					ob.AddHadamard(int(tree.FidLevel(u)[c]), kcur, partials.P[u].Row(int(c))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 				}
 			default:
 				// Recompute t_u below level u from the source
 				// (Algorithms 7 and 8).
 				for c := cLo; c < cHi; c++ {
-					ob.AddHadamard(int(tree.Fids[u][c]), kcur, down(u, c)) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
+					ob.AddHadamard(int(tree.FidLevel(u)[c]), kcur, down(u, c)) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 				}
 			}
 		}

@@ -36,8 +36,8 @@ func RootMTTKRPWith(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix
 		panic(fmt.Sprintf("kernels: %d factors for order-%d tensor", len(factors), d))
 	}
 	r := factors[0].Cols
-	if out.Rows != tree.Dims[0] || out.Cols != r {
-		panic(fmt.Sprintf("kernels: output shape %dx%d, want %dx%d", out.Rows, out.Cols, tree.Dims[0], r))
+	if out.Rows != tree.Dim(0) || out.Cols != r {
+		panic(fmt.Sprintf("kernels: output shape %dx%d, want %dx%d", out.Rows, out.Cols, tree.Dim(0), r))
 	}
 	sc.check(d, r, part.T)
 	out.Zero()
@@ -92,11 +92,11 @@ func rootGeneric(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, p
 		rec = func(l int, n int64) {
 			tl := tmp[l]
 			zero(tl)
-			cLo := maxI64(tree.Ptr[l][n], s[l+1])
-			cHi := minI64(tree.Ptr[l][n+1], e[l+1])
+			cLo := maxI64(tree.PtrLevel(l)[n], s[l+1])
+			cHi := minI64(tree.PtrLevel(l)[n+1], e[l+1])
 			if l+1 == d-1 {
 				for k := cLo; k < cHi; k++ {
-					addScaled(tl, tree.Vals[k], factors[d-1].Row(int(tree.Fids[d-1][k]))) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
+					addScaled(tl, tree.ValsLevel()[k], factors[d-1].Row(int(tree.FidLevel(d-1)[k]))) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
 				}
 				return
 			}
@@ -112,14 +112,14 @@ func rootGeneric(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, p
 						copy(bound[l+1].Row(th), child) //gate:allow bounds boundary replica row per level, sized to the order
 					}
 				}
-				hadamardAccum(tl, child, factors[l+1].Row(int(tree.Fids[l+1][c]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
+				hadamardAccum(tl, child, factors[l+1].Row(int(tree.FidLevel(l+1)[c]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 			}
 		}
 		for n := s[0]; n < e[0]; n++ {
 			rec(0, n)
 			if n >= ownLo[0] { //gate:allow bounds ownLo is sized to the order; constant level index
 				sc.shadow.own(th, 0, n)
-				copy(out.Row(int(tree.Fids[0][n])), tmp[0]) //gate:allow bounds output row addressed by stored fiber id, data-dependent
+				copy(out.Row(int(tree.FidLevel(0)[n])), tmp[0]) //gate:allow bounds output row addressed by stored fiber id, data-dependent
 			} else {
 				sc.shadow.boundary(th, 0, n)
 				copy(bound[0].Row(th), tmp[0]) //gate:allow bounds boundary replica row, one per thread
@@ -148,7 +148,7 @@ func mergeBoundaries(tree *csf.Tree, out *tensor.Matrix, partials *Partials, par
 			src := bound[l].Row(th)
 			var dst []float64
 			if l == 0 {
-				dst = out.Row(int(tree.Fids[0][nd]))
+				dst = out.Row(int(tree.FidLevel(0)[nd]))
 			} else {
 				dst = partials.P[l].Row(int(nd))
 			}

@@ -47,9 +47,9 @@ func root3(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partial
 func root3Thread(th int, tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, sc *Scratch) {
 	f1, f2 := factors[1], factors[2]
 	save1 := partials.Save[1]
-	ptr0, ptr1 := tree.Ptr[0], tree.Ptr[1]
-	fids0, fids1, fids2 := tree.Fids[0], tree.Fids[1], tree.Fids[2]
-	vals := tree.Vals
+	ptr0, ptr1 := tree.PtrLevel(0), tree.PtrLevel(1)
+	fids0, fids1, fids2 := tree.FidLevel(0), tree.FidLevel(1), tree.FidLevel(2)
+	vals := tree.ValsLevel()
 
 	s := part.Start[th]
 	e := part.Own[th+1]
@@ -118,9 +118,9 @@ func root4(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partial
 func root4Thread(th int, tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, sc *Scratch) {
 	f1, f2, f3 := factors[1], factors[2], factors[3]
 	save1, save2 := partials.Save[1], partials.Save[2]
-	ptr0, ptr1, ptr2 := tree.Ptr[0], tree.Ptr[1], tree.Ptr[2]
-	fids0, fids1, fids2, fids3 := tree.Fids[0], tree.Fids[1], tree.Fids[2], tree.Fids[3]
-	vals := tree.Vals
+	ptr0, ptr1, ptr2 := tree.PtrLevel(0), tree.PtrLevel(1), tree.PtrLevel(2)
+	fids0, fids1, fids2, fids3 := tree.FidLevel(0), tree.FidLevel(1), tree.FidLevel(2), tree.FidLevel(3)
+	vals := tree.ValsLevel()
 
 	s := part.Start[th]
 	e := part.Own[th+1]

@@ -25,9 +25,9 @@ func root5(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partial
 func root5Thread(th int, tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, sc *Scratch) {
 	f1, f2, f3, f4 := factors[1], factors[2], factors[3], factors[4]
 	save1, save2, save3 := partials.Save[1], partials.Save[2], partials.Save[3]
-	ptr0, ptr1, ptr2, ptr3 := tree.Ptr[0], tree.Ptr[1], tree.Ptr[2], tree.Ptr[3]
-	fids0, fids1, fids2, fids3, fids4 := tree.Fids[0], tree.Fids[1], tree.Fids[2], tree.Fids[3], tree.Fids[4]
-	vals := tree.Vals
+	ptr0, ptr1, ptr2, ptr3 := tree.PtrLevel(0), tree.PtrLevel(1), tree.PtrLevel(2), tree.PtrLevel(3)
+	fids0, fids1, fids2, fids3, fids4 := tree.FidLevel(0), tree.FidLevel(1), tree.FidLevel(2), tree.FidLevel(3), tree.FidLevel(4)
+	vals := tree.ValsLevel()
 
 	store := func(level int, n int64, ownLo []int64, t []float64) {
 		if n >= ownLo[level] {

@@ -77,9 +77,9 @@ func TestShadowFlagsCorruptedPartition(t *testing.T) {
 
 	rank := 4
 	factors := tensor.RandomFactors(tt.Dims, rank, 99)
-	lf := LevelFactors(factors, tree.Perm)
+	lf := LevelFactors(factors, tree.Perm())
 	partials := NewPartials(tree, rank, allSaves(3))
-	out := tensor.NewMatrix(tree.Dims[0], rank)
+	out := tensor.NewMatrix(tree.Dim(0), rank)
 	sc := NewScratch(3, rank, 2)
 	for l := range sc.bound {
 		sc.bound[l].Zero()

@@ -26,20 +26,20 @@ func TestSpecializedMatchesGeneric(t *testing.T) {
 		d := len(dims)
 		tree := csf.Build(tt, nil)
 		factors := tensor.RandomFactors(tt.Dims, 5, 3)
-		lf := LevelFactors(factors, tree.Perm)
+		lf := LevelFactors(factors, tree.Perm())
 		for _, threads := range []int{1, 2, 5, 9} {
 			part := sched.NewPartition(tree, threads)
 			for _, save := range memoSubsets(d) {
 				ctx := fmt.Sprintf("dims=%v T=%d save=%v", dims, threads, save)
 
 				pGen := NewPartials(tree, 5, save)
-				outGen := tensor.NewMatrix(tree.Dims[0], 5)
+				outGen := tensor.NewMatrix(tree.Dim(0), 5)
 				scGen := NewScratch(d, 5, threads)
 				rootGeneric(tree, lf, outGen, pGen, part, scGen)
 				mergeBoundaries(tree, outGen, pGen, part, scGen.bound)
 
 				pSpec := NewPartials(tree, 5, save)
-				outSpec := tensor.NewMatrix(tree.Dims[0], 5)
+				outSpec := tensor.NewMatrix(tree.Dim(0), 5)
 				scSpec := NewScratch(d, 5, threads)
 				switch d {
 				case 3:
@@ -75,27 +75,27 @@ func TestModeSpecializedMatchesGeneric(t *testing.T) {
 		d := len(dims)
 		tree := csf.Build(tt, nil)
 		factors := tensor.RandomFactors(tt.Dims, 5, 3)
-		lf := LevelFactors(factors, tree.Perm)
+		lf := LevelFactors(factors, tree.Perm())
 		for _, threads := range []int{1, 3, 8} {
 			part := sched.NewPartition(tree, threads)
 			for _, save := range memoSubsets(d) {
 				partials := NewPartials(tree, 5, save)
-				out0 := tensor.NewMatrix(tree.Dims[0], 5)
+				out0 := tensor.NewMatrix(tree.Dim(0), 5)
 				RootMTTKRP(tree, lf, out0, partials, part)
 				for u := 1; u < d; u++ {
 					ctx := fmt.Sprintf("dims=%v T=%d save=%v u=%d", dims, threads, save, u)
 					src := partials.SourceLevel(u)
 
-					bufSpec := NewOutBuf(tree.Dims[u], 5, threads, 1<<40)
+					bufSpec := NewOutBuf(tree.Dim(u), 5, threads, 1<<40)
 					bufSpec.Reset()
 					ModeMTTKRP(tree, lf, u, partials, bufSpec, part)
-					gotSpec := tensor.NewMatrix(tree.Dims[u], 5)
+					gotSpec := tensor.NewMatrix(tree.Dim(u), 5)
 					bufSpec.Reduce(gotSpec)
 
-					bufGen := NewOutBuf(tree.Dims[u], 5, threads, 1<<40)
+					bufGen := NewOutBuf(tree.Dim(u), 5, threads, 1<<40)
 					bufGen.Reset()
 					modeGeneric(tree, lf, u, src, partials, bufGen, part, NewScratch(d, 5, threads))
-					gotGen := tensor.NewMatrix(tree.Dims[u], 5)
+					gotGen := tensor.NewMatrix(tree.Dim(u), 5)
 					bufGen.Reduce(gotGen)
 
 					if diff := gotSpec.MaxAbsDiff(gotGen); diff != 0 {
@@ -117,13 +117,13 @@ func TestDispatchUsesSpecialized(t *testing.T) {
 		tree := csf.Build(tt, nil)
 		part := sched.NewPartition(tree, 3)
 		factors := tensor.RandomFactors(tt.Dims, 4, 1)
-		lf := LevelFactors(factors, tree.Perm)
+		lf := LevelFactors(factors, tree.Perm())
 		save := make([]bool, len(dims))
 		save[1] = true
 		partials := NewPartials(tree, 4, save)
-		out := tensor.NewMatrix(tree.Dims[0], 4)
+		out := tensor.NewMatrix(tree.Dim(0), 4)
 		RootMTTKRP(tree, lf, out, partials, part)
-		want := Reference(tt, factors, tree.Perm[0])
+		want := Reference(tt, factors, tree.Perm()[0])
 		if diff := out.MaxAbsDiff(want); diff > 1e-9*(1+want.NormFrobenius()) {
 			t.Fatalf("dims %v: dispatch result differs from reference by %g", dims, diff)
 		}

@@ -27,10 +27,10 @@ func RootMTTKRPSubtrees(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Ma
 	rec = func(l int, n int64) {
 		tl := tmp[l]
 		zero(tl)
-		cLo, cHi := tree.Ptr[l][n], tree.Ptr[l][n+1]
+		cLo, cHi := tree.PtrLevel(l)[n], tree.PtrLevel(l)[n+1]
 		if l+1 == d-1 {
 			for k := cLo; k < cHi; k++ {
-				addScaled(tl, tree.Vals[k], factors[d-1].Row(int(tree.Fids[d-1][k]))) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
+				addScaled(tl, tree.ValsLevel()[k], factors[d-1].Row(int(tree.FidLevel(d-1)[k]))) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
 			}
 			return
 		}
@@ -40,12 +40,12 @@ func RootMTTKRPSubtrees(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Ma
 			if partials.Save[l+1] { //gate:allow bounds level arrays are indexed by the recursion depth, sized to the order
 				copy(partials.P[l+1].Row(int(c)), child) //gate:allow bounds memoized partial row addressed by node id, data-dependent
 			}
-			hadamardAccum(tl, child, factors[l+1].Row(int(tree.Fids[l+1][c]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
+			hadamardAccum(tl, child, factors[l+1].Row(int(tree.FidLevel(l+1)[c]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 		}
 	}
 	for n := lo; n < hi; n++ {
 		rec(0, n)
-		dst := out.Row(int(tree.Fids[0][n])) //gate:allow bounds output row addressed by stored fiber id, data-dependent
+		dst := out.Row(int(tree.FidLevel(0)[n])) //gate:allow bounds output row addressed by stored fiber id, data-dependent
 		for j := range dst {
 			dst[j] += tmp[0][j] //gate:allow bounds accumulator and output rows share rank length, unprovable across slices
 		}
@@ -78,26 +78,26 @@ func ModeMTTKRPSubtrees(tree *csf.Tree, factors []*tensor.Matrix, u int, partial
 	down = func(l int, n int64) []float64 {
 		tl := tmp[l]
 		zero(tl)
-		cLo, cHi := tree.Ptr[l][n], tree.Ptr[l][n+1]
+		cLo, cHi := tree.PtrLevel(l)[n], tree.PtrLevel(l)[n+1]
 		switch {
 		case l+1 == src && src == d-1:
 			for k := cLo; k < cHi; k++ {
-				addScaled(tl, tree.Vals[k], factors[d-1].Row(int(tree.Fids[d-1][k]))) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
+				addScaled(tl, tree.ValsLevel()[k], factors[d-1].Row(int(tree.FidLevel(d-1)[k]))) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
 			}
 		case l+1 == src:
 			for c := cLo; c < cHi; c++ {
-				hadamardAccum(tl, partials.P[src].Row(int(c)), factors[src].Row(int(tree.Fids[src][c]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
+				hadamardAccum(tl, partials.P[src].Row(int(c)), factors[src].Row(int(tree.FidLevel(src)[c]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 			}
 		default:
 			for c := cLo; c < cHi; c++ {
-				hadamardAccum(tl, down(l+1, c), factors[l+1].Row(int(tree.Fids[l+1][c]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
+				hadamardAccum(tl, down(l+1, c), factors[l+1].Row(int(tree.FidLevel(l+1)[c]))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 			}
 		}
 		return tl
 	}
 	var walk func(l int, n int64, kprev []float64)
 	walk = func(l int, n int64, kprev []float64) {
-		fid := int(tree.Fids[l][n])
+		fid := int(tree.FidLevel(l)[n])
 		var kcur []float64
 		if l == 0 {
 			kcur = factors[0].Row(fid)
@@ -105,7 +105,7 @@ func ModeMTTKRPSubtrees(tree *csf.Tree, factors []*tensor.Matrix, u int, partial
 			kcur = kv[l]
 			hadamardInto(kcur, kprev, factors[l].Row(fid))
 		}
-		cLo, cHi := tree.Ptr[l][n], tree.Ptr[l][n+1]
+		cLo, cHi := tree.PtrLevel(l)[n], tree.PtrLevel(l)[n+1]
 		switch {
 		case l+1 < u:
 			for c := cLo; c < cHi; c++ {
@@ -113,15 +113,15 @@ func ModeMTTKRPSubtrees(tree *csf.Tree, factors []*tensor.Matrix, u int, partial
 			}
 		case u == d-1:
 			for k := cLo; k < cHi; k++ {
-				addScaled(out.Row(int(tree.Fids[d-1][k])), tree.Vals[k], kcur) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
+				addScaled(out.Row(int(tree.FidLevel(d-1)[k])), tree.ValsLevel()[k], kcur) //gate:allow bounds leaf values and factor rows are addressed by stored fiber ids, data-dependent
 			}
 		case u == src:
 			for c := cLo; c < cHi; c++ {
-				hadamardAccum(out.Row(int(tree.Fids[u][c])), kcur, partials.P[u].Row(int(c))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
+				hadamardAccum(out.Row(int(tree.FidLevel(u)[c])), kcur, partials.P[u].Row(int(c))) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 			}
 		default:
 			for c := cLo; c < cHi; c++ {
-				hadamardAccum(out.Row(int(tree.Fids[u][c])), kcur, down(u, c)) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
+				hadamardAccum(out.Row(int(tree.FidLevel(u)[c])), kcur, down(u, c)) //gate:allow bounds factor row addressed by stored fiber id, data-dependent
 			}
 		}
 	}

@@ -17,11 +17,11 @@ func TestSubtreeKernelsCoverWholeTree(t *testing.T) {
 	tree := csf.Build(tt, nil)
 	const rank = 4
 	factors := tensor.RandomFactors(tt.Dims, rank, 5)
-	lf := LevelFactors(factors, tree.Perm)
+	lf := LevelFactors(factors, tree.Perm())
 
 	for _, save := range memoSubsets(d) {
 		partials := NewPartials(tree, rank, save)
-		out0 := tensor.NewMatrix(tree.Dims[0], rank)
+		out0 := tensor.NewMatrix(tree.Dim(0), rank)
 		// Root pass in three chunks.
 		slices := int64(tree.NumFibers(0))
 		for lo := int64(0); lo < slices; lo += 3 {
@@ -31,12 +31,12 @@ func TestSubtreeKernelsCoverWholeTree(t *testing.T) {
 			}
 			RootMTTKRPSubtrees(tree, lf, out0, partials, lo, hi)
 		}
-		want0 := Reference(tt, factors, tree.Perm[0])
+		want0 := Reference(tt, factors, tree.Perm()[0])
 		if diff := out0.MaxAbsDiff(want0); diff > 1e-9*(1+want0.NormFrobenius()) {
 			t.Fatalf("save=%v: chunked root diff %g", save, diff)
 		}
 		for u := 1; u < d; u++ {
-			got := tensor.NewMatrix(tree.Dims[u], rank)
+			got := tensor.NewMatrix(tree.Dim(u), rank)
 			for lo := int64(0); lo < slices; lo += 5 {
 				hi := lo + 5
 				if hi > slices {
@@ -44,7 +44,7 @@ func TestSubtreeKernelsCoverWholeTree(t *testing.T) {
 				}
 				ModeMTTKRPSubtrees(tree, lf, u, partials, got, lo, hi)
 			}
-			want := Reference(tt, factors, tree.Perm[u])
+			want := Reference(tt, factors, tree.Perm()[u])
 			if diff := got.MaxAbsDiff(want); diff > 1e-9*(1+want.NormFrobenius()) {
 				t.Fatalf("save=%v mode %d: chunked diff %g (src=%d)", save, u, diff, partials.SourceLevel(u))
 			}
@@ -58,15 +58,15 @@ func TestSubtreeRootDisjointRows(t *testing.T) {
 	tt := tensor.Random([]int{8, 10, 12}, 300, nil, 9)
 	tree := csf.Build(tt, nil)
 	const rank = 3
-	lf := LevelFactors(tensor.RandomFactors(tt.Dims, rank, 2), tree.Perm)
+	lf := LevelFactors(tensor.RandomFactors(tt.Dims, rank, 2), tree.Perm())
 	noMemo := NoPartials(3)
 
-	full := tensor.NewMatrix(tree.Dims[0], rank)
+	full := tensor.NewMatrix(tree.Dim(0), rank)
 	RootMTTKRPSubtrees(tree, lf, full, noMemo, 0, int64(tree.NumFibers(0)))
 
 	half := int64(tree.NumFibers(0)) / 2
-	a := tensor.NewMatrix(tree.Dims[0], rank)
-	b := tensor.NewMatrix(tree.Dims[0], rank)
+	a := tensor.NewMatrix(tree.Dim(0), rank)
+	b := tensor.NewMatrix(tree.Dim(0), rank)
 	RootMTTKRPSubtrees(tree, lf, a, noMemo, 0, half)
 	RootMTTKRPSubtrees(tree, lf, b, noMemo, half, int64(tree.NumFibers(0)))
 	for i := range full.Data {

@@ -203,19 +203,19 @@ func TestBlockedEndToEndBitIdentical(t *testing.T) {
 		part := sched.NewPartition(tree, 4)
 		save := []bool{false, true, true, false}
 		factors := tensor.RandomFactors(tt.Dims, rank, 777)
-		lf := LevelFactors(factors, tree.Perm)
+		lf := LevelFactors(factors, tree.Perm())
 
 		run := func() []*tensor.Matrix {
 			partials := NewPartials(tree, rank, save)
 			var outs []*tensor.Matrix
-			out0 := tensor.NewMatrix(tree.Dims[0], rank)
+			out0 := tensor.NewMatrix(tree.Dim(0), rank)
 			RootMTTKRP(tree, lf, out0, partials, part)
 			outs = append(outs, out0)
 			for u := 1; u < tt.Order(); u++ {
-				buf := NewOutBuf(tree.Dims[u], rank, part.T, 0)
+				buf := NewOutBuf(tree.Dim(u), rank, part.T, 0)
 				buf.Reset()
 				ModeMTTKRP(tree, lf, u, partials, buf, part)
-				got := tensor.NewMatrix(tree.Dims[u], rank)
+				got := tensor.NewMatrix(tree.Dim(u), rank)
 				buf.Reduce(got)
 				outs = append(outs, got)
 			}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// csfPkgPath is the one package allowed to touch csf.Tree's storage.
+const csfPkgPath = "stef/internal/csf"
+
+// CSFBacking enforces the pluggable-storage seam around csf.Tree: the level
+// arrays may live on the Go heap or inside an mmap'd arena, and nothing
+// outside internal/csf may depend on which. Three shapes are flagged:
+//
+//   - a selector that resolves to a csf.Tree struct field outside
+//     internal/csf — today the fields are unexported so this cannot even
+//     compile, and the analyzer keeps it that way: if a field is ever
+//     re-exported, every use outside the seam is reported rather than
+//     silently re-coupling consumers to the storage layout;
+//   - a csf.Tree composite literal outside internal/csf — trees must come
+//     from Build, ReadFrom or OpenArena, whose invariants (sorted fibers,
+//     covering pointers, attached backing) the kernels rely on;
+//   - inside internal/csf itself, an exported field on the Tree struct —
+//     the self-check that makes the first rule vacuous by construction.
+var CSFBacking = &Analyzer{
+	Name:      "csf-backing",
+	Doc:       "forbid direct access to csf.Tree storage outside internal/csf; the accessor layer is the only way in",
+	NeedTypes: true,
+	Run:       runCSFBacking,
+}
+
+func runCSFBacking(pass *Pass) {
+	if pass.PkgPath == csfPkgPath {
+		checkTreeUnexported(pass)
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := pass.Info.Selections[n]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				if isCSFTree(sel.Recv()) {
+					pass.Reportf(n.Sel.Pos(),
+						"direct access to csf.Tree storage field %q outside internal/csf; go through the accessor layer (FidLevel, PtrLevel, ValsLevel, Dims, Perm, ...) so heap and arena backings stay interchangeable", n.Sel.Name)
+				}
+			case *ast.CompositeLit:
+				tv, ok := pass.Info.Types[ast.Expr(n)]
+				if ok && isCSFTree(tv.Type) {
+					pass.Reportf(n.Pos(),
+						"csf.Tree composite literal outside internal/csf; trees must come from Build, ReadFrom or OpenArena so storage invariants and the backing lifecycle hold")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isCSFTree reports whether t (possibly behind pointers) is the named type
+// Tree from stef/internal/csf.
+func isCSFTree(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Tree" && obj.Pkg() != nil && obj.Pkg().Path() == csfPkgPath
+}
+
+// checkTreeUnexported is the in-seam self-check: the Tree struct may not
+// declare exported fields, so no other package can ever reach the storage
+// without going through an accessor.
+func checkTreeUnexported(pass *Pass) {
+	obj := pass.Pkg.Scope().Lookup("Tree")
+	if obj == nil {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Exported() {
+			pass.Reportf(f.Pos(),
+				"csf.Tree exports storage field %q; unexport it and extend the accessor layer instead, so the heap/arena backing seam stays closed", f.Name())
+		}
+	}
+}

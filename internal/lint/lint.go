@@ -347,7 +347,7 @@ func (idx *allowIndex) allows(f Finding) bool {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{HotPathAlloc, WriteDisjoint, IdxWidth, EnginePurity, PanicPrefix, NoDeps, StaleAllow}
+	return []*Analyzer{HotPathAlloc, WriteDisjoint, IdxWidth, EnginePurity, CSFBacking, PanicPrefix, NoDeps, StaleAllow}
 }
 
 // ByName resolves a comma-separated analyzer list; unknown names error.

@@ -1,0 +1,30 @@
+// Package consumer seeds csf-backing violations from outside the seam: it
+// imports the real stef/internal/csf and constructs a Tree by composite
+// literal instead of Build/ReadFrom/OpenArena. (Direct storage-field
+// selectors cannot be seeded here — the fields are unexported, so they no
+// longer typecheck; that shape is covered by the synthetic-package test.)
+package consumer
+
+import "stef/internal/csf"
+
+func emptyTree() *csf.Tree {
+	return &csf.Tree{} // want "composite literal outside internal/csf"
+}
+
+// viaAccessors is the sanctioned shape: reads go through the accessor
+// layer and must not be flagged.
+func viaAccessors(t *csf.Tree) int64 {
+	var total int64
+	for l := 0; l < t.Order(); l++ {
+		total += t.NumFibers64(l)
+	}
+	total += t.NNZ64() + int64(len(t.ValsLevel()))
+	total += int64(t.Dim(0) + t.PermLevel(0) + len(t.Dims()) + len(t.Perm()))
+	if p := t.PtrLevel(0); p != nil {
+		total += p[0]
+	}
+	if f := t.FidLevel(0); f != nil {
+		total += int64(f[0])
+	}
+	return total
+}

@@ -1,0 +1,15 @@
+// Package csf seeds csf-backing self-check violations: exported storage
+// fields on the Tree struct. The fixture is typechecked under the real
+// stef/internal/csf import path, where the analyzer runs its in-seam rule.
+package csf
+
+// Tree mirrors the real CSF tree with two fields wrongly re-exported.
+type Tree struct {
+	dims []int
+	Fids [][]int32 // want "exports storage field"
+	ptr  [][]int64
+	Vals []float64 // want "exports storage field"
+}
+
+// FidLevel is a legitimate accessor; in-seam field access is fine.
+func (t *Tree) FidLevel(l int) []int32 { return t.Fids[l] }

@@ -65,7 +65,7 @@ func TestOwnershipExact(t *testing.T) {
 		for n := 0; n < tree.NumFibers(l); n++ {
 			leaf := int64(n)
 			for ll := l; ll < d-1; ll++ {
-				leaf = tree.Ptr[ll][leaf]
+				leaf = tree.PtrLevel(ll)[leaf]
 			}
 			leafBegin[l][n] = leaf
 		}

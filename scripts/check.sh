@@ -23,6 +23,9 @@ go test ./...
 echo "==> go test -race (parallel packages + shared-plan concurrency + int32-boundary dims)"
 go test -race . ./internal/par/ ./internal/sched/ ./internal/kernels/ ./internal/cpd/ ./internal/core/
 
+echo "==> arena storage seam (mmap round trip, corrupt-header fuzz seeds, heap-vs-arena solve parity, csf-backing self-check)"
+go test -race -run 'Arena|CSFBacking' . ./internal/csf/ ./internal/lint/
+
 echo "==> go test -race -tags shadowtrace (dynamic write-disjointness oracle)"
 go test -race -tags shadowtrace ./internal/kernels/ ./internal/cpd/
 

@@ -26,10 +26,12 @@ package stef
 
 import (
 	"fmt"
+	"math"
 
 	"stef/internal/baselines"
 	"stef/internal/core"
 	"stef/internal/cpd"
+	"stef/internal/csf"
 	"stef/internal/dtree"
 	"stef/internal/frostt"
 	"stef/internal/par"
@@ -116,6 +118,78 @@ func Compile(t *tensor.Tensor, opts Options) (*Compiled, error) {
 		solver: cpd.NewSolver(eng),
 		plan:   plan,
 	}, nil
+}
+
+// CompileTree builds a compile-once/solve-many handle from a pre-built CSF
+// tree — typically one opened zero-copy from an arena file:
+//
+//	tree, _ := stef.OpenArena("tensor.stef")
+//	defer tree.Close()
+//	c, _ := stef.CompileTree(tree, stef.Options{Rank: 32, Threads: 8})
+//
+// The reorder and CSF-build preprocessing is skipped (it was paid when the
+// arena was packed), so compilation costs only the memoization search and
+// the work-distribution census — an arena-backed 100M+-nnz tensor reaches
+// its first solve without the non-zeros ever being copied to the heap.
+//
+// Only the stef engine is supported: baselines and stef2 build their own
+// representations from the COO tensor, which a pre-built tree no longer
+// has (for the same reason Options.Reorder must be empty). The caller
+// keeps ownership of the tree: close its backing only after the handle's
+// last solve.
+func CompileTree(tree *csf.Tree, opts Options) (*Compiled, error) {
+	if opts.Engine != "" && opts.Engine != "stef" {
+		return nil, fmt.Errorf("stef: engine %q cannot run from a pre-built tree (needs the COO tensor); use engine \"stef\"", opts.Engine)
+	}
+	if opts.Reorder != "" {
+		return nil, fmt.Errorf("stef: reordering %q needs the COO tensor; reorder before packing the arena instead", opts.Reorder)
+	}
+	threads := opts.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	rank := opts.Rank
+	if rank <= 0 {
+		rank = 16
+	}
+	accum, err := accumRule(opts.Accum)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := core.NewPlanFromTree(tree, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, MaxPrivElems: opts.MaxPrivElems, AccumRule: accum})
+	if err != nil {
+		return nil, err
+	}
+	// The solver works in original mode order; undo the tree's level
+	// permutation for the dims and stream the values once for ||X||_F.
+	dims := make([]int, tree.Order())
+	for l, m := range tree.Perm() {
+		dims[m] = tree.Dim(l)
+	}
+	var sq float64
+	for _, v := range tree.ValsLevel() {
+		sq += v * v
+	}
+	return &Compiled{
+		opts:   opts,
+		dims:   dims,
+		normX:  math.Sqrt(sq),
+		solver: cpd.NewSolver(core.NewEngine(plan)),
+		plan:   plan,
+	}, nil
+}
+
+// OpenArena opens a CSF arena file written by SaveArena (or csf.WriteArena)
+// — on linux a zero-copy, O(rank)-latency mmap of the level arrays. Close
+// the returned tree when done; see csf.OpenArena.
+func OpenArena(path string) (*csf.Tree, error) { return csf.OpenArena(path) }
+
+// SaveArena packs the tensor into a CSF arena file: the CSF is built in
+// the length-sorted heuristic order (the STeF default layout) and written
+// crash-safely. The one-time build cost here is what OpenArena avoids on
+// every subsequent run.
+func SaveArena(t *tensor.Tensor, path string) error {
+	return csf.Build(t, nil).WriteArena(path)
 }
 
 // Engine returns the compiled MTTKRP engine.
