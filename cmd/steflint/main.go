@@ -5,12 +5,18 @@
 //	                provably thread-disjoint (interprocedural dataflow)
 //	idx-width       index/offset arithmetic is evaluated at a width that
 //	                holds its scale class (//idx: annotations, interprocedural)
+//	lifetime        releasable resources (mmap-backed trees, pooled solver
+//	                workspaces, csf level views) are never used after
+//	                release, never escape their Acquire→Release window,
+//	                and never leak on error paths (//life: annotations,
+//	                interprocedural)
 //	engine-purity   Engine Compute implementations mutate only their Workspace
 //	panic-prefix    panic messages in internal/... start with the package name
 //	no-deps         imports resolve to the stdlib or stef/... only
-//	stale-allow     //lint:allow, //gate:allow and //idx: directives must
-//	                suppress or declare something and spell their
-//	                analyzer/gate-kind/facet vocabulary correctly
+//	stale-allow     //lint:allow, //gate:allow, //idx: and //life:
+//	                directives must suppress or declare something and spell
+//	                their analyzer/gate-kind/facet/lifetime vocabulary
+//	                correctly
 //
 // With -gates it instead runs the compiler-diagnostic performance gates
 // (internal/lint/gates): the hot packages are rebuilt with escape-analysis,

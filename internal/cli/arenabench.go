@@ -81,9 +81,12 @@ func arenaBench(s *experiments.Suite, rank, iters, reps int, out io.Writer) ([]A
 		}
 		parity, err := solveParity(tree, opened, rank, iters, s.Opts.Threads)
 		kind := opened.Backing().Kind()
-		opened.Close()
+		cerr := opened.Close()
 		if err != nil {
 			return nil, err
+		}
+		if cerr != nil {
+			return nil, cerr
 		}
 
 		row := ArenaBenchRow{

@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"stef/internal/core"
+	"stef/internal/csf"
+	"stef/internal/tensor"
+)
+
+// TestCloseWhileSolvingHeapTree races Tree.Close against in-flight solves
+// on a heap-built tree under -race: Close on an unbacked tree is a no-op
+// by contract, so concurrent solves must proceed untouched and the tree
+// must never report closed. (Closing a *backed* tree mid-solve is the
+// lifecycle violation the lifetime analyzer forbids statically and the
+// lifetrace entry checks catch at runtime.)
+func TestCloseWhileSolvingHeapTree(t *testing.T) {
+	const rank = 4
+	tt := tensor.Random([]int{10, 12, 14}, 500, nil, 17)
+	tree := csf.Build(tt, nil)
+	plan, err := core.NewPlanFromTree(tree, core.Options{Rank: rank, Threads: 2})
+	if err != nil {
+		t.Fatalf("NewPlanFromTree: %v", err)
+	}
+	eng := core.NewEngine(plan)
+	factors := tensor.RandomFactors(tt.Dims, rank, 19)
+	order := eng.UpdateOrder()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := eng.NewWorkspace()
+			ws.Reset()
+			out := tensor.NewMatrix(tt.Dims[order[0]], rank)
+			for i := 0; i < 3; i++ {
+				eng.Compute(ws, 0, factors, out)
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := tree.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if tree.Closed() {
+		t.Error("heap-built tree reports Closed() = true")
+	}
+}

@@ -1,0 +1,55 @@
+//go:build lifetrace
+
+package core
+
+import (
+	"math"
+
+	"stef/internal/kernels"
+)
+
+// LifePoison and LifeUnpoison implement the cpd lifetrace poisoning
+// protocol (cpd.lifePoisonable): Solver.Release NaN-fills everything the
+// workspace owns — memoized partials, accumulation buffers, scratch — so
+// any read of a released workspace either trips the kernel-entry stamp
+// check or propagates NaN into results; re-acquiring from the pool
+// restores the zeroed, freshly-constructed state the kernels assume.
+//
+// The lf/lf2 level-factor slices are deliberately only cleared, never
+// filled: they alias the caller's factor matrices, not workspace storage,
+// and Compute rebinds them via LevelFactorsInto before every launch.
+
+func (w *Workspace) LifePoison() { w.lifeFill(math.NaN(), true) }
+
+func (w *Workspace) LifeUnpoison() { w.lifeFill(0, false) }
+
+func (w *Workspace) lifeFill(v float64, poisoned bool) {
+	lifeFillPartials(w.partials, v)
+	lifeFillPartials(w.partials2, v)
+	for _, b := range w.bufs {
+		if b != nil {
+			b.LifeFill(v)
+		}
+	}
+	w.scratch.LifeSetPoisoned(poisoned)
+	for i := range w.lf {
+		w.lf[i] = nil
+	}
+	for i := range w.lf2 {
+		w.lf2[i] = nil
+	}
+}
+
+func lifeFillPartials(p *kernels.Partials, v float64) {
+	if p == nil {
+		return
+	}
+	for _, m := range p.P {
+		if m == nil {
+			continue
+		}
+		for i := range m.Data {
+			m.Data[i] = v
+		}
+	}
+}

@@ -1,0 +1,163 @@
+//go:build lifetrace
+
+package core_test
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"stef/internal/core"
+	"stef/internal/cpd"
+	"stef/internal/csf"
+	"stef/internal/tensor"
+)
+
+// These tests pin the lifetrace oracle's behaviour on deliberately
+// corrupted lifecycles: each violation the lifetime analyzer proves absent
+// from the repo must, when manufactured here, fail deterministically with
+// a diagnosis instead of corrupting results.
+
+const lifeRank = 4
+
+func mustPanicContaining(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", substr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not contain %q", r, substr)
+		}
+	}()
+	fn()
+}
+
+// arenaEngine builds a small tensor, round-trips it through an arena file,
+// and compiles an engine over the opened (backed) tree.
+func arenaEngine(t *testing.T) (*core.Engine, *csf.Tree, []int) {
+	t.Helper()
+	tt := tensor.Random([]int{10, 12, 14}, 400, nil, 3)
+	path := filepath.Join(t.TempDir(), "life.stef")
+	if err := csf.Build(tt, nil).WriteArena(path); err != nil {
+		t.Fatalf("WriteArena: %v", err)
+	}
+	tree, err := csf.OpenArena(path)
+	if err != nil {
+		t.Fatalf("OpenArena: %v", err)
+	}
+	plan, err := core.NewPlanFromTree(tree, core.Options{Rank: lifeRank, Threads: 2})
+	if err != nil {
+		t.Fatalf("NewPlanFromTree: %v", err)
+	}
+	return core.NewEngine(plan), tree, tt.Dims
+}
+
+// TestLifetraceComputeAfterClosePanics: a kernel launch against a closed
+// arena tree must die at the entry check, before any view is touched.
+func TestLifetraceComputeAfterClosePanics(t *testing.T) {
+	eng, tree, dims := arenaEngine(t)
+	factors := tensor.RandomFactors(dims, lifeRank, 7)
+	order := eng.UpdateOrder()
+	out := tensor.NewMatrix(dims[order[0]], lifeRank)
+	ws := eng.NewWorkspace()
+	ws.Reset()
+	eng.Compute(ws, 0, factors, out) // the open tree computes fine
+	if err := tree.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	mustPanicContaining(t, "lifetrace", func() {
+		eng.Compute(ws, 0, factors, out)
+	})
+}
+
+// TestLifetraceComputeAfterReleasePanics: touching a pooled workspace
+// after Solver.Release must die at the entry check (the scratch is
+// stamped), and its buffers are NaN until re-acquired.
+func TestLifetraceComputeAfterReleasePanics(t *testing.T) {
+	tt := tensor.Random([]int{10, 12, 14}, 400, nil, 5)
+	eng, _, err := core.NewEngineFor(tt, core.Options{Rank: lifeRank, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := cpd.NewSolver(eng)
+	factors := tensor.RandomFactors(tt.Dims, lifeRank, 9)
+	order := eng.UpdateOrder()
+	out := tensor.NewMatrix(tt.Dims[order[0]], lifeRank)
+	ws := solver.Acquire()
+	eng.Compute(ws, 0, factors, out) // in-flight use is fine
+	solver.Release(ws)
+	mustPanicContaining(t, "lifetrace", func() {
+		eng.Compute(ws, 0, factors, out)
+	})
+}
+
+// TestLifetraceDoubleReleasePanics: handing the same workspace back twice
+// is a lifecycle violation the registry must catch.
+func TestLifetraceDoubleReleasePanics(t *testing.T) {
+	tt := tensor.Random([]int{8, 9, 10}, 200, nil, 11)
+	eng, _, err := core.NewEngineFor(tt, core.Options{Rank: lifeRank, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := cpd.NewSolver(eng)
+	ws := solver.Acquire()
+	solver.Release(ws)
+	mustPanicContaining(t, "released twice", func() {
+		solver.Release(ws)
+	})
+}
+
+// TestLifetraceSharedSolverStress: N goroutines Acquire/solve/Release
+// against one Solver. The registry panics if any workspace ever serves two
+// in-flight solves; NaN-free results prove no solve read a poisoned
+// (released) buffer, since Release NaN-fills everything workspace-owned.
+func TestLifetraceSharedSolverStress(t *testing.T) {
+	tt := tensor.Random([]int{12, 15, 18}, 900, nil, 13)
+	eng, _, err := core.NewEngineFor(tt, core.Options{Rank: lifeRank, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := cpd.NewSolver(eng)
+	var sq float64
+	for _, v := range tt.Vals {
+		sq += v * v
+	}
+	normX := math.Sqrt(sq)
+
+	const goroutines, solves = 8, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*solves)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < solves; i++ {
+				res, err := solver.Run(tt.Dims, normX, cpd.Options{
+					Rank: lifeRank, MaxIters: 3, Tol: -1, Seed: int64(g*solves + i + 1),
+				})
+				if err != nil {
+					errs <- err
+					continue
+				}
+				for m, f := range res.Factors {
+					for _, v := range f.Data {
+						if math.IsNaN(v) || math.IsInf(v, 0) {
+							t.Errorf("goroutine %d solve %d: non-finite entry in factor %d: poisoned buffer reached a result", g, i, m)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("solve failed: %v", err)
+	}
+}

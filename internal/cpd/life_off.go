@@ -1,0 +1,12 @@
+//go:build !lifetrace
+
+package cpd
+
+// lifeAcquire and lifeRelease are the disabled forms of the workspace
+// lifetime oracle; both inline to nothing. Build with -tags lifetrace for
+// the registry implementation (life_on.go), which panics on
+// acquire-while-in-flight and double-release and NaN-poisons released
+// workspaces.
+func lifeAcquire(Workspace) {}
+
+func lifeRelease(Workspace) {}

@@ -1,0 +1,60 @@
+//go:build lifetrace
+
+package cpd
+
+import "sync"
+
+// The lifetrace workspace registry: every pooled workspace carries a
+// lifecycle state, transitions are checked under a process-wide lock, and
+// released workspaces are NaN-poisoned through the lifePoisonable hooks
+// (implemented by core.Workspace under the same build tag). Together with
+// the kernel-entry stamp checks this guarantees that (a) no workspace ever
+// serves two in-flight solves, (b) a read after Release either panics at
+// the next kernel entry or surfaces as NaN in results — never as silently
+// wrong factors.
+
+type lifeState uint8
+
+const (
+	lifeInFlight lifeState = iota + 1
+	lifeReleased
+)
+
+// lifePoisonable is implemented by workspaces that can poison and revive
+// their internal buffers; workspaces without the hooks are still
+// state-checked, just not poisoned.
+type lifePoisonable interface {
+	LifePoison()
+	LifeUnpoison()
+}
+
+var (
+	lifeMu sync.Mutex
+	lifeWS = make(map[Workspace]lifeState)
+)
+
+func lifeAcquire(ws Workspace) {
+	lifeMu.Lock()
+	defer lifeMu.Unlock()
+	if lifeWS[ws] == lifeInFlight {
+		panic("cpd: lifetrace: workspace acquired while serving an in-flight solve")
+	}
+	if lifeWS[ws] == lifeReleased {
+		if p, ok := ws.(lifePoisonable); ok {
+			p.LifeUnpoison()
+		}
+	}
+	lifeWS[ws] = lifeInFlight
+}
+
+func lifeRelease(ws Workspace) {
+	lifeMu.Lock()
+	defer lifeMu.Unlock()
+	if lifeWS[ws] == lifeReleased {
+		panic("cpd: lifetrace: workspace released twice")
+	}
+	lifeWS[ws] = lifeReleased
+	if p, ok := ws.(lifePoisonable); ok {
+		p.LifePoison()
+	}
+}

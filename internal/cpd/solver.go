@@ -23,15 +23,25 @@ func (s *Solver) Engine() Engine { return s.eng }
 
 // Acquire returns a Reset workspace from the pool. Callers must Release it
 // when the solve completes; each workspace may serve only one solve at a
-// time.
+// time, and nothing reachable from it may outlive the Release.
+//
+// life: return pooled
 func (s *Solver) Acquire() Workspace {
 	ws := s.pool.Get().(Workspace)
+	lifeAcquire(ws)
 	ws.Reset()
 	return ws
 }
 
-// Release returns a workspace to the pool for reuse.
-func (s *Solver) Release(ws Workspace) { s.pool.Put(ws) }
+// Release returns a workspace to the pool for reuse. The workspace and
+// everything reachable from it (memo partials, output buffers, scratch)
+// must not be touched afterwards.
+//
+// life: ws releases
+func (s *Solver) Release(ws Workspace) {
+	lifeRelease(ws)
+	s.pool.Put(ws)
+}
 
 // Run executes one CPD-ALS solve on a pooled workspace. It is safe to call
 // concurrently: parallel calls share the engine's immutable plan and each

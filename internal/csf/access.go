@@ -12,6 +12,7 @@ package csf
 // mode index of node n, an int32-bounded value by construction.
 //
 // idx: return len=nnz elem=fid
+// life: return view
 func (t *Tree) FidLevel(l int) []int32 { return t.fids[l] }
 
 // PtrLevel returns the child-offset array of level l (nil at the leaf
@@ -19,6 +20,7 @@ func (t *Tree) FidLevel(l int) []int32 { return t.fids[l] }
 // they need 64-bit arithmetic, never int32.
 //
 // idx: return len=nnz elem=nnz
+// life: return view
 func (t *Tree) PtrLevel(l int) []int64 { return t.ptr[l] }
 
 // NNZ64 returns the number of non-zeros at the width the count actually
@@ -38,6 +40,7 @@ func (t *Tree) NumFibers64(l int) int64 { return int64(len(t.fids[l])) }
 // fiber ids (FidLevel(Order()-1)).
 //
 // idx: return len=nnz
+// life: return view
 func (t *Tree) ValsLevel() []float64 { return t.vals }
 
 // Dims returns the per-level mode lengths. The slice is the tree's own

@@ -387,6 +387,8 @@ func (w *arenaWriter) flush() error {
 // defeat the zero-copy open); arena files are trusted artifacts. Call
 // Validate() on the returned tree to run the full O(nnz) structural check
 // when the producer is not trusted.
+//
+// life: return owned
 func OpenArena(path string) (*Tree, error) {
 	return openArenaPlatform(path)
 }

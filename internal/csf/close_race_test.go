@@ -1,0 +1,62 @@
+package csf
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestCloseConcurrentIdempotent pins the Close doc promise under -race:
+// racing double-Close on an arena-backed tree is safe (the backing's
+// sync.Once serializes the release) and every call observes the same nil
+// error.
+func TestCloseConcurrentIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "race.stef")
+	if err := mustTree([]int{8, 9, 10}, 300, 4).WriteArena(path); err != nil {
+		t.Fatalf("WriteArena: %v", err)
+	}
+	tree, err := OpenArena(path)
+	if err != nil {
+		t.Fatalf("OpenArena: %v", err)
+	}
+	const closers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, closers)
+	for i := 0; i < closers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = tree.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("closer %d: %v", i, err)
+		}
+	}
+	if !tree.Closed() {
+		t.Error("Closed() = false after concurrent Close on a backed tree")
+	}
+}
+
+// TestCloseConcurrentHeapTree: heap-built trees have no backing; racing
+// Closes are no-ops that never mark the tree closed (its storage is
+// GC-owned and stays valid).
+func TestCloseConcurrentHeapTree(t *testing.T) {
+	tree := mustTree([]int{5, 6, 7}, 80, 5)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := tree.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if tree.Closed() {
+		t.Error("heap-built tree reports Closed() = true")
+	}
+}

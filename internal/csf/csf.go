@@ -11,6 +11,7 @@ package csf
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"stef/internal/tensor"
 )
@@ -42,6 +43,10 @@ type Tree struct {
 	// backing owns the memory behind the level slices when they are views
 	// into an arena (nil for heap-backed trees, whose storage the GC owns).
 	backing Backing
+	// closed is set (atomically) by the first Close on a backed tree; the
+	// lifetrace kernel-entry checks read it so a solve against a closed
+	// arena fails loudly instead of faulting mid-kernel.
+	closed uint32
 }
 
 // Backing owns the storage behind a Tree's level arrays. Heap-backed trees
@@ -69,8 +74,14 @@ func (t *Tree) Close() error {
 	if t.backing == nil {
 		return nil
 	}
+	atomic.StoreUint32(&t.closed, 1)
 	return t.backing.Close()
 }
+
+// Closed reports whether Close has released this tree's backing. Heap
+// trees (nil backing) never report closed: their storage is GC-owned and
+// stays valid for as long as the tree is reachable.
+func (t *Tree) Closed() bool { return atomic.LoadUint32(&t.closed) != 0 }
 
 // Build constructs a CSF tree from t using the given mode permutation
 // (perm[l] is the original mode placed at level l; nil means the

@@ -1,0 +1,72 @@
+//go:build lifetrace && linux
+
+package csf
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLifetraceCloseQuarantinesMapping pins that under lifetrace Close
+// routes the mapping into the PROT_NONE quarantine instead of unmapping,
+// and that the sync.Once idempotence guard quarantines it exactly once.
+func TestLifetraceCloseQuarantinesMapping(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.stef")
+	if err := mustTree([]int{6, 7, 8}, 100, 1).WriteArena(path); err != nil {
+		t.Fatalf("WriteArena: %v", err)
+	}
+	before := QuarantinedMappings()
+	tree, err := OpenArena(path)
+	if err != nil {
+		t.Fatalf("OpenArena: %v", err)
+	}
+	if err := tree.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := QuarantinedMappings(); got != before+1 {
+		t.Fatalf("QuarantinedMappings = %d after Close, want %d", got, before+1)
+	}
+	if err := tree.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if got := QuarantinedMappings(); got != before+1 {
+		t.Fatalf("QuarantinedMappings = %d after double Close, want %d (once-guarded)", got, before+1)
+	}
+}
+
+// TestLifetraceUseAfterCloseFaults proves the quarantine makes
+// use-after-close deterministic: a child process reads a level view after
+// Close and must die on a fault (the mapping is PROT_NONE), never read
+// recycled bytes. The test re-execs itself; the env var selects the
+// child branch.
+func TestLifetraceUseAfterCloseFaults(t *testing.T) {
+	if path := os.Getenv("STEF_LIFETRACE_CHILD_ARENA"); path != "" {
+		tree, err := OpenArena(path)
+		if err != nil {
+			os.Exit(3)
+		}
+		vals := tree.ValsLevel()
+		_ = tree.Close()
+		if vals[0] > 0 { // must fault here: the mapping is PROT_NONE
+			os.Exit(4)
+		}
+		os.Exit(0) // unreachable if the oracle works
+	}
+	path := filepath.Join(t.TempDir(), "fault.stef")
+	if err := mustTree([]int{6, 7, 8}, 100, 2).WriteArena(path); err != nil {
+		t.Fatalf("WriteArena: %v", err)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestLifetraceUseAfterCloseFaults$")
+	cmd.Env = append(os.Environ(), "STEF_LIFETRACE_CHILD_ARENA="+path)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("child survived a read through a closed mapping; output:\n%s", out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "unexpected fault address") && !strings.Contains(text, "SIGSEGV") {
+		t.Fatalf("child died without a fault diagnosis (err %v); output:\n%s", err, text)
+	}
+}

@@ -1,0 +1,11 @@
+//go:build linux && !lifetrace
+
+package csf
+
+import "syscall"
+
+// releaseMapping returns a closed arena mapping to the kernel. Build with
+// -tags lifetrace for the quarantining implementation (maprelease_on.go),
+// which re-protects the mapping PROT_NONE instead so any dangling view
+// faults deterministically.
+func releaseMapping(data []byte) error { return syscall.Munmap(data) }

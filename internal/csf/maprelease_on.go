@@ -1,0 +1,41 @@
+//go:build linux && lifetrace
+
+package csf
+
+import (
+	"sync"
+	"syscall"
+)
+
+// Under -tags lifetrace a closed arena mapping is never unmapped: it is
+// re-protected PROT_NONE and held quarantined until process exit. The
+// address range therefore can never be recycled by a later allocation or
+// mapping, so a use-after-Close through any stale accessor view faults
+// deterministically (SIGSEGV on the first touch) instead of silently
+// reading whatever the kernel placed there next — the failure mode the
+// lifetime analyzer proves absent and this oracle makes loud when a path
+// escapes the proof.
+
+var (
+	quarantineMu sync.Mutex
+	quarantined  [][]byte
+)
+
+func releaseMapping(data []byte) error {
+	if err := syscall.Mprotect(data, syscall.PROT_NONE); err != nil {
+		return err
+	}
+	quarantineMu.Lock()
+	quarantined = append(quarantined, data)
+	quarantineMu.Unlock()
+	return nil
+}
+
+// QuarantinedMappings reports how many closed mappings are held in
+// quarantine. Test-facing: it pins that Close actually routed through the
+// quarantine rather than unmapping.
+func QuarantinedMappings() int {
+	quarantineMu.Lock()
+	defer quarantineMu.Unlock()
+	return len(quarantined)
+}

@@ -34,7 +34,7 @@ func (b *mmapBacking) Kind() string { return "arena-mmap" }
 func (b *mmapBacking) Close() error {
 	b.once.Do(func() {
 		if b.data != nil {
-			b.err = syscall.Munmap(b.data)
+			b.err = releaseMapping(b.data)
 			b.data = nil
 		}
 	})

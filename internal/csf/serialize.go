@@ -271,6 +271,8 @@ func writeFileAtomic(path string, write func(*os.File) error) error {
 // LoadFile reads a tree from a file. The file's size bounds the level
 // counts the header may claim, so a corrupt header cannot commit memory
 // beyond what the file could possibly back.
+//
+// life: return owned
 func LoadFile(path string) (*Tree, error) {
 	f, err := os.Open(path)
 	if err != nil {

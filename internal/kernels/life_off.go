@@ -1,0 +1,20 @@
+//go:build !lifetrace
+
+package kernels
+
+import "stef/internal/csf"
+
+// lifeScratchState is the disabled form of the workspace-lifetime oracle:
+// the hooks below inline to nothing, so the kernel-entry checks cost zero
+// in normal builds. Build with -tags lifetrace for the recording
+// implementation (life_on.go), which stamps released scratches, NaN-fills
+// their accumulators, and panics when a kernel is entered with a closed
+// tree or a released workspace.
+type lifeScratchState struct{}
+
+// LifeSetPoisoned stamps the scratch released (true) or back in service
+// (false); a no-op in normal builds.
+func (s *Scratch) LifeSetPoisoned(bool) {}
+
+// lifeEnter is the kernel-entry lifetime check; a no-op in normal builds.
+func lifeEnter(tree *csf.Tree, sc *Scratch) {}

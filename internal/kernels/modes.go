@@ -38,6 +38,7 @@ func ModeMTTKRP(tree *csf.Tree, factors []*tensor.Matrix, u int, partials *Parti
 // copies or atomic adds). The caller must Reset buf beforehand and Reduce
 // it afterwards.
 func ModeMTTKRPWith(tree *csf.Tree, factors []*tensor.Matrix, u int, partials *Partials, buf *OutBuf, part *sched.Partition, sc *Scratch) {
+	lifeEnter(tree, sc)
 	d := tree.Order()
 	if u <= 0 || u >= d {
 		panic(fmt.Sprintf("kernels: ModeMTTKRP mode %d out of range (order %d); use RootMTTKRP for mode 0", u, d))

@@ -31,6 +31,7 @@ func RootMTTKRP(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, pa
 // unrolled specialisations (root3.go); other orders use the generic
 // recursive kernel, which is the semantic reference.
 func RootMTTKRPWith(tree *csf.Tree, factors []*tensor.Matrix, out *tensor.Matrix, partials *Partials, part *sched.Partition, sc *Scratch) {
+	lifeEnter(tree, sc)
 	d := tree.Order()
 	if len(factors) != d {
 		panic(fmt.Sprintf("kernels: %d factors for order-%d tensor", len(factors), d))

@@ -30,6 +30,9 @@ type Scratch struct {
 	// shadow is the write-disjointness oracle; a no-op unless built with
 	// -tags shadowtrace (see shadow_off.go / shadow_on.go).
 	shadow shadowState
+	// life is the workspace-lifetime oracle; a no-op unless built with
+	// -tags lifetrace (see life_off.go / life_on.go).
+	life lifeScratchState
 }
 
 // NewScratch sizes a scratch for order-d trees at the given rank and thread

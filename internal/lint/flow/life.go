@@ -1,0 +1,496 @@
+// life.go implements the lifetime half of the flow package: an
+// interprocedural use-after-release analysis over the module's releasable
+// resources. A resource is a value whose lifecycle is declared by the
+// small //life: annotation vocabulary (analogous to //idx:) or implied by
+// a module-defined `Close() error` method:
+//
+//	//life: return owned     callers must Close/release the result on
+//	                         every path (csf.OpenArena, csf.LoadFile)
+//	//life: return pooled    the result is drawn from a pool; it must be
+//	                         handed back through a releasing call and its
+//	                         internals must not escape the window
+//	                         (cpd.Solver.Acquire)
+//	//life: return view      the result aliases the receiver's storage
+//	                         and dies with it (the csf accessor layer)
+//	//life: <param> releases the call releases that parameter
+//	                         (cpd.Solver.Release)
+//
+// Three violation classes are reported by the lifetime analyzer built on
+// this file (see lifeanalysis.go):
+//
+//	L1  use of a resource, or of a view derived from it, on a path after
+//	    its release — including releases reached through module-local
+//	    helpers, resolved via memoized per-function summaries
+//	L2  a pooled value (or a view of its internals) escaping the
+//	    Acquire→Release window: returned, stored to a field or global,
+//	    or captured by a goroutine
+//	L3  an owned resource leaking on a return path: neither released,
+//	    deferred, nor transferred out
+//
+// Like the width analysis, unknown constructs err toward silence: a
+// finding only ever traces back to a declared annotation or to a
+// module-defined Close method, never to a guess.
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lifeKind classifies what a `//life: return <word>` annotation declares
+// about a function's first result.
+type lifeKind uint8
+
+const (
+	lifeNone lifeKind = iota
+	lifeOwned
+	lifeView
+	lifePooled
+)
+
+func lifeKindWord(w string) lifeKind {
+	switch w {
+	case "owned":
+		return lifeOwned
+	case "view":
+		return lifeView
+	case "pooled":
+		return lifePooled
+	}
+	return lifeNone
+}
+
+// LifeWords lists the closed //life: vocabulary; stale-allow owns spelling
+// diagnostics against it, mirroring the //idx: facet treatment.
+func LifeWords() []string { return []string{"return", "owned", "view", "pooled", "releases"} }
+
+// ValidLifeWord reports whether w is a declared //life: vocabulary word.
+func ValidLifeWord(w string) bool {
+	for _, v := range LifeWords() {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// LifeDirectiveBody reports whether a comment is a //life: directive and
+// returns its trimmed body.
+func LifeDirectiveBody(text string) (string, bool) {
+	body, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "life:")
+	if !ok || (body != "" && body[0] != ' ' && body[0] != '\t') {
+		return "", false
+	}
+	return strings.TrimSpace(body), true
+}
+
+// lifeDirectiveFields splits a directive body into its tokens, dropping a
+// trailing "//"-introduced free-form comment (mirroring //idx:).
+func lifeDirectiveFields(body string) []string {
+	toks := strings.Fields(body)
+	for i, t := range toks {
+		if strings.HasPrefix(t, "//") {
+			return toks[:i]
+		}
+	}
+	return toks
+}
+
+// LifeConfig parameterizes a LifeProgram.
+type LifeConfig struct {
+	// ModulePrefix is the import-path prefix under which a `Close() error`
+	// method marks its receiver type as a releasable resource. Empty
+	// selects the module's own prefix. Limiting the intrinsic to module
+	// types keeps os.File-style handles (whose metadata stays valid after
+	// Close) out of scope; the annotations carry everything else.
+	ModulePrefix string
+	// MaxCallDepth bounds interprocedural summary chains; 0 selects
+	// DefaultMaxCallDepth.
+	MaxCallDepth int
+}
+
+const defaultModulePrefix = "stef"
+
+// lifeDir is one //life: comment seen in a package, with whether the
+// annotation binder attached it to a function declaration.
+type lifeDir struct {
+	pos   token.Pos
+	bound bool
+}
+
+// LifeProgram holds the cross-package //life: annotation index and
+// memoized lifetime summaries for one analysis run.
+type LifeProgram struct {
+	fset *token.FileSet
+	cfg  LifeConfig
+	pkgs []*Package
+
+	decls      map[*types.Func]*funcSource
+	retKinds   map[*types.Func]lifeKind
+	relMasks   map[*types.Func]paramMask
+	sums       map[*types.Func]*lsummary
+	inProgress map[*types.Func]bool
+	dirs       map[*Package][]lifeDir
+}
+
+// NewLifeProgram indexes the given typechecked packages and their //life:
+// annotations. Packages that failed to typecheck must be omitted.
+func NewLifeProgram(fset *token.FileSet, pkgs []*Package, cfg LifeConfig) *LifeProgram {
+	if cfg.ModulePrefix == "" {
+		cfg.ModulePrefix = defaultModulePrefix
+	}
+	if cfg.MaxCallDepth <= 0 {
+		cfg.MaxCallDepth = DefaultMaxCallDepth
+	}
+	p := &LifeProgram{
+		fset:       fset,
+		cfg:        cfg,
+		pkgs:       pkgs,
+		decls:      make(map[*types.Func]*funcSource),
+		retKinds:   make(map[*types.Func]lifeKind),
+		relMasks:   make(map[*types.Func]paramMask),
+		sums:       make(map[*types.Func]*lsummary),
+		inProgress: make(map[*types.Func]bool),
+		dirs:       make(map[*Package][]lifeDir),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					p.decls[fn] = &funcSource{decl: fd, pkg: pkg}
+				}
+			}
+		}
+	}
+	p.collectLifeAnnos()
+	return p
+}
+
+// inModule reports whether a package path belongs to the analyzed module.
+func (p *LifeProgram) inModule(path string) bool {
+	return path == p.cfg.ModulePrefix || strings.HasPrefix(path, p.cfg.ModulePrefix+"/")
+}
+
+// collectLifeAnnos binds `//life: return <kind>` and `//life: <param>
+// releases` lines in function doc comments, recording every //life:
+// comment position so unbound directives can be reported.
+func (p *LifeProgram) collectLifeAnnos() {
+	for _, pkg := range p.pkgs {
+		consumed := make(map[token.Pos]bool)
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					p.bindLifeFunc(pkg, fd, consumed)
+				}
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if _, ok := LifeDirectiveBody(c.Text); ok {
+						p.dirs[pkg] = append(p.dirs[pkg], lifeDir{pos: c.Slash, bound: consumed[c.Slash]})
+					}
+				}
+			}
+		}
+		for i, d := range p.dirs[pkg] {
+			if consumed[d.pos] {
+				p.dirs[pkg][i].bound = true
+			}
+		}
+	}
+}
+
+// bindLifeFunc binds the //life: lines of one function's doc comment. The
+// parameter index space matches paramMask convention: the receiver (when
+// present) is index 0 and ordinary parameters follow.
+func (p *LifeProgram) bindLifeFunc(pkg *Package, fd *ast.FuncDecl, consumed map[token.Pos]bool) {
+	if fd.Doc == nil {
+		return
+	}
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	params := make(map[string]int)
+	i := 0
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				params[name.Name] = i
+				i++
+			}
+			if len(field.Names) == 0 {
+				i++
+			}
+		}
+	}
+	addFields(fd.Recv)
+	if fd.Recv != nil {
+		i = 1
+	}
+	addFields(fd.Type.Params)
+	for _, c := range fd.Doc.List {
+		body, ok := LifeDirectiveBody(c.Text)
+		if !ok {
+			continue
+		}
+		toks := lifeDirectiveFields(body)
+		if len(toks) < 2 {
+			continue
+		}
+		if toks[0] == "return" {
+			if k := lifeKindWord(toks[1]); k != lifeNone {
+				p.retKinds[fn] = k
+				consumed[c.Slash] = true
+			}
+			continue
+		}
+		if toks[1] == "releases" {
+			if j, ok := params[toks[0]]; ok {
+				p.relMasks[fn] |= pbit(j)
+				consumed[c.Slash] = true
+			}
+		}
+	}
+}
+
+// lsummary is the lifetime summary of one module-local function: which
+// parameters it releases on some path, and the lifecycle kind and aliasing
+// of its first result.
+type lsummary struct {
+	releases paramMask
+	retKind  lifeKind
+	retView  paramMask // parameters the first result may view
+}
+
+// summarize computes (and memoizes) fn's lifetime summary. Annotations
+// always win; for functions with source, release effects and returned
+// lifecycle kinds additionally propagate through the body so helpers
+// composed at call sites (a closeBoth(a, b), a wrapper returning
+// OpenArena's result) carry their callees' obligations.
+func (p *LifeProgram) summarize(fn *types.Func, depth int) *lsummary {
+	if s, ok := p.sums[fn]; ok {
+		return s
+	}
+	s := &lsummary{retKind: p.retKinds[fn], releases: p.relMasks[fn]}
+	src := p.decls[fn]
+	if src == nil || depth > p.cfg.MaxCallDepth || p.inProgress[fn] {
+		if src == nil {
+			p.sums[fn] = s
+		}
+		return s
+	}
+	p.inProgress[fn] = true
+	defer delete(p.inProgress, fn)
+
+	byObj := paramIndexMap(src.pkg.Info, src.decl)
+	ast.Inspect(src.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, tgt := range p.releaseTargets(src.pkg.Info, n, depth+1) {
+				if id, ok := ast.Unparen(tgt).(*ast.Ident); ok {
+					if j, isParam := byObj[src.pkg.Info.Uses[id]]; isParam {
+						s.releases |= pbit(j)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if len(n.Results) == 0 {
+				return true
+			}
+			switch r := ast.Unparen(n.Results[0]).(type) {
+			case *ast.CallExpr:
+				if callee := calleeFunc(src.pkg.Info, r); callee != nil && s.retKind == lifeNone {
+					s.retKind = p.summarize(callee, depth+1).retKind
+				}
+			default:
+				if id, ok := exprRootIdent(n.Results[0]); ok {
+					if j, isParam := byObj[src.pkg.Info.Uses[id]]; isParam && id != ast.Unparen(n.Results[0]) {
+						// A selector/index path into a parameter: the
+						// result aliases that parameter's storage.
+						s.retView |= pbit(j)
+					}
+				}
+			}
+		}
+		return true
+	})
+	p.sums[fn] = s
+	return s
+}
+
+// paramIndexMap maps a declaration's parameter objects (receiver first) to
+// their paramMask indices.
+func paramIndexMap(info *types.Info, fd *ast.FuncDecl) map[types.Object]int {
+	byObj := make(map[types.Object]int)
+	i := 0
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					byObj[obj] = i
+				}
+				i++
+			}
+			if len(field.Names) == 0 {
+				i++
+			}
+		}
+	}
+	add(fd.Recv)
+	if fd.Recv != nil {
+		i = 1
+	}
+	add(fd.Type.Params)
+	return byObj
+}
+
+// exprRootIdent unwraps selector/index/slice/star/paren chains to the
+// identifier at their root, if there is one.
+func exprRootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// isModuleClose reports whether fn is a `Close() error` method declared in
+// a module package — the intrinsic release the analysis recognizes without
+// an annotation.
+func (p *LifeProgram) isModuleClose(fn *types.Func) bool {
+	if fn == nil || fn.Name() != "Close" || fn.Pkg() == nil || !p.inModule(fn.Pkg().Path()) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// releaseTargets returns the argument (or receiver) expressions a call
+// releases: the receiver of a module Close method, plus every argument at
+// a position the callee's annotation or summary declares released.
+func (p *LifeProgram) releaseTargets(info *types.Info, call *ast.CallExpr, depth int) []ast.Expr {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return nil
+	}
+	var out []ast.Expr
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if p.isModuleClose(fn) && isSel {
+		out = append(out, sel.X)
+	}
+	mask := p.relMasks[fn] | p.summarize(fn, depth).releases
+	if mask == 0 {
+		return out
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	hasRecv := sig != nil && sig.Recv() != nil
+	for i := 0; i < 32; i++ {
+		if !mask.has(i) {
+			continue
+		}
+		switch {
+		case hasRecv && i == 0 && isSel:
+			out = append(out, sel.X)
+		case hasRecv:
+			if j := i - 1; j >= 0 && j < len(call.Args) {
+				out = append(out, call.Args[j])
+			}
+		default:
+			if i < len(call.Args) {
+				out = append(out, call.Args[i])
+			}
+		}
+	}
+	return out
+}
+
+// retKindOf resolves the lifecycle kind of a call's first result.
+func (p *LifeProgram) retKindOf(fn *types.Func, depth int) lifeKind {
+	if fn == nil {
+		return lifeNone
+	}
+	if k, ok := p.retKinds[fn]; ok && k != lifeNone {
+		return k
+	}
+	return p.summarize(fn, depth).retKind
+}
+
+// CheckPackage runs the lifetime checks over every function declared in
+// the package with the given import path, plus the package's unbound
+// //life: directives, returning findings ordered by position.
+func (p *LifeProgram) CheckPackage(pkgPath string) []Finding {
+	pkg := p.pkg(pkgPath)
+	if pkg == nil {
+		return nil
+	}
+	var out []Finding
+	for _, d := range p.dirs[pkg] {
+		if !d.bound {
+			out = append(out, Finding{Pos: d.pos, Message: "//life: directive binds nothing: it is not a `return owned|view|pooled` or `<param> releases` line in the doc comment of a function declaration"})
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a := newLifeAnalysis(p, pkg, fd)
+			a.run(fd.Body)
+			out = append(out, a.findings...)
+		}
+	}
+	seen := make(map[string]bool)
+	uniq := out[:0]
+	for _, f := range out {
+		key := fmt.Sprintf("%d:%s", f.Pos, f.Message)
+		if !seen[key] {
+			seen[key] = true
+			uniq = append(uniq, f)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i].Pos < uniq[j].Pos })
+	return uniq
+}
+
+func (p *LifeProgram) pkg(pkgPath string) *Package {
+	for _, cand := range p.pkgs {
+		if cand.Path == pkgPath {
+			return cand
+		}
+	}
+	return nil
+}

@@ -1,0 +1,755 @@
+// lifeanalysis.go is the per-function walker behind LifeProgram: a
+// path-sensitive (branch-cloning, merge-on-join) interpretation of one
+// function body that tracks which tracked resources have been released on
+// the current path (L1), which values are pooled or view-derived (L2), and
+// which owned resources are still unresolved at each return (L3). Unlike
+// the fixpoint interpreters of the width and write-disjoint analyses, the
+// lifetime properties are about *ordering* along paths, so the walker
+// clones state at branches and walks loop bodies twice to expose
+// cross-iteration use-after-release; findings are deduplicated by the
+// caller.
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ownedRes is one owned resource pending resolution on the current path.
+type ownedRes struct {
+	pos token.Pos
+	src string // callee name, for the message
+	// errObj is the error variable assigned alongside the resource; an
+	// `if errObj != nil` branch treats the resource as never acquired.
+	errObj types.Object
+}
+
+// lstate is the path-sensitive half of the analysis state.
+type lstate struct {
+	rel   map[types.Object]token.Pos // released resource roots
+	owned map[types.Object]*ownedRes // owned, not yet resolved
+}
+
+func newLstate() *lstate {
+	return &lstate{rel: make(map[types.Object]token.Pos), owned: make(map[types.Object]*ownedRes)}
+}
+
+func (s *lstate) clone() *lstate {
+	out := newLstate()
+	for k, v := range s.rel {
+		out.rel[k] = v
+	}
+	for k, v := range s.owned {
+		out.owned[k] = v
+	}
+	return out
+}
+
+// mergeLstate joins two fall-through branch states: released on any path
+// counts as released (L1 errs toward reporting a use that *may* follow a
+// release), and owned-unresolved on any path stays owned (L3 errs toward
+// reporting a path that *may* leak).
+func mergeLstate(a, b *lstate) *lstate {
+	out := a.clone()
+	for k, v := range b.rel {
+		if _, ok := out.rel[k]; !ok {
+			out.rel[k] = v
+		}
+	}
+	for k, v := range b.owned {
+		if _, ok := out.owned[k]; !ok {
+			out.owned[k] = v
+		}
+	}
+	return out
+}
+
+// lifeAnalysis walks one function declaration (and, recursively with fresh
+// state, the function literals inside it).
+type lifeAnalysis struct {
+	prog *LifeProgram
+	pkg  *Package
+	info *types.Info
+	fn   *types.Func // nil for function literals
+
+	// views maps a derived value to the resource root it aliases; pooled
+	// marks roots drawn from an annotated pool. Both are flow-insensitive:
+	// a binding is killed by reassignment but not split across branches.
+	views       map[types.Object]types.Object
+	pooled      map[types.Object]token.Pos
+	deferredRel map[types.Object]bool
+
+	findings []Finding
+}
+
+func newLifeAnalysis(p *LifeProgram, pkg *Package, fd *ast.FuncDecl) *lifeAnalysis {
+	a := &lifeAnalysis{
+		prog:        p,
+		pkg:         pkg,
+		info:        pkg.Info,
+		views:       make(map[types.Object]types.Object),
+		pooled:      make(map[types.Object]token.Pos),
+		deferredRel: make(map[types.Object]bool),
+	}
+	if fd != nil {
+		a.fn, _ = pkg.Info.Defs[fd.Name].(*types.Func)
+	}
+	return a
+}
+
+func (a *lifeAnalysis) reportf(pos token.Pos, format string, args ...interface{}) {
+	a.findings = append(a.findings, Finding{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// run walks a body with fresh path state. A body that falls off its end
+// resolves nothing, so remaining owned resources leak there.
+func (a *lifeAnalysis) run(body *ast.BlockStmt) {
+	s := newLstate()
+	if terminated := a.block(body, s); !terminated {
+		a.checkLeaks(body.End(), s, nil)
+	}
+}
+
+// nested analyzes a function literal independently: it executes at an
+// unknown time, so the outer path state neither constrains nor is
+// affected by it.
+func (a *lifeAnalysis) nested(lit *ast.FuncLit) {
+	n := &lifeAnalysis{
+		prog:        a.prog,
+		pkg:         a.pkg,
+		info:        a.info,
+		views:       make(map[types.Object]types.Object),
+		pooled:      make(map[types.Object]token.Pos),
+		deferredRel: make(map[types.Object]bool),
+	}
+	n.run(lit.Body)
+	a.findings = append(a.findings, n.findings...)
+}
+
+func (a *lifeAnalysis) block(b *ast.BlockStmt, s *lstate) bool {
+	for _, st := range b.List {
+		if a.stmt(st, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt interprets one statement, returning whether the path terminates
+// (return, panic, or a branch out of the linear flow).
+func (a *lifeAnalysis) stmt(st ast.Stmt, s *lstate) bool {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		a.scan(st.X, s)
+		return isPanicCall(st.X)
+	case *ast.AssignStmt:
+		a.assign(st, s)
+	case *ast.DeclStmt:
+		a.declStmt(st, s)
+	case *ast.ReturnStmt:
+		a.returnStmt(st, s)
+		return true
+	case *ast.IfStmt:
+		return a.ifStmt(st, s)
+	case *ast.BlockStmt:
+		return a.block(st, s)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			a.stmt(st.Init, s)
+		}
+		a.scanOpt(st.Cond, s)
+		a.loopBody(st.Body, st.Post, s)
+	case *ast.RangeStmt:
+		a.scan(st.X, s)
+		a.killTargets(s, st.Key, st.Value)
+		a.loopBody(st.Body, nil, s)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			a.stmt(st.Init, s)
+		}
+		a.scanOpt(st.Tag, s)
+		return a.clauses(st.Body, s)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			a.stmt(st.Init, s)
+		}
+		a.stmt(st.Assign, s)
+		return a.clauses(st.Body, s)
+	case *ast.SelectStmt:
+		return a.clauses(st.Body, s)
+	case *ast.DeferStmt:
+		a.deferStmt(st, s)
+	case *ast.GoStmt:
+		a.goStmt(st, s)
+	case *ast.LabeledStmt:
+		return a.stmt(st.Stmt, s)
+	case *ast.SendStmt:
+		a.scan(st.Chan, s)
+		a.scan(st.Value, s)
+	case *ast.IncDecStmt:
+		a.scan(st.X, s)
+	case *ast.BranchStmt:
+		// break/continue/goto leave the linear flow; the loop's second
+		// body walk approximates the back edge.
+		return true
+	}
+	return false
+}
+
+// loopBody walks a loop body twice so a release in iteration k is visible
+// to uses in iteration k+1; duplicate findings are deduplicated later.
+func (a *lifeAnalysis) loopBody(body *ast.BlockStmt, post ast.Stmt, s *lstate) {
+	for i := 0; i < 2; i++ {
+		bs := s.clone()
+		if !a.block(body, bs) && post != nil {
+			a.stmt(post, bs)
+		}
+		*s = *mergeLstate(s, bs)
+	}
+}
+
+// clauses walks each case body on a cloned state and merges the
+// fall-through results; without a default the zero-case path falls
+// through unchanged.
+func (a *lifeAnalysis) clauses(body *ast.BlockStmt, s *lstate) bool {
+	var live []*lstate
+	hasDefault := false
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			for _, e := range cs.List {
+				a.scan(e, s)
+			}
+			if cs.List == nil {
+				hasDefault = true
+			}
+			stmts = cs.Body
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+			} else {
+				a.stmt(cs.Comm, s)
+			}
+			stmts = cs.Body
+		default:
+			continue
+		}
+		bs := s.clone()
+		terminated := false
+		for _, st := range stmts {
+			if a.stmt(st, bs) {
+				terminated = true
+				break
+			}
+		}
+		if !terminated {
+			live = append(live, bs)
+		}
+	}
+	if !hasDefault {
+		live = append(live, s.clone())
+	}
+	if len(live) == 0 {
+		return true
+	}
+	out := live[0]
+	for _, bs := range live[1:] {
+		out = mergeLstate(out, bs)
+	}
+	*s = *out
+	return false
+}
+
+func (a *lifeAnalysis) ifStmt(st *ast.IfStmt, s *lstate) bool {
+	if st.Init != nil {
+		a.stmt(st.Init, s)
+	}
+	a.scan(st.Cond, s)
+	guarded, errIsNonNil := a.errGuard(st.Cond, s)
+
+	ts := s.clone()
+	if errIsNonNil {
+		dropOwned(ts, guarded)
+	}
+	tTerm := a.block(st.Body, ts)
+
+	es := s.clone()
+	if !errIsNonNil {
+		dropOwned(es, guarded)
+	}
+	eTerm := false
+	if st.Else != nil {
+		eTerm = a.stmt(st.Else, es)
+	}
+	switch {
+	case tTerm && eTerm:
+		return true
+	case tTerm:
+		*s = *es
+	case eTerm:
+		*s = *ts
+	default:
+		*s = *mergeLstate(ts, es)
+	}
+	return false
+}
+
+// errGuard recognizes `err != nil` / `err == nil` conditions over an error
+// variable paired with an owned resource at its acquisition: on the branch
+// where the error is non-nil the resource was never acquired, so it is
+// dropped from the owned set there instead of reported as a leak.
+func (a *lifeAnalysis) errGuard(cond ast.Expr, s *lstate) ([]types.Object, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, false
+	}
+	other := be.X
+	if isNilExpr(be.X) {
+		other = be.Y
+	} else if !isNilExpr(be.Y) {
+		return nil, false
+	}
+	id, ok := ast.Unparen(other).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	errObj := a.info.Uses[id]
+	if errObj == nil {
+		return nil, false
+	}
+	var guarded []types.Object
+	for root, o := range s.owned {
+		if o.errObj == errObj {
+			guarded = append(guarded, root)
+		}
+	}
+	return guarded, be.Op == token.NEQ
+}
+
+func dropOwned(s *lstate, roots []types.Object) {
+	for _, r := range roots {
+		delete(s.owned, r)
+	}
+}
+
+func isNilExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// rootOf resolves an object through the view chain to the resource root it
+// aliases.
+func (a *lifeAnalysis) rootOf(obj types.Object) types.Object {
+	for i := 0; i < 8; i++ {
+		next, ok := a.views[obj]
+		if !ok {
+			return obj
+		}
+		obj = next
+	}
+	return obj
+}
+
+// scan checks every identifier use in e against the released set and then
+// applies the release effects of calls inside e, in that order, so the
+// receiver of the releasing call itself is not a use-after-release but a
+// second release of the same resource is.
+func (a *lifeAnalysis) scan(e ast.Expr, s *lstate) {
+	a.scanUses(e, s)
+	a.applyEffects(e, s)
+}
+
+func (a *lifeAnalysis) scanOpt(e ast.Expr, s *lstate) {
+	if e != nil {
+		a.scan(e, s)
+	}
+}
+
+func (a *lifeAnalysis) scanUses(e ast.Expr, s *lstate) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			a.nested(n)
+			return false
+		case *ast.BinaryExpr:
+			// Nil comparisons observe only the header word, which stays
+			// valid after release; they are how callers test lifecycle
+			// state, not a use of the resource.
+			if (n.Op == token.EQL || n.Op == token.NEQ) && (isNilExpr(n.X) || isNilExpr(n.Y)) {
+				return false
+			}
+		case *ast.Ident:
+			a.checkUse(n, s)
+		}
+		return true
+	})
+}
+
+func (a *lifeAnalysis) checkUse(id *ast.Ident, s *lstate) {
+	obj := a.info.Uses[id]
+	if obj == nil {
+		return
+	}
+	root := a.rootOf(obj)
+	relPos, released := s.rel[root]
+	if !released {
+		return
+	}
+	at := a.prog.fset.Position(relPos)
+	if obj == root {
+		a.reportf(id.Pos(), "use of %s after release (released at %s:%d)", id.Name, at.Filename, at.Line)
+		return
+	}
+	a.reportf(id.Pos(), "use of %s, a view of %s, after release of its backing (released at %s:%d)", id.Name, root.Name(), at.Filename, at.Line)
+}
+
+// applyEffects marks the targets of release calls inside e as released and
+// resolves their ownership.
+func (a *lifeAnalysis) applyEffects(e ast.Expr, s *lstate) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, tgt := range a.prog.releaseTargets(a.info, call, 1) {
+			root := a.targetRoot(tgt)
+			if root == nil {
+				continue
+			}
+			if _, done := s.rel[root]; !done {
+				s.rel[root] = call.Pos()
+			}
+			delete(s.owned, root)
+		}
+		return true
+	})
+}
+
+// targetRoot resolves a release-target expression to a tracked root
+// object; non-identifier targets (fields, results of other calls) are
+// outside the tracked set and ignored, erring toward silence.
+func (a *lifeAnalysis) targetRoot(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := a.info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	return a.rootOf(obj)
+}
+
+func (a *lifeAnalysis) declStmt(st *ast.DeclStmt, s *lstate) {
+	gd, ok := st.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, v := range vs.Values {
+			a.scan(v, s)
+		}
+		for i, name := range vs.Names {
+			obj := a.info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			a.kill(obj, s)
+			if i < len(vs.Values) {
+				a.bindValue(obj, vs.Values[i], nil, s)
+			}
+		}
+	}
+}
+
+func (a *lifeAnalysis) assign(st *ast.AssignStmt, s *lstate) {
+	for _, r := range st.Rhs {
+		a.scan(r, s)
+	}
+	// Escape checks and kills on the targets.
+	for _, l := range st.Lhs {
+		switch l := l.(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				continue
+			}
+			obj := a.info.Defs[l]
+			if obj == nil {
+				obj = a.info.Uses[l]
+			}
+			if obj == nil {
+				continue
+			}
+			if a.isPackageLevel(obj) {
+				a.checkEscape(st.Rhs, "stored in package-level variable "+l.Name, st.Pos())
+			}
+			a.kill(obj, s)
+		default:
+			// A store through memory: the target expression is itself a
+			// use, and a pooled value stored through it outlives the
+			// window.
+			a.scan(l, s)
+			a.checkEscape(st.Rhs, "stored through memory", st.Pos())
+		}
+	}
+	// Bindings: resource/view/pooled classification of the new values.
+	if len(st.Rhs) == 1 && len(st.Lhs) >= 1 {
+		var errObj types.Object
+		if len(st.Lhs) == 2 {
+			if id, ok := st.Lhs[1].(*ast.Ident); ok {
+				if obj := a.objOf(id); obj != nil && isErrorType(obj.Type()) {
+					errObj = obj
+				}
+			}
+		}
+		if id, ok := st.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if obj := a.objOf(id); obj != nil {
+				a.bindValue(obj, st.Rhs[0], errObj, s)
+			}
+		}
+		return
+	}
+	for i, l := range st.Lhs {
+		if i >= len(st.Rhs) {
+			break
+		}
+		if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+			if obj := a.objOf(id); obj != nil {
+				a.bindValue(obj, st.Rhs[i], nil, s)
+			}
+		}
+	}
+}
+
+func (a *lifeAnalysis) objOf(id *ast.Ident) types.Object {
+	if obj := a.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return a.info.Uses[id]
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+func (a *lifeAnalysis) isPackageLevel(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// kill forgets everything known about obj: a reassignment starts a new
+// lifetime.
+func (a *lifeAnalysis) kill(obj types.Object, s *lstate) {
+	delete(s.rel, obj)
+	delete(s.owned, obj)
+	delete(a.views, obj)
+	delete(a.pooled, obj)
+}
+
+func (a *lifeAnalysis) killTargets(s *lstate, exprs ...ast.Expr) {
+	for _, e := range exprs {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := a.objOf(id); obj != nil {
+				a.kill(obj, s)
+			}
+		}
+	}
+}
+
+// bindValue classifies the value assigned to obj: owned/pooled/view from
+// an annotated (or summarized) call, or a view derived by a
+// selector/index/slice path from a tracked root.
+func (a *lifeAnalysis) bindValue(obj types.Object, rhs ast.Expr, errObj types.Object, s *lstate) {
+	rhs = ast.Unparen(rhs)
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		fn := calleeFunc(a.info, call)
+		if fn == nil {
+			return
+		}
+		switch a.prog.retKindOf(fn, 1) {
+		case lifeOwned:
+			s.owned[obj] = &ownedRes{pos: rhs.Pos(), src: fn.Name(), errObj: errObj}
+		case lifePooled:
+			a.pooled[obj] = rhs.Pos()
+		case lifeView:
+			if root := a.callViewRoot(call, fn); root != nil {
+				a.views[obj] = root
+			}
+		}
+		return
+	}
+	if root, ok := a.derivedRoot(rhs); ok && root != obj {
+		a.views[obj] = root
+	}
+}
+
+// callViewRoot resolves the storage a view-returning call aliases: the
+// receiver for methods, the first summarized view parameter otherwise.
+func (a *lifeAnalysis) callViewRoot(call *ast.CallExpr, fn *types.Func) types.Object {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return a.targetRoot(sel.X)
+		}
+		return nil
+	}
+	if len(call.Args) > 0 {
+		return a.targetRoot(call.Args[0])
+	}
+	return nil
+}
+
+// derivedRoot reports the tracked root of a selector/index/slice path, if
+// the path roots at a simple local identifier. Recording views liberally
+// is safe: a view only matters once its root is released or pooled.
+func (a *lifeAnalysis) derivedRoot(e ast.Expr) (types.Object, bool) {
+	switch e.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr, *ast.StarExpr, *ast.UnaryExpr:
+		id, ok := exprRootIdent(e)
+		if !ok {
+			return nil, false
+		}
+		obj := a.info.Uses[id]
+		if obj == nil {
+			return nil, false
+		}
+		if _, isVar := obj.(*types.Var); !isVar || a.isPackageLevel(obj) {
+			return nil, false
+		}
+		return a.rootOf(obj), true
+	}
+	return nil, false
+}
+
+// checkEscape reports pooled values (or views of them) among the given
+// expressions escaping the Acquire→Release window.
+func (a *lifeAnalysis) checkEscape(exprs []ast.Expr, how string, pos token.Pos) {
+	for _, e := range exprs {
+		a.checkEscapeExpr(e, how, pos)
+	}
+}
+
+func (a *lifeAnalysis) checkEscapeExpr(e ast.Expr, how string, pos token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := a.info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		root := a.rootOf(obj)
+		if _, isPooled := a.pooled[root]; !isPooled {
+			return true
+		}
+		if obj == root {
+			a.reportf(pos, "pooled workspace %s escapes the Acquire→Release window: %s", id.Name, how)
+		} else {
+			a.reportf(pos, "view %s of pooled workspace %s escapes the Acquire→Release window: %s", id.Name, root.Name(), how)
+		}
+		return true
+	})
+}
+
+func (a *lifeAnalysis) deferStmt(st *ast.DeferStmt, s *lstate) {
+	a.scanUses(st.Call, s)
+	// Releases registered by the defer (directly, or inside a deferred
+	// literal) resolve ownership for every return path of the function.
+	ast.Inspect(st, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, tgt := range a.prog.releaseTargets(a.info, call, 1) {
+			if root := a.targetRoot(tgt); root != nil {
+				a.deferredRel[root] = true
+			}
+		}
+		return true
+	})
+}
+
+func (a *lifeAnalysis) goStmt(st *ast.GoStmt, s *lstate) {
+	a.scanUses(st.Call, s)
+	// A goroutine runs outside the window: any pooled value it references
+	// (as an argument or a capture) escapes.
+	ast.Inspect(st, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := a.info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		root := a.rootOf(obj)
+		if _, isPooled := a.pooled[root]; isPooled {
+			a.reportf(st.Pos(), "pooled workspace %s escapes the Acquire→Release window: captured by a goroutine", root.Name())
+		}
+		return true
+	})
+	a.applyEffects(st.Call, s)
+}
+
+func (a *lifeAnalysis) returnStmt(st *ast.ReturnStmt, s *lstate) {
+	transferred := make(map[types.Object]bool)
+	producerPooled := a.fn != nil && a.prog.retKinds[a.fn] == lifePooled
+	for _, r := range st.Results {
+		a.scan(r, s)
+		if id, ok := ast.Unparen(r).(*ast.Ident); ok {
+			if obj := a.info.Uses[id]; obj != nil {
+				root := a.rootOf(obj)
+				transferred[root] = true
+				if _, isPooled := a.pooled[root]; isPooled && !producerPooled {
+					if obj == root {
+						a.reportf(r.Pos(), "pooled workspace %s escapes the Acquire→Release window: returned to the caller", id.Name)
+					} else {
+						a.reportf(r.Pos(), "view %s of pooled workspace %s escapes the Acquire→Release window: returned to the caller", id.Name, root.Name())
+					}
+				}
+			}
+		}
+	}
+	a.checkLeaks(st.Pos(), s, transferred)
+}
+
+// checkLeaks reports every owned resource still unresolved when a path
+// leaves the function: not released, not deferred, not transferred out.
+func (a *lifeAnalysis) checkLeaks(pos token.Pos, s *lstate, transferred map[types.Object]bool) {
+	for root, o := range s.owned {
+		if a.deferredRel[root] || transferred[root] {
+			continue
+		}
+		at := a.prog.fset.Position(o.pos)
+		a.reportf(pos, "resource %s (from %s at %s:%d) may leak: this return path neither releases it nor defers its release", root.Name(), o.src, at.Filename, at.Line)
+	}
+}

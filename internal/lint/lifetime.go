@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"stef/internal/lint/flow"
+)
+
+// lifeCacheKey is the Pass.Cache slot holding the shared
+// flow.LifeProgram.
+const lifeCacheKey = "flow.LifeProgram"
+
+// Lifetime is the resource-lifetime soundness pass: releasable resources
+// (module types carrying `Close() error`, pool Acquire/Release pairs, and
+// zero-copy views into backed storage) are modeled via the //life:
+// annotation vocabulary plus the Close intrinsic, and the analyzer flags
+// (L1) any use of a resource or derived view on a path after its release
+// — including releases reached through helpers summarized
+// interprocedurally — (L2) pooled-workspace values escaping the
+// Acquire→Release window (returned, stored in a field or global, captured
+// by a goroutine), and (L3) owned resources that leak on some return path
+// (neither released on that path nor covered by a defer). This is the
+// static half of the contract that makes mmap-backed arenas and pooled
+// workspaces safe to cache and evict; the lifetrace build tag is the
+// runtime half.
+var Lifetime = &Analyzer{
+	Name:      "lifetime",
+	Doc:       "prove resources are never used after release, never leak on error paths, and pooled values never escape (interprocedural)",
+	NeedTypes: true,
+	Run:       runLifetime,
+}
+
+func runLifetime(pass *Pass) {
+	prog := LifeProgramFor(pass)
+	for _, f := range prog.CheckPackage(pass.PkgPath) {
+		pass.Reportf(f.Pos, "%s", f.Message)
+	}
+}
+
+// LifeProgramFor builds (or reuses, via Pass.Cache) the cross-package
+// lifetime program for one Run invocation.
+func LifeProgramFor(pass *Pass) *flow.LifeProgram {
+	if prog, ok := pass.Cache[lifeCacheKey].(*flow.LifeProgram); ok {
+		return prog
+	}
+	var fps []*flow.Package
+	for _, pkg := range pass.All {
+		if pkg.Types == nil || pkg.Info == nil {
+			continue
+		}
+		fps = append(fps, &flow.Package{
+			Path:  pkg.Path,
+			Files: pkg.Files,
+			Types: pkg.Types,
+			Info:  pkg.Info,
+		})
+	}
+	prog := flow.NewLifeProgram(pass.Fset, fps, flow.LifeConfig{})
+	pass.Cache[lifeCacheKey] = prog
+	return prog
+}

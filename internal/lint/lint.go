@@ -208,6 +208,16 @@ type idxDirective struct {
 	body string
 }
 
+// lifeDirective is a //life: annotation seen by the lint loader. The flow
+// package owns its semantics; stale-allow checks placement and spelling,
+// mirroring the //idx: treatment.
+type lifeDirective struct {
+	pos    token.Position
+	inTest bool
+	// body is the directive text after "life:", trimmed.
+	body string
+}
+
 // allowIndex records where escape comments permit findings: individual
 // (file, line) entries and whole-function spans, each backed by a record
 // whose usage is tracked for staleness.
@@ -218,6 +228,7 @@ type allowIndex struct {
 	records []*allowRecord
 	gates   []gateDirective
 	idxs    []idxDirective
+	lifes   []lifeDirective
 }
 
 type allowSpan struct {
@@ -301,6 +312,10 @@ func (idx *allowIndex) addFiles(files []*ast.File, isTest bool) {
 					idx.idxs = append(idx.idxs, idxDirective{pos: fset.Position(c.Slash), inTest: isTest, body: body})
 					continue
 				}
+				if body, ok := flow.LifeDirectiveBody(c.Text); ok {
+					idx.lifes = append(idx.lifes, lifeDirective{pos: fset.Position(c.Slash), inTest: isTest, body: body})
+					continue
+				}
 				if inDoc[c] {
 					continue
 				}
@@ -347,7 +362,7 @@ func (idx *allowIndex) allows(f Finding) bool {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{HotPathAlloc, WriteDisjoint, IdxWidth, EnginePurity, CSFBacking, PanicPrefix, NoDeps, StaleAllow}
+	return []*Analyzer{HotPathAlloc, WriteDisjoint, IdxWidth, Lifetime, EnginePurity, CSFBacking, PanicPrefix, NoDeps, StaleAllow}
 }
 
 // ByName resolves a comma-separated analyzer list; unknown names error.

@@ -194,7 +194,7 @@ func TestStaleAllowUnselectedAnalyzerNotJudged(t *testing.T) {
 	// any analyzer's findings, so they are always judged.
 	pkg := loadFixture(t, "testdata/src/staleallow/staleallow.go", "stef/internal/kernels", true)
 	findings := Run([]*Package{pkg}, []*Analyzer{StaleAllow})
-	static := []string{"unknown analyzer", "unknown gate kind", "unknown scale class", "unknown facet key"}
+	static := []string{"unknown analyzer", "unknown gate kind", "unknown scale class", "unknown facet key", "unknown //life: word"}
 	for _, f := range findings {
 		ok := false
 		for _, s := range static {
@@ -206,8 +206,8 @@ func TestStaleAllowUnselectedAnalyzerNotJudged(t *testing.T) {
 			t.Errorf("directive judged without its analyzer running: %s", f)
 		}
 	}
-	if len(findings) != 6 {
-		t.Errorf("got %d findings, want the six static ones (1 analyzer typo, 2 gate-kind typos, 3 //idx: facet typos): %v", len(findings), findings)
+	if len(findings) != 8 {
+		t.Errorf("got %d findings, want the eight static ones (1 analyzer typo, 2 gate-kind typos, 3 //idx: facet typos, 2 //life: word typos): %v", len(findings), findings)
 	}
 }
 
@@ -236,6 +236,60 @@ func TestIdxWidthFixture(t *testing.T) {
 	// that must stay silent (idx.Must32, idx.Mul, 64-bit index math).
 	pkg := loadFixture(t, "testdata/src/idxwidth/idxwidth.go", "stef/internal/idxfix", true)
 	checkFixture(t, pkg, IdxWidth)
+}
+
+func TestLifetimeFixture(t *testing.T) {
+	// One seeded violation per lifetime finding class (L1 direct, via
+	// helper, via view, over the pooled vocabulary; L2 returned, global,
+	// goroutine, view; L3 leak; unbound //life:), each next to a clean
+	// twin that must stay silent.
+	pkg := loadFixture(t, "testdata/src/lifetime/lifetime.go", "stef/internal/lifefix", true)
+	checkFixture(t, pkg, Lifetime)
+}
+
+func TestStaleAllowLifeInTestFile(t *testing.T) {
+	// A //life: annotation in a _test.go file can never bind: lifetime
+	// only analyzes typechecked non-test files.
+	l := sharedLoader(t)
+	const src = `package kernels
+
+//life: return owned
+var handle int
+`
+	f, err := parser.ParseFile(l.Fset, "lifeplacement_test.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg := &Package{Path: "stef/internal/kernels", Fset: l.Fset, TestFiles: []*ast.File{f}}
+	findings := Run([]*Package{pkg}, []*Analyzer{StaleAllow})
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "can never bind") {
+		t.Fatalf("got %v, want exactly one never-binds finding", findings)
+	}
+}
+
+func TestLifeWordTypos(t *testing.T) {
+	cases := []struct {
+		body string
+		bad  int
+	}{
+		{"return owned", 0},
+		{"return view", 0},
+		{"return pooled", 0},
+		{"w releases", 0},
+		{"ws releases reason text ignored", 0},
+		{"return owned // callers must Close", 0},
+		{"return ownd", 1},     // misspelled kind
+		{"w releses", 1},       // misspelled releases
+		{"retur owned", 1},     // near-miss first word (deletion)
+		{"returm owned", 1},    // near-miss first word (substitution)
+		{"buffer releases", 0}, // ordinary parameter name
+		{"", 0},
+	}
+	for _, c := range cases {
+		if got := lifeWordTypos(c.body); len(got) != c.bad {
+			t.Errorf("lifeWordTypos(%q) = %v, want %d findings", c.body, got, c.bad)
+		}
+	}
 }
 
 // TestSelfCheck runs the full analyzer suite over the real repository and

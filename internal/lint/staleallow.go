@@ -31,7 +31,11 @@ import (
 //   - an //idx: annotation naming a facet key or scale class that does not
 //     exist ("len=rnak", "val=nzz"): the //idx: parser deliberately skips
 //     unknown tokens so a typo degrades to "no information", and this check
-//     is where the typo becomes visible instead.
+//     is where the typo becomes visible instead;
+//   - a //life: annotation in a _test.go file (same reasoning as //idx:),
+//     or one misspelling a vocabulary word ("return ownd", "w releses"):
+//     the //life: binder skips lines it does not recognize, so a typo
+//     silently drops the lifecycle contract.
 //
 // The analyzer runs as a framework post-pass: it needs to observe which
 // findings the other selected analyzers produced, so directives naming
@@ -39,7 +43,7 @@ import (
 // are not judged.
 var StaleAllow = &Analyzer{
 	Name: "stale-allow",
-	Doc:  "flag //lint:allow, //gate:allow and //idx: directives that suppress or declare nothing",
+	Doc:  "flag //lint:allow, //gate:allow, //idx: and //life: directives that suppress or declare nothing",
 	// Run is a no-op: Run() evaluates staleness after the other analyzers
 	// have reported, via staleAllowFindings.
 	Run: func(*Pass) {},
@@ -183,6 +187,53 @@ func idxFacetTypos(body string) []string {
 	return bad
 }
 
+// lifeWordTypos scans a //life: directive body for misspelled vocabulary
+// words. The binder only reads the first two tokens (`return <kind>` or
+// `<param> releases`), so only those positions are judged: the second is a
+// closed vocabulary, while the first may be an arbitrary parameter name
+// and is only suspect when it sits one edit away from a vocabulary word
+// ("retrun owned" was almost certainly meant to declare a return kind, but
+// the binder silently skips it).
+func lifeWordTypos(body string) []string {
+	toks := strings.Fields(body)
+	for i, t := range toks {
+		if strings.HasPrefix(t, "//") {
+			toks = toks[:i]
+			break
+		}
+	}
+	var bad []string
+	flag := func(w string) {
+		bad = append(bad, fmt.Sprintf("unknown //life: word %q (words: %s)", w, strings.Join(flow.LifeWords(), ", ")))
+	}
+	for i, t := range toks {
+		if i > 1 {
+			break
+		}
+		if flow.ValidLifeWord(t) {
+			continue
+		}
+		if i == 0 {
+			if nearLifeWord(t) {
+				flag(t)
+			}
+			continue
+		}
+		flag(t)
+	}
+	return bad
+}
+
+// nearLifeWord reports whether s is within one edit of a //life: word.
+func nearLifeWord(s string) bool {
+	for _, w := range flow.LifeWords() {
+		if editDistanceAtMostOne(s, w) {
+			return true
+		}
+	}
+	return false
+}
+
 // nearIdxClass reports whether s is within one edit of a scale class.
 func nearIdxClass(s string) bool {
 	for _, c := range flow.IdxClassNames() {
@@ -219,6 +270,15 @@ func staleAllowFindings(idx *allowIndex, ran map[string]bool, pkg *Package) []Fi
 		}
 		for _, msg := range idxFacetTypos(ix.body) {
 			out = append(out, report(ix.pos, "//idx: names %s", msg))
+		}
+	}
+	for _, lf := range idx.lifes {
+		if lf.inTest {
+			out = append(out, report(lf.pos, "//life: in a _test.go file; lifetime only analyzes typechecked non-test files, so the annotation can never bind"))
+			continue
+		}
+		for _, msg := range lifeWordTypos(lf.body) {
+			out = append(out, report(lf.pos, "//life: names %s", msg))
 		}
 	}
 	for _, g := range idx.gates {

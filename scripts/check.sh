@@ -11,7 +11,7 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> steflint (incl. idx-width index/overflow-soundness certification)"
+echo "==> steflint (incl. idx-width and lifetime interprocedural certification)"
 go run ./cmd/steflint ./...
 
 echo "==> steflint -gates (compiler-diagnostic perf gates + asm shape assertions)"
@@ -28,5 +28,8 @@ go test -race -run 'Arena|CSFBacking' . ./internal/csf/ ./internal/lint/
 
 echo "==> go test -race -tags shadowtrace (dynamic write-disjointness oracle)"
 go test -race -tags shadowtrace ./internal/kernels/ ./internal/cpd/
+
+echo "==> go test -race -tags lifetrace (dynamic lifetime oracle: PROT_NONE quarantine, workspace poisoning)"
+go test -race -tags lifetrace ./...
 
 echo "All checks passed."

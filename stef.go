@@ -182,6 +182,8 @@ func CompileTree(tree *csf.Tree, opts Options) (*Compiled, error) {
 // OpenArena opens a CSF arena file written by SaveArena (or csf.WriteArena)
 // — on linux a zero-copy, O(rank)-latency mmap of the level arrays. Close
 // the returned tree when done; see csf.OpenArena.
+//
+// life: return owned
 func OpenArena(path string) (*csf.Tree, error) { return csf.OpenArena(path) }
 
 // SaveArena packs the tensor into a CSF arena file: the CSF is built in
