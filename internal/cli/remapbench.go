@@ -1,0 +1,117 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"stef/internal/core"
+	"stef/internal/experiments"
+)
+
+// RemapBenchRow is one (tensor, rank, threads) cell of the factor-row
+// remap benchmark: the full MTTKRP iteration (root pass plus every
+// non-root mode) timed through the engine three ways — remap forced off,
+// under the model's choice, and forced on — min over reps. Speedup is
+// Off/On; cells where the model declines every level execute identical
+// plans on the off and model sides and report ~1 there, while the forced
+// column shows what the packing would have cost had the model accepted.
+type RemapBenchRow struct {
+	Tensor  string `json:"tensor"`
+	Rank    int    `json:"rank"`
+	Threads int    `json:"threads"`
+	// Levels lists the remaps the model accepted, one entry per remapped
+	// CSF level (e.g. "L2=remap(hot=4096/163840)"); empty when declined
+	// everywhere.
+	Levels  []string      `json:"levels,omitempty"`
+	Off     time.Duration `json:"off_ns"`
+	On      time.Duration `json:"on_ns"`
+	Speedup float64       `json:"speedup"`
+	// Forced times the same iteration with every eligible level remapped
+	// regardless of the model (core.RemapOn); ForcedSpeedup is
+	// Off/Forced. ForcedLevels lists what RemapOn packed.
+	Forced        time.Duration `json:"forced_ns"`
+	ForcedSpeedup float64       `json:"forced_speedup"`
+	ForcedLevels  []string      `json:"forced_levels,omitempty"`
+}
+
+// remapBench sweeps the remap-off/remap-model axis over every (tensor,
+// rank, threads) point. Timing goes through the engine's Compute path, so
+// the per-call factor packing is charged honestly against the locality
+// win — exactly what a solver caller would pay.
+func remapBench(s *experiments.Suite, ranks, threadList []int, reps int, out io.Writer) ([]RemapBenchRow, error) {
+	fmt.Fprintf(out, "\n== remapbench: factor-row remap off vs model vs forced (reps=%d, min taken) ==\n", reps)
+	fmt.Fprintf(out, "%-18s %4s %2s %12s %12s %8s %12s %8s  %s\n",
+		"tensor", "R", "T", "off", "model", "speedup", "forced", "fspeedup", "levels")
+	var rows []RemapBenchRow
+	err := forEachBenchCell(s, ranks, threadList, func(c benchCell) error {
+		row, err := remapBenchCell(c, reps, s.Opts.CacheBytes)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+		levels := strings.Join(row.Levels, " ")
+		if levels == "" {
+			levels = "(model declined; forced: " + strings.Join(row.ForcedLevels, " ") + ")"
+		}
+		fmt.Fprintf(out, "%-18s %4d %2d %12s %12s %7.2fx %12s %7.2fx  %s\n", c.Name, c.Rank, c.Threads,
+			row.Off.Round(time.Microsecond), row.On.Round(time.Microsecond), row.Speedup,
+			row.Forced.Round(time.Microsecond), row.ForcedSpeedup, levels)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// remapBenchCell times one cell through three independently compiled
+// engines: RemapOff pins the original row order, RemapModel lets the
+// locality term accept whatever packing the write census supports, and
+// RemapOn forces every eligible level so the measured cost of the pack
+// is on record even where the model declines.
+func remapBenchCell(c benchCell, reps int, cacheBytes int64) (RemapBenchRow, error) {
+	offEng, _, err := core.NewEngineFor(c.Tensor, core.Options{
+		Rank: c.Rank, Threads: c.Threads, CacheBytes: cacheBytes, RemapRule: core.RemapOff,
+	})
+	if err != nil {
+		return RemapBenchRow{}, err
+	}
+	onEng, onPlan, err := core.NewEngineFor(c.Tensor, core.Options{
+		Rank: c.Rank, Threads: c.Threads, CacheBytes: cacheBytes, RemapRule: core.RemapModel,
+	})
+	if err != nil {
+		return RemapBenchRow{}, err
+	}
+	forcedEng, forcedPlan, err := core.NewEngineFor(c.Tensor, core.Options{
+		Rank: c.Rank, Threads: c.Threads, CacheBytes: cacheBytes, RemapRule: core.RemapOn,
+	})
+	if err != nil {
+		return RemapBenchRow{}, err
+	}
+	row := RemapBenchRow{Tensor: c.Name, Rank: c.Rank, Threads: c.Threads}
+	row.Levels = remapLevels(onPlan)
+	row.ForcedLevels = remapLevels(forcedPlan)
+	row.Off = experiments.TimeIteration(offEng, c.Tensor.Dims, c.Rank, reps)
+	row.On = experiments.TimeIteration(onEng, c.Tensor.Dims, c.Rank, reps)
+	row.Forced = experiments.TimeIteration(forcedEng, c.Tensor.Dims, c.Rank, reps)
+	if row.On > 0 {
+		row.Speedup = float64(row.Off) / float64(row.On)
+	}
+	if row.Forced > 0 {
+		row.ForcedSpeedup = float64(row.Off) / float64(row.Forced)
+	}
+	return row, nil
+}
+
+// remapLevels renders a plan's non-nil per-level remaps for display.
+func remapLevels(p *core.Plan) []string {
+	var out []string
+	for l, m := range p.Remap {
+		if m != nil {
+			out = append(out, fmt.Sprintf("L%d=%s", l, m))
+		}
+	}
+	return out
+}

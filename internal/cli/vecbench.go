@@ -36,22 +36,18 @@ func vecBench(s *experiments.Suite, ranks, threadList []int, reps int, out io.Wr
 	fmt.Fprintf(out, "\n== vecbench: generic vs R-blocked rank primitives (reps=%d, min taken) ==\n", reps)
 	fmt.Fprintf(out, "%-18s %4s %2s %12s %12s %8s\n", "tensor", "R", "T", "scalar", "blocked", "speedup")
 	var rows []VecBenchRow
-	for _, name := range s.Opts.Tensors {
-		tt, err := s.Tensor(name)
+	err := forEachBenchCell(s, ranks, threadList, func(c benchCell) error {
+		row, err := vecBenchCell(c.Tensor, c.Name, c.Rank, c.Threads, reps, s.Opts.CacheBytes)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, rank := range ranks {
-			for _, t := range threadList {
-				row, err := vecBenchCell(tt, name, rank, t, reps, s.Opts.CacheBytes)
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, row)
-				fmt.Fprintf(out, "%-18s %4d %2d %12s %12s %7.2fx\n", name, rank, t,
-					row.Scalar.Round(time.Microsecond), row.Blocked.Round(time.Microsecond), row.Speedup)
-			}
-		}
+		rows = append(rows, row)
+		fmt.Fprintf(out, "%-18s %4d %2d %12s %12s %7.2fx\n", c.Name, c.Rank, c.Threads,
+			row.Scalar.Round(time.Microsecond), row.Blocked.Round(time.Microsecond), row.Speedup)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -60,7 +56,13 @@ func vecBench(s *experiments.Suite, ranks, threadList []int, reps int, out io.Wr
 // The plan, factors and partials layout are shared; only the workspaces
 // (whose construction snapshots kernels.BlockedVec) differ.
 func vecBenchCell(tt *tensor.Tensor, name string, rank, threads, reps int, cacheBytes int64) (VecBenchRow, error) {
-	plan, err := core.NewPlan(tt, core.Options{Rank: rank, Threads: threads, CacheBytes: cacheBytes})
+	// RemapOff: the cell drives raw kernels against plan.Tree with
+	// original-order factors, so the plan must not be built in packed row
+	// space (plan.Accum and plan.Tree would disagree on row identity).
+	plan, err := core.NewPlan(tt, core.Options{
+		Rank: rank, Threads: threads, CacheBytes: cacheBytes,
+		RemapRule: core.RemapOff,
+	})
 	if err != nil {
 		return VecBenchRow{}, err
 	}

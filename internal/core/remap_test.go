@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"stef/internal/tensor"
+)
+
+// remapIterate runs one full MTTKRP sequence through eng with the
+// deterministic shared factors and returns one output matrix per update
+// position.
+func remapIterate(eng *Engine, tt *tensor.Tensor, rank int) []*tensor.Matrix {
+	d := tt.Order()
+	factors := tensor.RandomFactors(tt.Dims, rank, 7)
+	order := eng.UpdateOrder()
+	ws := eng.NewWorkspace()
+	ws.Reset()
+	outs := make([]*tensor.Matrix, d)
+	for pos := 0; pos < d; pos++ {
+		outs[pos] = tensor.NewMatrix(tt.Dims[order[pos]], rank)
+		eng.Compute(ws, pos, factors, outs[pos])
+	}
+	return outs
+}
+
+// TestRemapSolveBitIdentical is the correctness contract of the factor-row
+// remap: for every engine and both rank-primitive dispatch paths, a
+// remapped solve must be bit-identical to the unremapped one — the view
+// relabels rows, never reorders summation. Thread counts above one pin the
+// privatized accumulation so the baseline itself is deterministic (hybrid
+// CAS ordering is not, remap or no remap).
+func TestRemapSolveBitIdentical(t *testing.T) {
+	t3 := tensor.Random([]int{12, 60, 200}, 3000, []float64{0, 1.5, 2}, 11)
+	t4 := tensor.Random([]int{6, 20, 60, 120}, 2500, []float64{0, 0, 1.5, 2}, 12)
+	cases := []struct {
+		name string
+		tt   *tensor.Tensor
+		opts Options
+	}{
+		{"stef-R32-T1", t3, Options{Rank: 32, Threads: 1}},
+		{"stef-R32-T4-priv", t3, Options{Rank: 32, Threads: 4, AccumRule: AccumPriv}},
+		{"stef-R7-T4-priv", t3, Options{Rank: 7, Threads: 4, AccumRule: AccumPriv}},
+		{"stef2-R32-T4-priv", t4, Options{Rank: 32, Threads: 4, AccumRule: AccumPriv, SecondCSF: true}},
+		{"stef2-R7-T1", t4, Options{Rank: 7, Threads: 1, SecondCSF: true}},
+	}
+	for _, cs := range cases {
+		t.Run(cs.name, func(t *testing.T) {
+			offOpts := cs.opts
+			offOpts.RemapRule = RemapOff
+			offEng, offPlan, err := NewEngineFor(cs.tt, offOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for l, m := range offPlan.Remap {
+				if m != nil {
+					t.Fatalf("RemapOff plan remapped level %d", l)
+				}
+			}
+			onOpts := cs.opts
+			onOpts.RemapRule = RemapOn
+			onEng, onPlan, err := NewEngineFor(cs.tt, onOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			remapped := false
+			for l, m := range onPlan.Remap {
+				if (m != nil) != onPlan.Config.Remap[l] {
+					t.Errorf("Config.Remap[%d]=%v disagrees with plan remap %v", l, onPlan.Config.Remap[l], m)
+				}
+				if m != nil {
+					remapped = true
+				}
+			}
+			if !remapped {
+				t.Fatal("RemapOn produced no remapped level; the comparison is vacuous")
+			}
+			off := remapIterate(offEng, cs.tt, cs.opts.Rank)
+			on := remapIterate(onEng, cs.tt, cs.opts.Rank)
+			for pos := range off {
+				if d := off[pos].MaxAbsDiff(on[pos]); d != 0 {
+					t.Errorf("update position %d: remapped output differs by %g", pos, d)
+				}
+			}
+		})
+	}
+}
+
+// TestRemapOnEdgeShapes drives RemapOn through degenerate censuses: a
+// single-row level (dim 1), an all-hot level (dense tiny cube, every row
+// multi-written) and a near-all-cold level (nnz below the row count). The
+// plan must build — declining the remap where the census is degenerate —
+// and stay bit-identical to RemapOff.
+func TestRemapOnEdgeShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		tt   *tensor.Tensor
+	}{
+		{"single-row-mode", tensor.Random([]int{1, 1, 50}, 40, nil, 13)},
+		{"all-hot", tensor.Random([]int{2, 2, 2}, 8, nil, 14)},
+		{"all-cold", tensor.Random([]int{40, 50, 60}, 30, nil, 15)},
+	}
+	for _, cs := range cases {
+		t.Run(cs.name, func(t *testing.T) {
+			offEng, _, err := NewEngineFor(cs.tt, Options{Rank: 4, Threads: 2, AccumRule: AccumPriv, RemapRule: RemapOff})
+			if err != nil {
+				t.Fatal(err)
+			}
+			onEng, onPlan, err := NewEngineFor(cs.tt, Options{Rank: 4, Threads: 2, AccumRule: AccumPriv, RemapRule: RemapOn})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for l, m := range onPlan.Remap {
+				if m != nil && m.Hot == 0 {
+					t.Errorf("level %d remap with empty hot prefix", l)
+				}
+			}
+			off := remapIterate(offEng, cs.tt, 4)
+			on := remapIterate(onEng, cs.tt, 4)
+			for pos := range off {
+				if d := off[pos].MaxAbsDiff(on[pos]); d != 0 {
+					t.Errorf("update position %d: outputs differ by %g", pos, d)
+				}
+			}
+		})
+	}
+}

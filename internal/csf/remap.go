@@ -1,0 +1,56 @@
+package csf
+
+import "fmt"
+
+// RemapFids returns a view of the tree with the fiber ids of selected
+// levels rewritten through per-level bijections: fwd[l], when non-nil,
+// maps every original mode index at level l to its remapped index
+// (fwd[l][old] = new). Levels with a nil entry share the base tree's
+// fiber-id storage unchanged; remapped levels get a fresh id column.
+//
+// Only the ids change — node order, pointer structure, values, dims and
+// perm are shared with the base, so a partition computed for the base
+// clamps the view identically and a kernel walk visits nodes (and sums
+// contributions) in exactly the same order. This is what makes a
+// factor-row remap bit-identity-preserving: the view relabels which
+// factor row a node reads or writes, never when.
+//
+// The view shares the base's backing without owning it: Close on the
+// view delegates to the base, and the view reports Closed as soon as the
+// base does (see Tree.Closed).
+//
+// idx: return dim
+// life: return view
+func (t *Tree) RemapFids(fwd [][]int32) *Tree {
+	d := t.Order()
+	if len(fwd) != d {
+		panic(fmt.Sprintf("csf: RemapFids with %d level maps on an order-%d tree", len(fwd), d))
+	}
+	view := &Tree{
+		dims:    t.dims,
+		perm:    t.perm,
+		fids:    make([][]int32, d),
+		ptr:     t.ptr,
+		vals:    t.vals,
+		backing: t.backing,
+		base:    t,
+	}
+	for l := 0; l < d; l++ {
+		m := fwd[l]
+		if m == nil {
+			view.fids[l] = t.fids[l]
+			continue
+		}
+		if len(m) != t.dims[l] {
+			panic(fmt.Sprintf("csf: RemapFids level %d map covers %d ids, dim is %d", l, len(m), t.dims[l]))
+		}
+		src := t.fids[l]
+		dst := make([]int32, len(src))
+		for n, f := range src {
+			// Stored fiber ids are in [0, dim) by Validate's invariant.
+			dst[n] = m[f]
+		}
+		view.fids[l] = dst
+	}
+	return view
+}

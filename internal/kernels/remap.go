@@ -1,0 +1,181 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"stef/internal/par"
+	"stef/internal/tensor"
+)
+
+// RowRemap is a planned permutation of one mode's factor-row space: the
+// most-touched rows are packed into a dense prefix (Dynasor-style
+// frequency packing, arXiv:2309.09131) so the kernels' random factor
+// gathers concentrate on a cache-resident region, while the long cold
+// tail keeps its original relative order. A remap is built once per
+// (plan, level) from the write census and is immutable afterwards; the
+// engine applies it by rewriting the CSF level's fiber ids and packing
+// the factor matrix, and undoes it on the output side inside
+// OutBuf.Reduce — callers of the engine never observe packed row order.
+type RowRemap struct {
+	// Fwd[r] is the packed position of original row r.
+	Fwd []int32
+	// Inv[p] is the original row stored at packed position p. Fwd and Inv
+	// are mutually inverse bijections over [0, Rows()).
+	Inv []int32
+	// Hot is the length of the packed hot prefix: positions 0..Hot-1 hold
+	// the most-written rows in descending touch count.
+	Hot int
+}
+
+// Rows returns the size of the permuted row space.
+func (m *RowRemap) Rows() int { return len(m.Fwd) }
+
+// String renders the remap for Describe output.
+func (m *RowRemap) String() string {
+	return fmt.Sprintf("remap(hot=%d/%d)", m.Hot, len(m.Fwd))
+}
+
+// BuildRowRemap builds the packing permutation from a per-row touch
+// histogram: rows with at least two touches are hot candidates, sorted by
+// descending count (ties by ascending row id) into the packed prefix,
+// capped at maxHot rows; every other row — cold and untouched alike —
+// follows in its original ascending order. Degenerate censuses return
+// nil: an empty hot set (all-cold, single-row, or maxHot <= 0) would make
+// the permutation the identity, and the planner treats nil as "no remap"
+// rather than paying the pack for nothing.
+//
+//lint:allow hotpath-alloc plan-time construction, runs once per (plan, level)
+func BuildRowRemap(counts []int64, maxHot int) *RowRemap {
+	rows := len(counts)
+	if rows < 2 || maxHot <= 0 {
+		return nil
+	}
+	var hot []int32
+	for r, c := range counts {
+		if c >= 2 {
+			hot = append(hot, int32(r))
+		}
+	}
+	if len(hot) == 0 {
+		return nil
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		ci, cj := counts[hot[i]], counts[hot[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return hot[i] < hot[j]
+	})
+	if len(hot) > maxHot {
+		hot = hot[:maxHot]
+	}
+	m := &RowRemap{
+		Fwd: make([]int32, rows),
+		Inv: make([]int32, rows),
+		Hot: len(hot),
+	}
+	for i := range m.Fwd {
+		m.Fwd[i] = -1 //gate:allow bounds plan-time fill over the row space
+	}
+	for p, r := range hot {
+		m.Fwd[r] = int32(p) //gate:allow bounds hot rows come from the census, in [0, rows)
+		m.Inv[p] = r        //gate:allow bounds packed prefix position, bounded by the hot count
+	}
+	p := int32(len(hot))
+	for r := range m.Fwd {
+		if m.Fwd[r] < 0 { //gate:allow bounds plan-time scan over the row space
+			m.Fwd[r] = p
+			m.Inv[p] = int32(r) //gate:allow bounds one packed slot per unplaced row, p < rows by bijection
+			p++
+		}
+	}
+	return m
+}
+
+// Pack gathers src's rows into dst in packed order: dst row p receives
+// src row Inv[p], so the hot prefix becomes a dense, sequentially-written
+// slab. Both matrices must be Rows()×cols with equal shapes. The copy
+// runs on t threads over disjoint packed-row blocks; reads gather, writes
+// stream.
+func (m *RowRemap) Pack(dst, src *tensor.Matrix, t int) {
+	rows := m.Rows()
+	if dst.Rows != rows || src.Rows != rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("kernels: Pack %dx%d from %dx%d through a %d-row remap",
+			dst.Rows, dst.Cols, src.Rows, src.Cols, rows))
+	}
+	inv := m.Inv
+	if t <= 1 {
+		for p := 0; p < rows; p++ {
+			copy(dst.Row(p), src.Row(int(inv[p]))) //gate:allow bounds inverse map is a bijection over the row space
+		}
+		return
+	}
+	par.Blocks(rows, t, func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			copy(dst.Row(p), src.Row(int(inv[p]))) //gate:allow bounds inverse map is a bijection over the row space
+		}
+	})
+}
+
+// Unpack scatters src's packed rows back to original order: dst row
+// Inv[p] receives src row p — the inverse of Pack. Reductions normally
+// undo the remap inside OutBuf.Reduce for free; Unpack exists for tests
+// and for callers holding a packed matrix outside a reduction.
+func (m *RowRemap) Unpack(dst, src *tensor.Matrix, t int) {
+	rows := m.Rows()
+	if dst.Rows != rows || src.Rows != rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("kernels: Unpack %dx%d from %dx%d through a %d-row remap",
+			dst.Rows, dst.Cols, src.Rows, src.Cols, rows))
+	}
+	inv := m.Inv
+	if t <= 1 {
+		for p := 0; p < rows; p++ {
+			copy(dst.Row(int(inv[p])), src.Row(p)) //gate:allow bounds inverse map is a bijection over the row space
+		}
+		return
+	}
+	par.Blocks(rows, t, func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			copy(dst.Row(int(inv[p])), src.Row(p)) //gate:allow bounds inverse map is a bijection over the row space
+		}
+	})
+}
+
+// Remapped permutes the write census into the packed row space: counts
+// and writer classifications move to their packed positions and the
+// per-thread journals are relabeled and re-sorted. The result is
+// equivalent to re-running CountRowWrites on the remapped tree — the
+// remap is a bijection, so every per-row quantity transports — at
+// O(rows + journal) instead of a second O(nnz) pass.
+//
+//lint:allow hotpath-alloc plan-time construction, runs once per (plan, level)
+func (rw *RowWrites) Remapped(m *RowRemap) *RowWrites {
+	if m == nil {
+		return rw
+	}
+	if m.Rows() != len(rw.Counts) {
+		panic(fmt.Sprintf("kernels: Remapped census of %d rows through a %d-row remap", len(rw.Counts), m.Rows()))
+	}
+	out := &RowWrites{
+		Counts:    make([]int64, len(rw.Counts)),
+		Writer:    make([]int32, len(rw.Writer)),
+		PerThread: make([][]int32, len(rw.PerThread)),
+		Writes:    rw.Writes,
+	}
+	for r, c := range rw.Counts {
+		out.Counts[m.Fwd[r]] = c //gate:allow bounds forward map is a bijection over the row space
+	}
+	for r, w := range rw.Writer {
+		out.Writer[m.Fwd[r]] = w //gate:allow bounds forward map is a bijection over the row space
+	}
+	for th, journal := range rw.PerThread {
+		mapped := make([]int32, len(journal)) //gate:allow escape plan-time journal copy, once per thread
+		for i, r := range journal {
+			mapped[i] = m.Fwd[r] //gate:allow bounds journal rows are census-proven in range
+		}
+		sort.Slice(mapped, func(i, j int) bool { return mapped[i] < mapped[j] }) //gate:allow escape,bounds plan-time sort of the relabeled journal, once per thread
+		out.PerThread[th] = mapped                                              //gate:allow bounds per-thread journal slot
+	}
+	return out
+}

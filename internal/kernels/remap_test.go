@@ -1,0 +1,196 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stef/internal/csf"
+	"stef/internal/sched"
+	"stef/internal/tensor"
+)
+
+// TestBuildRowRemapBijectionAndOrdering property-checks the permutation
+// contract on random histograms: Fwd/Inv are mutual inverses, the hot
+// prefix holds the highest counts in descending order (ties by ascending
+// row id), and the cold tail preserves original relative order.
+func TestBuildRowRemapBijectionAndOrdering(t *testing.T) {
+	f := func(seed int64, maxHotRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 2 + rng.Intn(200)
+		counts := make([]int64, rows)
+		for r := range counts {
+			counts[r] = int64(rng.Intn(6)) // plenty of 0/1 (cold) and ties
+		}
+		maxHot := 1 + int(maxHotRaw)%rows
+		m := BuildRowRemap(counts, maxHot)
+		if m == nil {
+			// Legal only when no row qualifies.
+			for _, c := range counts {
+				if c >= 2 {
+					return false
+				}
+			}
+			return true
+		}
+		if m.Rows() != rows || m.Hot < 1 || m.Hot > maxHot {
+			return false
+		}
+		// Bijection.
+		for r, p := range m.Fwd {
+			if p < 0 || int(p) >= rows || int(m.Inv[p]) != r {
+				return false
+			}
+		}
+		// Hot prefix: qualified, descending counts, ties by ascending id.
+		for p := 0; p < m.Hot; p++ {
+			r := m.Inv[p]
+			if counts[r] < 2 {
+				return false
+			}
+			if p > 0 {
+				prev := m.Inv[p-1]
+				if counts[prev] < counts[r] || (counts[prev] == counts[r] && prev > r) {
+					return false
+				}
+			}
+		}
+		// No unpacked row may outrank the weakest hot row (the cap keeps
+		// only the top maxHot candidates).
+		weakest := counts[m.Inv[m.Hot-1]]
+		for p := m.Hot; p < rows; p++ {
+			if counts[m.Inv[p]] > weakest {
+				return false
+			}
+		}
+		// Cold tail keeps original ascending order.
+		for p := m.Hot + 1; p < rows; p++ {
+			if m.Inv[p-1] >= m.Inv[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildRowRemapDegenerate pins the nil returns: packing an all-cold,
+// single-row or zero-budget census would be the identity permutation, and
+// the planner treats nil as "no remap".
+func TestBuildRowRemapDegenerate(t *testing.T) {
+	if m := BuildRowRemap([]int64{1, 1, 0, 1}, 8); m != nil {
+		t.Errorf("all-cold census built %v", m)
+	}
+	if m := BuildRowRemap([]int64{100}, 8); m != nil {
+		t.Errorf("single-row census built %v", m)
+	}
+	if m := BuildRowRemap([]int64{5, 5, 5}, 0); m != nil {
+		t.Errorf("zero hot budget built %v", m)
+	}
+	if m := BuildRowRemap(nil, 8); m != nil {
+		t.Errorf("empty census built %v", m)
+	}
+}
+
+// TestBuildRowRemapAllHot checks the saturated case: when every row
+// qualifies, the hot prefix is the whole space (or the cap).
+func TestBuildRowRemapAllHot(t *testing.T) {
+	counts := []int64{2, 9, 4, 7}
+	m := BuildRowRemap(counts, 16)
+	if m == nil || m.Hot != 4 {
+		t.Fatalf("all-hot census: %v", m)
+	}
+	for p, want := range []int32{1, 3, 2, 0} { // 9, 7, 4, 2
+		if m.Inv[p] != want {
+			t.Fatalf("packed position %d holds row %d, want %d", p, m.Inv[p], want)
+		}
+	}
+	capped := BuildRowRemap(counts, 2)
+	if capped == nil || capped.Hot != 2 {
+		t.Fatalf("capped census: %v", capped)
+	}
+	if capped.Inv[0] != 1 || capped.Inv[1] != 3 {
+		t.Fatalf("capped prefix %v", capped.Inv[:2])
+	}
+	// Rows 0 and 2 fall to the cold tail in original order.
+	if capped.Inv[2] != 0 || capped.Inv[3] != 2 {
+		t.Fatalf("capped tail %v", capped.Inv[2:])
+	}
+}
+
+// TestPackUnpackRoundTrip checks Pack/Unpack are inverse gathers on both
+// the serial and the parallel path.
+func TestPackUnpackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	counts := make([]int64, 37)
+	for r := range counts {
+		counts[r] = int64(rng.Intn(5))
+	}
+	m := BuildRowRemap(counts, 16)
+	if m == nil {
+		t.Fatal("fixture census built no remap")
+	}
+	src := tensor.NewMatrix(37, 6)
+	src.Randomize(rng)
+	for _, threads := range []int{1, 4} {
+		packed := tensor.NewMatrix(37, 6)
+		back := tensor.NewMatrix(37, 6)
+		m.Pack(packed, src, threads)
+		for p := 0; p < 37; p++ {
+			if got, want := packed.Row(p)[0], src.Row(int(m.Inv[p]))[0]; got != want {
+				t.Fatalf("T=%d packed row %d holds %g, want row %d's %g", threads, p, got, m.Inv[p], want)
+			}
+		}
+		m.Unpack(back, packed, threads)
+		if d := back.MaxAbsDiff(src); d != 0 {
+			t.Fatalf("T=%d round trip differs by %g", threads, d)
+		}
+	}
+}
+
+// TestRemappedCensusMatchesRecount is the transport proof: permuting a
+// census through Remapped must equal re-running CountRowWrites on the
+// RemapFids view of the tree.
+func TestRemappedCensusMatchesRecount(t *testing.T) {
+	tt := tensor.Random([]int{9, 40, 300}, 1500, []float64{2, 1.5, 2}, 29)
+	tree := csf.Build(tt, nil)
+	d := tree.Order()
+	for _, threads := range []int{1, 4} {
+		part := sched.NewPartition(tree, threads)
+		for u := 1; u < d; u++ {
+			rw := CountRowWrites(tree, part, u, d-1)
+			m := BuildRowRemap(rw.Counts, 64)
+			if m == nil {
+				t.Fatalf("T=%d u=%d: skewed census built no remap", threads, u)
+			}
+			got := rw.Remapped(m)
+			fwd := make([][]int32, d)
+			fwd[u] = m.Fwd
+			recount := CountRowWrites(tree.RemapFids(fwd), part, u, d-1)
+			if got.Writes != recount.Writes {
+				t.Fatalf("T=%d u=%d: Writes %d, recount %d", threads, u, got.Writes, recount.Writes)
+			}
+			for p := range got.Counts {
+				if got.Counts[p] != recount.Counts[p] {
+					t.Fatalf("T=%d u=%d packed row %d: count %d, recount %d", threads, u, p, got.Counts[p], recount.Counts[p])
+				}
+				if got.Writer[p] != recount.Writer[p] {
+					t.Fatalf("T=%d u=%d packed row %d: writer %d, recount %d", threads, u, p, got.Writer[p], recount.Writer[p])
+				}
+			}
+			for th := range got.PerThread {
+				a, b := got.PerThread[th], recount.PerThread[th]
+				if len(a) != len(b) {
+					t.Fatalf("T=%d u=%d thread %d: journal %d rows, recount %d", threads, u, th, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("T=%d u=%d thread %d journal[%d]: %d, recount %d", threads, u, th, i, a[i], b[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package model
+
+// This file extends the Section IV model with a factor-row *locality*
+// term: the Dynasor-style observation (PAPERS.md, arXiv:2309.09131) that
+// on skewed tensors a handful of factor rows absorb most of the kernel's
+// random row accesses, so packing those rows into a dense cache-resident
+// prefix turns a streaming miss per access into a cold miss per hot row.
+// The row-access histogram is the same per-level write census AttachAccum
+// consumes — a level's fiber-id column addresses the factor both when it
+// is read (other modes' MTTKRPs) and written (its own) — so the layout
+// decision reuses the stats that are already paid for.
+//
+// The remapped DM_factor for x accesses to the level-l factor with an
+// h-row hot prefix is
+//
+//	(x - covered(h))·R  +  covered(h)·R·3/5  +  h·R  +  2·N_l·R
+//
+// where covered(h) scales the census's top-h mass to x. The covered
+// accesses are NOT credited a full miss: packing a hot row does not
+// shrink its byte footprint (a row spans whole cache lines at R ≥ 8),
+// so the hardware's LRU keeps the same hot rows resident whether or not
+// they are contiguous, and what packing actually buys is the page-level
+// share of each access — TLB reach, prefetcher friendliness, less
+// pollution of neighbouring sets. The model charges covered accesses
+// 3/5 of a miss under the packed layout, crediting only the remaining
+// 2/5 as the locality win; h·R is the slab's own cold misses and the
+// final term is the per-kernel-call pack — one gathered read plus one
+// sequential write of the full factor. Together the resident charge and
+// the pack confine remap wins to levels with x ≳ 13·N_l under a
+// decisively concentrated census: the DRAM-bound regime where the
+// covered accesses would genuinely miss without packing. Everywhere
+// else — in particular whenever the factor fits the machine's last-level
+// cache — the model declines, which matches measurement (forcing the
+// remap on LLC-resident factors loses: the pack is pure overhead).
+
+// AttachRemap arms the locality extension: for every non-root level whose
+// factor overflows the cache, pick the hot-prefix size h minimizing the
+// remapped DM_factor at the census's own access mass, and enable the
+// remap only where that beats the streaming baseline. Requires
+// AttachAccum to have run (the census stats double as the access
+// histogram); levels without stats, or whose factors already fit in
+// cache, are left unremapped — dmFactor's resident branch is what a
+// packed layout would achieve anyway.
+func (p *Params) AttachRemap() {
+	d := len(p.Dims)
+	p.remapOn = make([]bool, d)
+	p.remapHot = make([]int64, d)
+	if p.Accum == nil {
+		return
+	}
+	for l := 1; l < d && l < len(p.Accum); l++ {
+		h, ok := p.remapPick(l)
+		if ok {
+			p.remapOn[l] = true
+			p.remapHot[l] = h
+		}
+	}
+}
+
+// RemapAttached reports whether AttachRemap has armed the extension.
+func (p Params) RemapAttached() bool { return p.remapOn != nil }
+
+// RemapChoices returns the per-level remap decisions (nil when the
+// extension is not attached). The slice is the Params' own storage.
+func (p Params) RemapChoices() []bool { return p.remapOn }
+
+// RemapHot returns the modeled hot-prefix row count for level l (0 when
+// the level is not remapped).
+func (p Params) RemapHot(l int) int64 {
+	if p.remapHot == nil || l < 0 || l >= len(p.remapHot) {
+		return 0
+	}
+	return p.remapHot[l]
+}
+
+// DisableRemap clears the remap decision for level l. Core uses it for
+// constraints the model cannot see — the second CSF's root writes its
+// output directly by fiber id, so the base leaf level must stay in
+// original order under SecondCSF.
+func (p *Params) DisableRemap(l int) {
+	if p.remapOn == nil || l < 0 || l >= len(p.remapOn) {
+		return
+	}
+	p.remapOn[l] = false
+	p.remapHot[l] = 0
+}
+
+// remapPick sizes the hot prefix for level l: the power-of-two row count
+// minimizing the remapped volume at x = Writes (the census's own access
+// mass), subject to the h×R slab fitting the hot footprint budget. The
+// remap is taken only when the minimum undercuts the streaming baseline
+// Writes·R by at least 25%: with covered accesses charged the resident
+// fraction (remapVolumeAt), clearing the margin requires both a census
+// concentrated enough that the creditable share is large and an access
+// mass that amortizes the per-launch pack many times over.
+func (p Params) remapPick(l int) (int64, bool) {
+	foot := int64(p.Dims[l]) * int64(p.R)
+	if foot <= p.CacheElems {
+		return 0, false
+	}
+	st := p.Accum[l]
+	if st.Writes <= 0 || st.Touched2 == 0 {
+		return 0, false
+	}
+	maxH := p.hotBudgetElems() / int64(p.R)
+	base := st.Writes * int64(p.R)
+	bestH, bestC := int64(0), base
+	for h := int64(1); h <= maxH && h <= st.Touched; h <<= 1 {
+		if c := p.remapVolumeAt(l, st.Writes, h); c < bestC {
+			bestH, bestC = h, c
+		}
+	}
+	if bestH == 0 || bestC*4 > base*3 {
+		return 0, false
+	}
+	return bestH, true
+}
+
+// remapResidentNum/remapResidentDen is the fraction of a full miss a
+// covered access still pays under the packed layout. LRU keeps hot rows
+// resident in whatever cache level holds them regardless of contiguity,
+// so packing recovers only the page-level share of each access (TLB
+// reach, prefetch, set pollution) — the other 3/5 is charged either way.
+const (
+	remapResidentNum = 3
+	remapResidentDen = 5
+)
+
+// remapVolumeAt is the remapped DM_factor for x accesses to level l's
+// factor with an h-row hot prefix: streamed tail + the resident charge
+// on covered accesses + slab cold misses + the per-call pack of the
+// full factor.
+func (p Params) remapVolumeAt(l int, x, h int64) int64 {
+	st := p.Accum[l]
+	R := int64(p.R)
+	covered := int64(0)
+	if st.Writes > 0 {
+		covered = st.topMass(h) * x / st.Writes
+	}
+	if covered > x {
+		covered = x
+	}
+	resident := covered * remapResidentNum / remapResidentDen
+	return (x-covered)*R + resident*R + h*R + 2*int64(p.Dims[l])*R
+}

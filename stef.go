@@ -65,6 +65,10 @@ type Options struct {
 	// stef/stef2 engines: "" or "auto" (model choice), "priv", "hybrid"
 	// or "atomic".
 	Accum string
+	// Remap controls the census-driven factor-row locality remap for the
+	// stef/stef2 engines: "" or "auto" (model choice, per level), "on"
+	// (force on every level with a census) or "off".
+	Remap string
 	// Reorder optionally relabels tensor indices before decomposition to
 	// improve locality: "" (none), "lexi" (Lexi-Order) or "bfsmcs"
 	// (BFS-MCS), both from Li et al. (ICS'19). Factor matrices are
@@ -156,7 +160,11 @@ func CompileTree(tree *csf.Tree, opts Options) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := core.NewPlanFromTree(tree, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, MaxPrivElems: opts.MaxPrivElems, AccumRule: accum})
+	remap, err := remapRule(opts.Remap)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := core.NewPlanFromTree(tree, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, MaxPrivElems: opts.MaxPrivElems, AccumRule: accum, RemapRule: remap})
 	if err != nil {
 		return nil, err
 	}
@@ -308,12 +316,16 @@ func buildEngine(t *tensor.Tensor, opts Options) (cpd.Engine, *core.Plan, error)
 	if err != nil {
 		return nil, nil, err
 	}
+	remap, err := remapRule(opts.Remap)
+	if err != nil {
+		return nil, nil, err
+	}
 	switch opts.Engine {
 	case "", "stef":
-		eng, plan, err := core.NewEngineFor(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, MaxPrivElems: opts.MaxPrivElems, AccumRule: accum})
+		eng, plan, err := core.NewEngineFor(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, MaxPrivElems: opts.MaxPrivElems, AccumRule: accum, RemapRule: remap})
 		return eng, plan, err
 	case "stef2":
-		eng, plan, err := core.NewEngineFor(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, MaxPrivElems: opts.MaxPrivElems, AccumRule: accum, SecondCSF: true})
+		eng, plan, err := core.NewEngineFor(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, MaxPrivElems: opts.MaxPrivElems, AccumRule: accum, RemapRule: remap, SecondCSF: true})
 		return eng, plan, err
 	case "splatt-1":
 		return baselines.NewSplatt(t, baselines.SplattOptions{Copies: 1, Threads: threads, Rank: rank, MaxPrivElems: opts.MaxPrivElems}), nil, nil
@@ -355,7 +367,11 @@ func Plan(t *tensor.Tensor, opts Options) (*core.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.NewPlan(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, MaxPrivElems: opts.MaxPrivElems, AccumRule: accum, SecondCSF: opts.Engine == "stef2"})
+	remap, err := remapRule(opts.Remap)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewPlan(t, core.Options{Rank: rank, Threads: threads, CacheBytes: opts.CacheBytes, MaxPrivElems: opts.MaxPrivElems, AccumRule: accum, RemapRule: remap, SecondCSF: opts.Engine == "stef2"})
 }
 
 // accumRule parses Options.Accum.
@@ -371,6 +387,19 @@ func accumRule(s string) (core.AccumRule, error) {
 		return core.AccumAtomic, nil
 	}
 	return core.AccumModel, fmt.Errorf("stef: unknown accumulation strategy %q (want auto, priv, hybrid or atomic)", s)
+}
+
+// remapRule parses Options.Remap.
+func remapRule(s string) (core.RemapRule, error) {
+	switch s {
+	case "", "auto":
+		return core.RemapModel, nil
+	case "on":
+		return core.RemapOn, nil
+	case "off":
+		return core.RemapOff, nil
+	}
+	return core.RemapModel, fmt.Errorf("stef: unknown remap rule %q (want auto, on or off)", s)
 }
 
 // LoadTensor reads a FROSTT .tns file.
